@@ -1,0 +1,194 @@
+// Command symbench regenerates the paper's tables and figures and prints
+// rows shaped like the originals. Select experiments with -run.
+//
+//	symbench -run table1      # Klee paths/runtimes on options code
+//	symbench -run fig8        # switch model scaling (Basic/Ingress/Egress)
+//	symbench -run table2      # core-router analysis
+//	symbench -run table3      # HSA vs SymNet on the Stanford-like backbone
+//	symbench -run table4      # options-code property coverage
+//	symbench -run table5      # capability matrix
+//	symbench -run splittcp    # §8.4 middlebox scenarios
+//	symbench -run dept        # §8.5 department network
+//	symbench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"symnet/internal/datasets"
+	"symnet/internal/experiments"
+	"symnet/internal/models"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|all)")
+	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
+	flag.Parse()
+	sel := strings.ToLower(*run)
+	want := func(name string) bool { return sel == "all" || sel == name }
+	if want("table1") {
+		table1(*quick)
+	}
+	if want("fig8") {
+		fig8(*quick)
+	}
+	if want("table2") {
+		table2(*quick)
+	}
+	if want("table3") {
+		table3(*quick)
+	}
+	if want("table4") {
+		table4()
+	}
+	if want("table5") {
+		table5()
+	}
+	if want("splittcp") {
+		splittcp()
+	}
+	if want("dept") {
+		dept(*quick)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "symbench:", err)
+	os.Exit(1)
+}
+
+func table1(quick bool) {
+	maxLen := 7
+	if quick {
+		maxLen = 5
+	}
+	fmt.Println("== Table 1: naive symbolic execution of TCP-options parsing ==")
+	fmt.Printf("%-8s %-12s %-12s %s\n", "Length", "Paths", "Paper", "Runtime")
+	for _, r := range experiments.Table1(maxLen) {
+		fmt.Printf("%-8d %-12d %-12d %v\n", r.Length, r.Paths, r.PaperPaths, r.Time)
+	}
+	fmt.Println()
+}
+
+func fig8(quick bool) {
+	fmt.Println("== Fig. 8: switch model scaling (symbolic EtherDst) ==")
+	fmt.Printf("%-9s %-10s %-8s %-12s %s\n", "Style", "Entries", "Paths", "SolverOps", "Time")
+	if quick {
+		experiments.Fig8Limits[models.Egress] = 100000
+	}
+	rows, err := experiments.Fig8(20, 42)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%-9v %-10d %-8d %-12d %v\n", r.Style, r.Entries, r.Paths, r.SolverOps, r.Time)
+	}
+	fmt.Println()
+}
+
+func table2(quick bool) {
+	fmt.Println("== Table 2: core-router analysis ==")
+	fmt.Printf("%-9s %-10s %-8s %-12s %-12s %s\n", "Style", "Prefixes", "Paths", "GenTime", "Runtime", "Exclusions")
+	ports := 16
+	if quick {
+		ports = 8
+	}
+	rows, err := experiments.Table2(ports, 7)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range rows {
+		if r.DNF {
+			fmt.Printf("%-9v %-10d DNF\n", r.Style, r.Prefixes)
+			continue
+		}
+		fmt.Printf("%-9v %-10d %-8d %-12v %-12v %d\n", r.Style, r.Prefixes, r.Paths, r.GenTime, r.Time, r.Exclusions)
+	}
+	fmt.Println()
+}
+
+func table3(quick bool) {
+	fmt.Println("== Table 3: HSA vs SymNet (Stanford-like backbone) ==")
+	zones, perZone := 14, 1000
+	if quick {
+		zones, perZone = 8, 100
+	}
+	rows, err := experiments.Table3(zones, perZone)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-8s %-14s %-14s %s\n", "Tool", "Generation", "Runtime", "Endpoints")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-14v %-14v %d\n", r.Tool, r.GenTime, r.RunTime, r.Reached)
+	}
+	fmt.Println()
+}
+
+func table4() {
+	fmt.Println("== Table 4: Klee vs SymNet on TCP-options firewall code ==")
+	rows, err := experiments.Table4()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%-34s %-32s %s\n", "Property", "Klee (naive executor)", "SymNet (SEFL model)")
+	for _, r := range rows {
+		fmt.Printf("%-34s %-32s %s\n", r.Property, r.Klee, r.SymNet)
+	}
+	fmt.Println()
+}
+
+func table5() {
+	fmt.Println("== Table 5: verification-tool capabilities (SymNet column verified by runnable scenarios) ==")
+	fmt.Printf("%-26s %-6s %-6s %s\n", "Capability", "HSA", "NOD", "SymNet")
+	for _, r := range experiments.Table5() {
+		fmt.Printf("%-26s %-6s %-6s %s\n", r.Capability, r.HSA, r.NOD, r.SymNet)
+	}
+	fmt.Println()
+}
+
+func splittcp() {
+	fmt.Println("== §8.4: Split-TCP middlebox scenarios (Fig. 10) ==")
+	fs, err := experiments.SplitTCP()
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range fs {
+		status := "OK"
+		if !f.OK {
+			status = "FAILED"
+		}
+		fmt.Printf("%-28s %-56s %s\n", f.Scenario, f.Detail, status)
+	}
+	fmt.Println()
+}
+
+func dept(quick bool) {
+	fmt.Println("== §8.5: CS department network (Fig. 11) ==")
+	cfg := datasets.DefaultDepartment()
+	if quick {
+		cfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 5}
+	}
+	for _, fixed := range []bool{false, true} {
+		cfg.Fixed = fixed
+		label := "before fix"
+		if fixed {
+			label = "after fix"
+		}
+		fs, res, err := experiments.Department(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- %s (MACs=%d routes=%d paths=%d) --\n", label, cfg.HostsPerSwitch*cfg.NumAccessSwitches, cfg.Routes, res.Stats.Paths)
+		for _, f := range fs {
+			status := "OK"
+			if !f.OK {
+				status = "FAILED"
+			}
+			fmt.Printf("%-46s %-52s %s\n", f.Name, f.Detail, status)
+		}
+	}
+	fmt.Println()
+}

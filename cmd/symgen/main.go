@@ -1,0 +1,113 @@
+// Command symgen generates SEFL models from forwarding-state snapshots and
+// reports their structure — the paper's "parsers that take configuration
+// parameters ... and output corresponding SEFL models" (§7.1).
+//
+//	symgen -mac table.txt  -style egress   # switch model from a MAC table
+//	symgen -fib routes.txt -style egress   # router model from a FIB
+//	symgen -asa config.txt                 # ASA pipeline from a config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"symnet/internal/asa"
+	"symnet/internal/core"
+	"symnet/internal/models"
+	"symnet/internal/tables"
+)
+
+func main() {
+	macPath := flag.String("mac", "", "switch MAC-table snapshot")
+	fibPath := flag.String("fib", "", "router forwarding-table snapshot")
+	asaPath := flag.String("asa", "", "ASA configuration")
+	styleName := flag.String("style", "egress", "model style: basic|ingress|egress")
+	flag.Parse()
+
+	var style models.Style
+	switch *styleName {
+	case "basic":
+		style = models.Basic
+	case "ingress":
+		style = models.Ingress
+	case "egress":
+		style = models.Egress
+	default:
+		fatal(fmt.Errorf("unknown style %q", *styleName))
+	}
+
+	switch {
+	case *macPath != "":
+		f, err := os.Open(*macPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tbl, err := tables.ParseMACTable(f)
+		if err != nil {
+			fatal(err)
+		}
+		ports := tbl.Ports()
+		net := core.NewNetwork()
+		sw := net.AddElement("switch", "switch", len(ports)+1, ports[len(ports)-1]+1)
+		if err := models.Switch(sw, tbl, style); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("switch model (%v): %d MAC entries, %d ports\n", style, len(tbl), len(ports))
+		for port, code := range sw.OutCode {
+			fmt.Printf("OutputPort(%d): %.120s\n", port, code.String())
+		}
+		for port, code := range sw.InCode {
+			fmt.Printf("InputPort(%d): %.120s\n", port, code.String())
+		}
+
+	case *fibPath != "":
+		f, err := os.Open(*fibPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fib, err := tables.ParseFIB(f)
+		if err != nil {
+			fatal(err)
+		}
+		compiled := tables.CompileLPM(fib)
+		fmt.Printf("router model (%v): %d routes, %d exclusion constraints\n",
+			style, len(fib), tables.NumExclusions(compiled))
+		ports := fib.Ports()
+		net := core.NewNetwork()
+		r := net.AddElement("router", "router", len(ports)+1, ports[len(ports)-1]+1)
+		if err := models.Router(r, fib, style); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ports: %v\n", ports)
+
+	case *asaPath != "":
+		f, err := os.Open(*asaPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg, err := asa.ParseConfig(f)
+		if err != nil {
+			fatal(err)
+		}
+		net := core.NewNetwork()
+		el := net.AddElement(cfg.Name, "asa", 2, 2)
+		asa.Build(el, cfg)
+		fmt.Printf("ASA pipeline %q: %d static NAT rules, dynamic NAT=%v, %d+%d ACL rules, %d allowed / %d dropped option kinds\n",
+			cfg.Name, len(cfg.StaticNAT), cfg.DynamicNAT != nil,
+			len(cfg.InboundACL), len(cfg.OutboundACL),
+			len(cfg.Options.Allow), len(cfg.Options.Drop))
+
+	default:
+		fmt.Fprintln(os.Stderr, "usage: symgen (-mac FILE | -fib FILE | -asa FILE) [-style basic|ingress|egress]")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "symgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Split-TCP debugging (§8.4 / Fig. 10): reproduce the four operational
+// problems from the enterprise Split-TCP deployment — asymmetric routing
+// validation, the MTU blackhole after IP-in-IP, the missing VLAN tag, and
+// the DHCP-lease security appliance interaction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symnet/internal/experiments"
+)
+
+func main() {
+	findings, err := experiments.SplitTCP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range findings {
+		status := "confirmed"
+		if !f.OK {
+			status = "NOT REPRODUCED"
+		}
+		fmt.Printf("%-28s %-58s %s\n", f.Scenario, f.Detail, status)
+	}
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"regexp"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+// LoopMode selects the loop-detection strategy (§6 of the paper).
+type LoopMode uint8
+
+const (
+	// LoopOff disables loop detection (a hop budget still bounds paths).
+	LoopOff LoopMode = iota
+	// LoopFull compares the domains of all header fields and metadata; TTL
+	// decrements therefore defeat it, as the paper notes.
+	LoopFull
+	// LoopAddrOnly compares only the IP source and destination addresses,
+	// catching traditional forwarding loops.
+	LoopAddrOnly
+)
+
+// Options configures a run. The zero value gives sensible defaults.
+type Options struct {
+	// MaxHops bounds the number of port visits per path (default 4096).
+	MaxHops int
+	// MaxPaths aborts runs that explode (default 1 << 20).
+	MaxPaths int
+	// Loop selects loop detection; default LoopOff.
+	Loop LoopMode
+	// Trace records executed instructions on each path (costly; default off).
+	Trace bool
+	// Stats receives solver statistics; a fresh collector is used when nil.
+	Stats *solver.Stats
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxHops == 0 {
+		o.MaxHops = 4096
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 1 << 20
+	}
+	return o
+}
+
+// run carries the per-run engine state.
+type run struct {
+	net    *Network
+	opts   Options
+	alloc  *expr.Alloc
+	stats  *solver.Stats
+	result *Result
+	nextID int
+}
+
+// Run injects a packet built by init at the given input port and explores
+// all execution paths. init executes before the packet enters the port (it
+// is the paper's "code to create a symbolic packet of the given type").
+func Run(net *Network, inject PortRef, init sefl.Instr, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	elem, ok := net.Element(inject.Elem)
+	if !ok {
+		return nil, fmt.Errorf("core: inject element %q not found", inject.Elem)
+	}
+	if inject.Out || inject.Port < 0 || inject.Port >= elem.NumIn {
+		return nil, fmt.Errorf("core: inject port %s invalid", inject)
+	}
+	stats := opts.Stats
+	if stats == nil {
+		stats = &solver.Stats{}
+	}
+	r := &run{
+		net:    net,
+		opts:   opts,
+		alloc:  &expr.Alloc{},
+		stats:  stats,
+		result: &Result{},
+	}
+	r.result.Alloc = r.alloc
+
+	st := &State{
+		Mem:  memory.New(),
+		Ctx:  solver.NewContext(stats),
+		Here: PortRef{Elem: inject.Elem, Port: inject.Port},
+		seen: make(map[PortRef][]snapshot),
+	}
+	if opts.Trace {
+		st.Trace = []string{}
+	}
+	// Build the symbolic packet. Injection code runs in the context of the
+	// target element (so local metadata in templates scopes sensibly).
+	var worklist []*State
+	for _, s := range r.exec(st, elem, init) {
+		if s.Status == Failed {
+			r.finalize(s)
+			continue
+		}
+		if s.forwarding() {
+			r.finalize(failWith(s, "injection code must not forward"))
+			continue
+		}
+		worklist = append(worklist, s)
+	}
+
+	// Depth-first exploration for deterministic ordering.
+	for len(worklist) > 0 {
+		st := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		succ, err := r.step(st)
+		if err != nil {
+			return nil, err
+		}
+		// Push in reverse so listed order is explored first.
+		for i := len(succ) - 1; i >= 0; i-- {
+			worklist = append(worklist, succ[i])
+		}
+		if len(r.result.Paths) > r.opts.MaxPaths {
+			return nil, fmt.Errorf("core: path budget exceeded (%d)", r.opts.MaxPaths)
+		}
+	}
+	r.result.Stats.Solver = *stats
+	return r.result, nil
+}
+
+func failWith(st *State, msg string) *State {
+	st.fail(msg)
+	return st
+}
+
+// step processes one state positioned at an input port: loop check, input
+// code, output codes, link traversal. It returns the states to keep
+// exploring; finished paths are recorded on the result.
+func (r *run) step(st *State) ([]*State, error) {
+	elem, ok := r.net.Element(st.Here.Elem)
+	if !ok {
+		return nil, fmt.Errorf("core: element %q vanished", st.Here.Elem)
+	}
+	st.History = append(st.History, st.Here)
+	st.hops++
+	r.result.Stats.Hops++
+	if st.hops > r.opts.MaxHops {
+		r.finalize(failWith(st, fmt.Sprintf("hop budget exceeded (%d)", r.opts.MaxHops)))
+		return nil, nil
+	}
+	if r.opts.Loop != LoopOff {
+		if looped := r.loopCheck(st); looped {
+			st.Status = Looped
+			r.finalize(st)
+			return nil, nil
+		}
+	}
+
+	code, ok := elem.inCodeFor(st.Here.Port)
+	if !ok {
+		// No code: the packet stops here.
+		st.Status = Delivered
+		r.finalize(st)
+		return nil, nil
+	}
+
+	var next []*State
+	for _, s := range r.exec(st, elem, code) {
+		if s.Status == Failed {
+			r.finalize(s)
+			continue
+		}
+		if !s.forwarding() {
+			s.Status = Delivered
+			r.finalize(s)
+			continue
+		}
+		outs, err := r.depart(s, elem)
+		if err != nil {
+			return nil, err
+		}
+		next = append(next, outs...)
+	}
+	return next, nil
+}
+
+// depart runs output-port code for each pending output port and follows
+// links. A state leaving through k ports becomes k independent paths.
+func (r *run) depart(st *State, elem *Element) ([]*State, error) {
+	ports := st.outPorts
+	st.outPorts = nil
+	var next []*State
+	for i, p := range ports {
+		s := st
+		if i < len(ports)-1 {
+			s = st.clone()
+		}
+		if p < 0 || p >= elem.NumOut {
+			r.finalize(failWith(s, fmt.Sprintf("forward to nonexistent output port %d of %s", p, elem.Name)))
+			continue
+		}
+		outRef := PortRef{Elem: elem.Name, Port: p, Out: true}
+		s.Here = outRef
+		s.History = append(s.History, outRef)
+		if code, ok := elem.outCodeFor(p); ok {
+			states := r.exec(s, elem, code)
+			for _, os := range states {
+				if os.Status == Failed {
+					r.finalize(os)
+					continue
+				}
+				if os.forwarding() {
+					r.finalize(failWith(os, "output-port code must not forward"))
+					continue
+				}
+				ns, err := r.follow(os, outRef)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, ns...)
+			}
+		} else {
+			ns, err := r.follow(s, outRef)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, ns...)
+		}
+	}
+	return next, nil
+}
+
+// follow moves a state across the link leaving outRef, or finishes it when
+// the port is unconnected ("a path finishes ... when it reaches a port with
+// no outgoing links").
+func (r *run) follow(st *State, outRef PortRef) ([]*State, error) {
+	in, ok := r.net.Follow(outRef)
+	if !ok {
+		st.Status = Delivered
+		r.finalize(st)
+		return nil, nil
+	}
+	st.Here = in
+	return []*State{st}, nil
+}
+
+func (r *run) finalize(st *State) {
+	p := &Path{
+		ID:      r.nextID,
+		Status:  st.Status,
+		FailMsg: st.FailMsg,
+		History: st.History,
+		Trace:   st.Trace,
+		Mem:     st.Mem,
+		Ctx:     st.Ctx,
+	}
+	r.nextID++
+	r.result.Paths = append(r.result.Paths, p)
+	r.result.Stats.Paths++
+	switch st.Status {
+	case Delivered:
+		r.result.Stats.Delivered++
+	case Failed:
+		r.result.Stats.Failed++
+	case Looped:
+		r.result.Stats.Looped++
+	}
+}
+
+// --- Instruction interpreter ---
+
+// exec runs one instruction on a state, returning successor states. States
+// that failed or that set pending output ports are returned as-is; callers
+// decide what happens next. The slice is never empty unless the state was
+// pruned as infeasible.
+func (r *run) exec(st *State, elem *Element, ins sefl.Instr) []*State {
+	if st.Status == Failed || st.forwarding() {
+		return []*State{st}
+	}
+	if st.Trace != nil {
+		if _, isBlock := ins.(sefl.Block); !isBlock {
+			st.Trace = append(st.Trace, fmt.Sprintf("%s: %s", elem.Name, ins))
+		}
+	}
+	switch v := ins.(type) {
+	case sefl.NoOp:
+		return []*State{st}
+
+	case sefl.Block:
+		states := []*State{st}
+		for _, sub := range v.Is {
+			var out []*State
+			for _, s := range states {
+				out = append(out, r.exec(s, elem, sub)...)
+			}
+			states = out
+		}
+		return states
+
+	case sefl.Allocate:
+		loc, err := r.resolveLV(st, elem, v.LV)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		size := v.Size
+		if size == 0 {
+			if h, ok := v.LV.(sefl.Hdr); ok {
+				size = h.Size
+			}
+		}
+		if loc.isHdr {
+			if err := st.Mem.AllocateHdr(loc.off, size); err != nil {
+				return []*State{failWith(st, err.Error())}
+			}
+		} else if err := st.Mem.AllocateMeta(loc.key, size); err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		return []*State{st}
+
+	case sefl.Deallocate:
+		loc, err := r.resolveLV(st, elem, v.LV)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		size := v.Size
+		if size == 0 {
+			if h, ok := v.LV.(sefl.Hdr); ok {
+				size = h.Size
+			}
+		}
+		if loc.isHdr {
+			if err := st.Mem.DeallocateHdr(loc.off, size); err != nil {
+				return []*State{failWith(st, err.Error())}
+			}
+		} else if err := st.Mem.DeallocateMeta(loc.key, size); err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		return []*State{st}
+
+	case sefl.Assign:
+		loc, err := r.resolveLV(st, elem, v.LV)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		hint := 0
+		if loc.isHdr {
+			hint = loc.size
+		} else if w, ok := st.Mem.MetaWidth(loc.key); ok {
+			hint = w
+		}
+		val, err := r.evalExpr(st, elem, v.E, hint)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		if hint != 0 && val.Width != hint {
+			if cv, isConst := val.ConstVal(); isConst {
+				val = expr.Const(cv, hint)
+			} else {
+				return []*State{failWith(st, fmt.Sprintf("assign width mismatch: %d-bit value into %d-bit field", val.Width, hint))}
+			}
+		}
+		if loc.isHdr {
+			if err := st.Mem.AssignHdr(loc.off, loc.size, val); err != nil {
+				return []*State{failWith(st, err.Error())}
+			}
+		} else if err := st.Mem.AssignMeta(loc.key, val); err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		return []*State{st}
+
+	case sefl.CreateTag:
+		val, err := r.evalExpr(st, elem, v.E, 64)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		cv, ok := val.ConstVal()
+		if !ok {
+			return []*State{failWith(st, fmt.Sprintf("CreateTag(%q): tag value must be concrete", v.Name))}
+		}
+		st.Mem.CreateTag(v.Name, int64(cv))
+		return []*State{st}
+
+	case sefl.DestroyTag:
+		if err := st.Mem.DestroyTag(v.Name); err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		return []*State{st}
+
+	case sefl.Constrain:
+		cond, err := r.evalCond(st, elem, v.C)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		if !st.Ctx.Add(cond) || (st.Ctx.PendingOrs() > 0 && !st.Ctx.Sat()) {
+			return []*State{failWith(st, fmt.Sprintf("constraint unsatisfiable: %s", v.C))}
+		}
+		return []*State{st}
+
+	case sefl.Fail:
+		return []*State{failWith(st, v.Msg)}
+
+	case sefl.If:
+		cond, err := r.evalCond(st, elem, v.C)
+		if err != nil {
+			return []*State{failWith(st, err.Error())}
+		}
+		thenSt := st.clone()
+		elseSt := st
+		var out []*State
+		if thenSt.Ctx.Add(cond) && (thenSt.Ctx.PendingOrs() == 0 || thenSt.Ctx.Sat()) {
+			out = append(out, r.exec(thenSt, elem, v.Then)...)
+		} else {
+			r.result.Stats.Pruned++
+		}
+		if elseSt.Ctx.Add(expr.NewNot(cond)) && (elseSt.Ctx.PendingOrs() == 0 || elseSt.Ctx.Sat()) {
+			out = append(out, r.exec(elseSt, elem, v.Else)...)
+		} else {
+			r.result.Stats.Pruned++
+		}
+		return out
+
+	case sefl.For:
+		re, err := regexp.Compile(v.Pattern)
+		if err != nil {
+			return []*State{failWith(st, fmt.Sprintf("For: bad pattern %q: %v", v.Pattern, err))}
+		}
+		keys := st.Mem.MetaKeysMatching(re, elem.Instance)
+		states := []*State{st}
+		for _, k := range keys {
+			body := v.Body(sefl.Meta{Name: k.Name, Instance: k.Instance, Pinned: true})
+			var out []*State
+			for _, s := range states {
+				out = append(out, r.exec(s, elem, body)...)
+			}
+			states = out
+		}
+		return states
+
+	case sefl.Forward:
+		st.outPorts = []int{v.Port}
+		return []*State{st}
+
+	case sefl.Fork:
+		if len(v.Ports) == 0 {
+			return []*State{failWith(st, "Fork with no ports")}
+		}
+		st.outPorts = append([]int(nil), v.Ports...)
+		return []*State{st}
+	}
+	return []*State{failWith(st, fmt.Sprintf("unknown instruction %T", ins))}
+}
+
+// --- Loop detection (§6, Fig. 5) ---
+
+// loopCheck records the state snapshot at the current input port and
+// reports whether an earlier snapshot is contained in the current one
+// ("a loop exists only when the new state contains all possible values in
+// the old state").
+func (r *run) loopCheck(st *State) bool {
+	snap := r.takeSnapshot(st)
+	old := st.seen[st.Here]
+	for _, o := range old {
+		if snapshotSubsumed(o, snap) {
+			return true
+		}
+	}
+	// Copy-on-append keeps snapshot slices shareable across clones.
+	updated := make([]snapshot, len(old), len(old)+1)
+	copy(updated, old)
+	st.seen[st.Here] = append(updated, snap)
+	return false
+}
+
+// takeSnapshot projects the current domains of the tracked variables.
+func (r *run) takeSnapshot(st *State) snapshot {
+	snap := make(snapshot)
+	switch r.opts.Loop {
+	case LoopAddrOnly:
+		// Track IP source and destination through the current L3 tag.
+		if base, ok := st.Mem.Tag(sefl.TagL3); ok {
+			for _, rel := range []int64{96, 128} {
+				off := base + rel
+				if v, err := st.Mem.ReadHdr(off, 32); err == nil {
+					snap[fieldKey{hdr: true, off: rel, size: 32}] = st.Ctx.Domain(v)
+				}
+			}
+		}
+	default: // LoopFull
+		for _, f := range st.Mem.Fields() {
+			if !f.Set {
+				continue
+			}
+			snap[fieldKey{hdr: true, off: f.Off, size: f.Size}] = st.Ctx.Domain(f.Val)
+		}
+		for _, me := range st.Mem.MetaEntries() {
+			if !me.Set {
+				continue
+			}
+			snap[fieldKey{meta: me.Key}] = st.Ctx.Domain(me.Val)
+		}
+	}
+	return snap
+}
+
+// snapshotSubsumed reports old ⊆ new: every variable tracked in the old
+// snapshot exists in the new one with a superset domain, and the variable
+// sets agree.
+func snapshotSubsumed(old, new snapshot) bool {
+	if len(old) != len(new) {
+		return false
+	}
+	for k, od := range old {
+		nd, ok := new[k]
+		if !ok {
+			return false
+		}
+		if !od.SubsetOf(nd) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+package core
+
+import "symnet/internal/memory"
+
+func metaKeyGlobal(name string) memory.MetaKey {
+	return memory.MetaKey{Name: name, Instance: memory.GlobalScope}
+}

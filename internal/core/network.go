@@ -1,0 +1,197 @@
+// Package core implements the SymNet symbolic-execution engine: it injects a
+// symbolic packet at a network port and explores every feasible execution
+// path through the SEFL code attached to the ports of the network's
+// elements, maintaining per-path packet memory, constraints, history, and
+// detecting network-wide loops.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"symnet/internal/sefl"
+)
+
+// WildcardPort attaches code to every port of an element that has no
+// port-specific code (the paper's InputPort(*)).
+const WildcardPort = -1
+
+// Element is a network box: a number of input and output ports, each with
+// optional SEFL code. Connections are unidirectional from output ports to
+// input ports, so bidirectional connectivity needs two port pairs (§5).
+type Element struct {
+	Name     string
+	Kind     string // descriptive: "switch", "router", "nat", ...
+	Instance int    // unique per network; scopes local metadata
+	NumIn    int
+	NumOut   int
+	InCode   map[int]sefl.Instr
+	OutCode  map[int]sefl.Instr
+}
+
+// SetInCode attaches code to an input port (WildcardPort for all).
+func (e *Element) SetInCode(port int, code sefl.Instr) *Element {
+	if e.InCode == nil {
+		e.InCode = make(map[int]sefl.Instr)
+	}
+	e.InCode[port] = code
+	return e
+}
+
+// SetOutCode attaches code to an output port (WildcardPort for all).
+func (e *Element) SetOutCode(port int, code sefl.Instr) *Element {
+	if e.OutCode == nil {
+		e.OutCode = make(map[int]sefl.Instr)
+	}
+	e.OutCode[port] = code
+	return e
+}
+
+func (e *Element) inCodeFor(port int) (sefl.Instr, bool) {
+	if c, ok := e.InCode[port]; ok {
+		return c, true
+	}
+	c, ok := e.InCode[WildcardPort]
+	return c, ok
+}
+
+func (e *Element) outCodeFor(port int) (sefl.Instr, bool) {
+	if c, ok := e.OutCode[port]; ok {
+		return c, true
+	}
+	c, ok := e.OutCode[WildcardPort]
+	return c, ok
+}
+
+// PortRef names a port of an element. Out distinguishes output ports.
+type PortRef struct {
+	Elem string
+	Port int
+	Out  bool
+}
+
+func (p PortRef) String() string {
+	dir := "in"
+	if p.Out {
+		dir = "out"
+	}
+	return fmt.Sprintf("%s.%s[%d]", p.Elem, dir, p.Port)
+}
+
+// Network is the set of elements and the unidirectional links between their
+// ports.
+type Network struct {
+	elems        map[string]*Element
+	links        map[PortRef]PortRef // from output port to input port
+	nextInstance int
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		elems: make(map[string]*Element),
+		links: make(map[PortRef]PortRef),
+	}
+}
+
+// AddElement creates and registers an element with the given port counts.
+// It panics on duplicate names: network construction errors are programming
+// errors.
+func (n *Network) AddElement(name, kind string, numIn, numOut int) *Element {
+	if _, dup := n.elems[name]; dup {
+		panic("core: duplicate element " + name)
+	}
+	e := &Element{
+		Name:     name,
+		Kind:     kind,
+		Instance: n.nextInstance,
+		NumIn:    numIn,
+		NumOut:   numOut,
+		InCode:   make(map[int]sefl.Instr),
+		OutCode:  make(map[int]sefl.Instr),
+	}
+	n.nextInstance++
+	n.elems[name] = e
+	return e
+}
+
+// Element returns a registered element by name.
+func (n *Network) Element(name string) (*Element, bool) {
+	e, ok := n.elems[name]
+	return e, ok
+}
+
+// Elements returns all elements sorted by name.
+func (n *Network) Elements() []*Element {
+	out := make([]*Element, 0, len(n.elems))
+	for _, e := range n.elems {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Link connects an output port to an input port (unidirectional).
+func (n *Network) Link(fromElem string, fromPort int, toElem string, toPort int) error {
+	fe, ok := n.elems[fromElem]
+	if !ok {
+		return fmt.Errorf("core: link source element %q not found", fromElem)
+	}
+	te, ok := n.elems[toElem]
+	if !ok {
+		return fmt.Errorf("core: link target element %q not found", toElem)
+	}
+	if fromPort < 0 || fromPort >= fe.NumOut {
+		return fmt.Errorf("core: %s has no output port %d", fromElem, fromPort)
+	}
+	if toPort < 0 || toPort >= te.NumIn {
+		return fmt.Errorf("core: %s has no input port %d", toElem, toPort)
+	}
+	from := PortRef{Elem: fromElem, Port: fromPort, Out: true}
+	if _, dup := n.links[from]; dup {
+		return fmt.Errorf("core: output port %s already linked", from)
+	}
+	n.links[from] = PortRef{Elem: toElem, Port: toPort}
+	return nil
+}
+
+// MustLink is Link that panics on error, for statically-known topologies.
+func (n *Network) MustLink(fromElem string, fromPort int, toElem string, toPort int) {
+	if err := n.Link(fromElem, fromPort, toElem, toPort); err != nil {
+		panic(err)
+	}
+}
+
+// LinkBi connects a<->b with two unidirectional links using matching port
+// numbers on both sides.
+func (n *Network) LinkBi(a string, aOut, aIn int, b string, bOut, bIn int) error {
+	if err := n.Link(a, aOut, b, bIn); err != nil {
+		return err
+	}
+	return n.Link(b, bOut, a, aIn)
+}
+
+// Follow returns the input port linked to an output port.
+func (n *Network) Follow(out PortRef) (PortRef, bool) {
+	in, ok := n.links[out]
+	return in, ok
+}
+
+// Links returns all links sorted by source for deterministic output.
+func (n *Network) Links() [][2]PortRef {
+	out := make([][2]PortRef, 0, len(n.links))
+	for f, t := range n.links {
+		out = append(out, [2]PortRef{f, t})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0].Elem != out[j][0].Elem {
+			return out[i][0].Elem < out[j][0].Elem
+		}
+		return out[i][0].Port < out[j][0].Port
+	})
+	return out
+}
+
+// NumPorts returns the total number of connected ports (for reporting, cf.
+// the department network's "235 connected network ports").
+func (n *Network) NumPorts() int { return len(n.links) * 2 }

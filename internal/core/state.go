@@ -1,0 +1,175 @@
+package core
+
+import (
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/solver"
+)
+
+// Status describes how an execution path ended.
+type Status uint8
+
+const (
+	// Active paths are still executing (never visible in results).
+	Active Status = iota
+	// Delivered paths stopped normally: they reached a port with no
+	// outgoing link (or no code consuming them).
+	Delivered
+	// Failed paths hit Fail, an unsatisfiable Constrain, or a
+	// memory-safety violation.
+	Failed
+	// Looped paths were stopped by the loop detector.
+	Looped
+)
+
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Delivered:
+		return "delivered"
+	case Failed:
+		return "failed"
+	case Looped:
+		return "looped"
+	}
+	return "unknown"
+}
+
+// fieldKey identifies one tracked variable in a loop-detection snapshot.
+type fieldKey struct {
+	hdr  bool
+	off  int64
+	size int
+	meta memory.MetaKey
+}
+
+// snapshot is the per-port state record used by the loop detector: the
+// domain of every tracked variable at the moment the port was visited.
+type snapshot map[fieldKey]*solver.IntervalSet
+
+// State is one execution path: a symbolic packet plus its constraint
+// context, location and history. The engine clones states on If and Fork;
+// memory and solver context use copy-on-write/cheap-copy structures.
+type State struct {
+	Mem  *memory.Mem
+	Ctx  *solver.Context
+	Here PortRef
+
+	History []PortRef
+	Trace   []string
+
+	Status  Status
+	FailMsg string
+
+	// outPorts is set when input-port code executed Forward/Fork; it lists
+	// the output ports the packet leaves through.
+	outPorts []int
+
+	// seen maps input-port keys to prior snapshots along this path.
+	seen map[PortRef][]snapshot
+
+	hops int
+}
+
+// clone duplicates the path state (copy-on-write underneath).
+func (st *State) clone() *State {
+	n := &State{
+		Mem:     st.Mem.Clone(),
+		Ctx:     st.Ctx.Clone(),
+		Here:    st.Here,
+		Status:  st.Status,
+		FailMsg: st.FailMsg,
+		hops:    st.hops,
+	}
+	// History and trace are append-only; copy to decouple growth.
+	n.History = append([]PortRef(nil), st.History...)
+	if st.Trace != nil {
+		n.Trace = append([]string(nil), st.Trace...)
+	}
+	if st.outPorts != nil {
+		n.outPorts = append([]int(nil), st.outPorts...)
+	}
+	if st.seen != nil {
+		n.seen = make(map[PortRef][]snapshot, len(st.seen))
+		for k, v := range st.seen {
+			n.seen[k] = v // snapshot slices are append-copied, safe to share
+		}
+	}
+	return n
+}
+
+func (st *State) fail(msg string) {
+	st.Status = Failed
+	st.FailMsg = msg
+}
+
+func (st *State) forwarding() bool { return len(st.outPorts) > 0 }
+
+// Path is a finished execution path as reported to callers.
+type Path struct {
+	ID      int
+	Status  Status
+	FailMsg string
+	History []PortRef
+	Trace   []string
+	Mem     *memory.Mem
+	Ctx     *solver.Context
+}
+
+// Last returns the final port the path visited.
+func (p *Path) Last() PortRef {
+	if len(p.History) == 0 {
+		return PortRef{}
+	}
+	return p.History[len(p.History)-1]
+}
+
+// RunStats summarizes a run.
+type RunStats struct {
+	Paths     int
+	Delivered int
+	Failed    int
+	Looped    int
+	Pruned    int // infeasible If branches discarded
+	Hops      int // total port visits
+	Solver    solver.Stats
+}
+
+// Result is the outcome of a symbolic-execution run.
+type Result struct {
+	Paths []*Path
+	Stats RunStats
+	Alloc *expr.Alloc
+}
+
+// DeliveredAt returns delivered paths whose final position is the given
+// element (any port when port < 0; matches both input and output sides).
+func (r *Result) DeliveredAt(elem string, port int) []*Path {
+	var out []*Path
+	for _, p := range r.Paths {
+		if p.Status != Delivered {
+			continue
+		}
+		last := p.Last()
+		if last.Elem != elem {
+			continue
+		}
+		if port >= 0 && last.Port != port {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ByStatus returns all paths with the given status.
+func (r *Result) ByStatus(s Status) []*Path {
+	var out []*Path
+	for _, p := range r.Paths {
+		if p.Status == s {
+			out = append(out, p)
+		}
+	}
+	return out
+}

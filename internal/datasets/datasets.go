@@ -1,0 +1,127 @@
+// Package datasets generates the synthetic workloads of the paper's
+// evaluation: switch MAC tables of configurable size (Fig. 8), core-router
+// FIBs with realistic prefix-length distributions and overlap (Table 2), a
+// Stanford-backbone-like topology (Table 3), the CS department network
+// (Fig. 11, §8.5), and the Split-TCP deployment (Fig. 10, §8.4).
+//
+// All generators are deterministic: they derive from explicit seeds, so
+// every experiment is exactly reproducible. This stands in for the paper's
+// proprietary snapshots (the department's switch tables, the RouteViews
+// core FIB [8], the Stanford dataset [10]) — only the size and overlap
+// statistics matter for the measured behaviour, not the concrete addresses.
+package datasets
+
+import (
+	"math/rand"
+
+	"symnet/internal/expr"
+	"symnet/internal/tables"
+)
+
+// SwitchTable generates a MAC table with the given number of entries spread
+// round-robin over numPorts output ports. Mirroring the paper's methodology
+// for Fig. 8, entries beyond the base table are duplicates of earlier rows
+// with fresh unique MAC addresses ("we duplicate existing entries as many
+// times as needed; each entry gets a unique destination MAC address").
+func SwitchTable(entries, numPorts int, seed int64) tables.MACTable {
+	rng := rand.New(rand.NewSource(seed))
+	t := make(tables.MACTable, 0, entries)
+	used := make(map[uint64]bool, entries)
+	for len(t) < entries {
+		mac := rng.Uint64() & expr.Mask(48)
+		// Avoid multicast/broadcast bit and duplicates for realism.
+		mac &^= 1 << 40
+		if mac == 0 || used[mac] {
+			continue
+		}
+		used[mac] = true
+		t = append(t, tables.MACEntry{
+			MAC:  mac,
+			VLAN: 1,
+			Port: len(t) % numPorts,
+		})
+	}
+	return t
+}
+
+// prefixLenDist approximates the prefix-length mix of a real core-router
+// FIB: dominated by /24s, with significant /16-/23 mass, few short
+// prefixes, and a tail of host routes. The values are per-mille weights.
+var prefixLenDist = []struct {
+	len    int
+	weight int
+}{
+	{8, 4}, {12, 6}, {14, 8}, {15, 10}, {16, 90},
+	{17, 30}, {18, 40}, {19, 70}, {20, 80}, {21, 80},
+	{22, 110}, {23, 90}, {24, 360}, {28, 5}, {30, 5}, {32, 12},
+}
+
+// CoreFIB generates a FIB with n routes over numPorts next hops, with a
+// realistic prefix-length distribution and deliberate nesting (a fraction
+// of routes are generated inside previously generated shorter prefixes, so
+// longest-prefix-match compilation has real work to do, as in the paper's
+// 188,500-entry table with 183,000 exclusion constraints).
+func CoreFIB(n, numPorts int, seed int64) tables.FIB {
+	rng := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, d := range prefixLenDist {
+		total += d.weight
+	}
+	pickLen := func() int {
+		r := rng.Intn(total)
+		for _, d := range prefixLenDist {
+			if r < d.weight {
+				return d.len
+			}
+			r -= d.weight
+		}
+		return 24
+	}
+	type pfxKey struct {
+		pfx uint64
+		ln  int
+	}
+	seen := make(map[pfxKey]bool, n)
+	fib := make(tables.FIB, 0, n)
+	var parents []tables.Route // candidate containers for nested routes
+	for len(fib) < n {
+		plen := pickLen()
+		var addr uint64
+		// ~30% of routes nest inside an existing shorter prefix.
+		if len(parents) > 0 && rng.Intn(10) < 3 {
+			p := parents[rng.Intn(len(parents))]
+			if p.Len < plen {
+				addr = p.Prefix | (rng.Uint64() & expr.Mask(32) &^ expr.PrefixMask(p.Len, 32))
+			} else {
+				addr = rng.Uint64() & expr.Mask(32)
+			}
+		} else {
+			addr = rng.Uint64() & expr.Mask(32)
+		}
+		addr &= expr.PrefixMask(plen, 32)
+		// Keep out of multicast/reserved space for realism.
+		if addr>>28 >= 0xe {
+			continue
+		}
+		k := pfxKey{addr, plen}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		r := tables.Route{Prefix: addr, Len: plen, Port: rng.Intn(numPorts)}
+		fib = append(fib, r)
+		if plen <= 20 && len(parents) < 4096 {
+			parents = append(parents, r)
+		}
+	}
+	return fib
+}
+
+// Subsample returns the first n routes of a FIB (the paper runs Table 2
+// with 1%, 33% and 100% of the prefixes).
+func Subsample(f tables.FIB, n int) tables.FIB {
+	if n >= len(f) {
+		return f
+	}
+	return f[:n]
+}

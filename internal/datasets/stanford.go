@@ -1,0 +1,97 @@
+package datasets
+
+import (
+	"fmt"
+
+	"symnet/internal/core"
+	"symnet/internal/hsa"
+	"symnet/internal/models"
+	"symnet/internal/tables"
+)
+
+// Backbone is a Stanford-like campus backbone: zone routers dual-homed to
+// two backbone routers, each zone owning a /16 sliced into /24 routes. Both
+// a SymNet network and an HSA network are generated from the *same* FIBs,
+// so Table 3 compares the tools on identical inputs.
+type Backbone struct {
+	Net   *core.Network
+	HNet  *hsa.Network
+	Zones []string
+	Cores []string
+	Rules int
+}
+
+// StanfordBackbone generates the Table 3 topology: nZones zone routers with
+// perZone /24 routes each, plus two backbone routers with per-zone routes.
+// Zone router ports: 0 -> bb1, 1 -> bb2, 2 -> hosts (unconnected). Backbone
+// router port z leads to zone z; the last port is the peering uplink.
+func StanfordBackbone(nZones, perZone int) *Backbone {
+	if nZones > 200 {
+		panic("datasets: too many zones")
+	}
+	b := &Backbone{Net: core.NewNetwork(), HNet: hsa.NewNetwork()}
+	zoneFIB := make([]tables.FIB, nZones)
+	for z := 0; z < nZones; z++ {
+		name := fmt.Sprintf("zone%d", z)
+		b.Zones = append(b.Zones, name)
+		var fib tables.FIB
+		// Own subnets -> host port 2.
+		for i := 0; i < perZone; i++ {
+			fib = append(fib, tables.Route{
+				Prefix: uint64(10)<<24 | uint64(z)<<16 | uint64(i%256)<<8,
+				Len:    24,
+				Port:   2,
+			})
+		}
+		// Zone /16 umbrella and default: split across the backbones.
+		fib = append(fib,
+			tables.Route{Prefix: uint64(10)<<24 | uint64(z)<<16, Len: 16, Port: 2},
+			tables.Route{Prefix: 0, Len: 0, Port: z % 2}, // default to bb1/bb2
+		)
+		zoneFIB[z] = fib
+		b.Rules += len(fib)
+	}
+	bbFIB := func() tables.FIB {
+		var fib tables.FIB
+		for z := 0; z < nZones; z++ {
+			fib = append(fib, tables.Route{Prefix: uint64(10)<<24 | uint64(z)<<16, Len: 16, Port: z})
+		}
+		fib = append(fib, tables.Route{Prefix: 0, Len: 0, Port: nZones}) // uplink
+		return fib
+	}
+	cores := []string{"bb1", "bb2"}
+	b.Cores = cores
+	// SymNet elements.
+	for z, name := range b.Zones {
+		e := b.Net.AddElement(name, "router", 3, 3)
+		if err := models.Router(e, zoneFIB[z], models.Egress); err != nil {
+			panic(err)
+		}
+	}
+	for _, name := range cores {
+		e := b.Net.AddElement(name, "router", nZones+1, nZones+1)
+		if err := models.Router(e, bbFIB(), models.Egress); err != nil {
+			panic(err)
+		}
+		b.Rules += nZones + 1
+	}
+	// HSA boxes from the same FIBs.
+	for z, name := range b.Zones {
+		b.HNet.Add(hsa.FromFIB(name, zoneFIB[z]))
+	}
+	for _, name := range cores {
+		b.HNet.Add(hsa.FromFIB(name, bbFIB()))
+	}
+	// Links (bidirectional pairs), mirrored in both networks.
+	link := func(a string, ap int, c string, cp int) {
+		b.Net.MustLink(a, ap, c, cp)
+		b.Net.MustLink(c, cp, a, ap)
+		b.HNet.Link(a, ap, c, cp)
+		b.HNet.Link(c, cp, a, ap)
+	}
+	for z, name := range b.Zones {
+		link(name, 0, "bb1", z)
+		link(name, 1, "bb2", z)
+	}
+	return b
+}

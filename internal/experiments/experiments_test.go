@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+
+	"symnet/internal/datasets"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(3)
+	for _, r := range rows {
+		if r.Paths != r.PaperPaths {
+			t.Errorf("length %d: paths %d, paper %d", r.Length, r.Paths, r.PaperPaths)
+		}
+	}
+}
+
+func TestTable3BothToolsAgree(t *testing.T) {
+	rows, err := Table3(8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	for _, r := range rows {
+		t.Logf("%-7s gen=%v run=%v reached=%d", r.Tool, r.GenTime, r.RunTime, r.Reached)
+		if r.Reached == 0 {
+			t.Errorf("%s reached nothing", r.Tool)
+		}
+	}
+}
+
+func TestTable4Rows(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("rows %v", rows)
+	}
+	for _, r := range rows {
+		t.Logf("%-32s klee=%-28s symnet=%s", r.Property, r.Klee, r.SymNet)
+		if r.SymNet == "FAILED" {
+			t.Errorf("SymNet verdict failed for %q", r.Property)
+		}
+	}
+}
+
+func TestTable5AllVerified(t *testing.T) {
+	for _, r := range Table5() {
+		if !r.Verified {
+			t.Errorf("capability %q not verified", r.Capability)
+		}
+	}
+}
+
+func TestSplitTCPFindings(t *testing.T) {
+	fs, err := SplitTCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 5 {
+		t.Fatalf("findings: %v", fs)
+	}
+	for _, f := range fs {
+		t.Logf("%-28s %s ok=%v", f.Scenario, f.Detail, f.OK)
+		if !f.OK {
+			t.Errorf("scenario %q failed", f.Scenario)
+		}
+	}
+}
+
+func deptCfg(fixed bool) datasets.DepartmentConfig {
+	return datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Fixed: fixed, Seed: 5}
+}
+
+func TestDepartmentFindings(t *testing.T) {
+	fs, _, err := Department(deptCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Logf("%-44s %s ok=%v", f.Name, f.Detail, f.OK)
+		if !f.OK {
+			t.Errorf("finding %q failed", f.Name)
+		}
+	}
+}
+
+func TestDepartmentFix(t *testing.T) {
+	fs, _, err := Department(deptCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if !f.OK {
+			t.Errorf("post-fix finding %q failed (%s)", f.Name, f.Detail)
+		}
+	}
+}

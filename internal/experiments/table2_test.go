@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"testing"
+
+	"symnet/internal/datasets"
+	"symnet/internal/models"
+	"symnet/internal/tables"
+	"symnet/internal/verify"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+func TestTable2SmallAgree(t *testing.T) {
+	// All three styles must forward a set of probe addresses identically on
+	// a small FIB with real overlap.
+	fib := datasets.CoreFIB(400, 8, 7)
+	probeStyle := func(style models.Style, addr uint64) int {
+		net := core.NewNetwork()
+		r := net.AddElement("R", "router", 1, 8)
+		if err := models.Router(r, fib, style); err != nil {
+			t.Fatal(err)
+		}
+		init := sefl.Seq(
+			sefl.NewIPPacket(),
+			sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.IPDst}, sefl.CW(addr, 32))},
+		)
+		res, err := core.Run(net, core.PortRef{Elem: "R", Port: 0}, init, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Paths {
+			if p.Status == core.Delivered {
+				return p.Last().Port
+			}
+		}
+		return -1
+	}
+	// Probe each route's network address plus an address inside any nested
+	// prefix (where LPM decisions actually differ).
+	compiled := tables.CompileLPM(fib)
+	probes := 0
+	for _, c := range compiled {
+		if probes > 60 {
+			break
+		}
+		addr := c.Prefix | 1 // inside the prefix, off the network address
+		b := probeStyle(models.Basic, addr)
+		i := probeStyle(models.Ingress, addr)
+		e := probeStyle(models.Egress, addr)
+		if b != i || i != e {
+			t.Fatalf("styles disagree for %s: basic=%d ingress=%d egress=%d",
+				sefl.NumberToIP(addr), b, i, e)
+		}
+		probes++
+	}
+}
+
+func TestTable2EgressFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large sweep")
+	}
+	fib := datasets.CoreFIB(188500, 16, 7)
+	row, err := RunRouterModel(fib, 188500, 16, models.Egress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("egress 188.5k: gen=%v run=%v paths=%d exclusions=%d", row.GenTime, row.Time, row.Paths, row.Exclusions)
+	if row.Paths != 16 {
+		t.Fatalf("paths = %d, want 16 (one per port)", row.Paths)
+	}
+	if row.Exclusions == 0 {
+		t.Fatal("synthetic FIB must contain nested prefixes")
+	}
+}
+
+func TestTable2LPMMatchesReference(t *testing.T) {
+	// Egress model vs a plain software longest-prefix-match on random probe
+	// addresses.
+	fib := datasets.CoreFIB(2000, 8, 21)
+	compiled := tables.CompileLPM(fib)
+	refLookup := func(addr uint64) int {
+		// compiled is most-specific-first.
+		for _, c := range compiled {
+			if addr&maskOf(c.Len) == c.Prefix {
+				return c.Port
+			}
+		}
+		return -1
+	}
+	net := core.NewNetwork()
+	r := net.AddElement("R", "router", 1, 8)
+	if err := models.Router(r, fib, models.Egress); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(net, core.PortRef{Elem: "R", Port: 0}, sefl.NewIPPacket(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every delivered path, any value in its IPDst domain must route to
+	// that path's port under the reference lookup.
+	checked := 0
+	for _, p := range res.Paths {
+		if p.Status != core.Delivered {
+			continue
+		}
+		dom, err := verify.FieldDomain(p, sefl.IPDst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		port := p.Last().Port
+		for _, iv := range dom.Intervals() {
+			for _, probe := range []uint64{iv.Lo, iv.Hi, (iv.Lo + iv.Hi) / 2} {
+				if got := refLookup(probe); got != port {
+					t.Fatalf("addr %s: model says port %d, reference says %d",
+						sefl.NumberToIP(probe), port, got)
+				}
+				checked++
+			}
+			if checked > 3000 {
+				break
+			}
+		}
+		if checked > 3000 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no probes checked")
+	}
+}
+
+func maskOf(plen int) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	return ^uint64(0) << (32 - uint(plen)) & 0xffffffff
+}

@@ -1,0 +1,425 @@
+// Package memory implements the symbolic packet state of SymNet: header
+// fields allocated at explicit bit offsets with per-field value *stacks*
+// (allocation masks, deallocation unmasks), stacked tags for layering, and a
+// metadata map with global or per-module-instance visibility.
+//
+// The paper's memory-safety guarantees are enforced here: header accesses
+// must exactly match an existing allocation's offset and size; deallocation
+// sizes are checked; reads of unallocated or unassigned fields fail the
+// path. All failure modes return *AccessError so the engine can turn them
+// into failed paths with precise messages.
+//
+// Mem values are persistent-ish: mutating operations copy the (small) field
+// maps while sharing the immutable per-field layer chains, so the engine's
+// If/Fork path duplication is cheap copy-on-write, as in the paper ("all the
+// state of packet 1 is replicated ... shared with a copy-on-write
+// mechanism").
+package memory
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+
+	"symnet/internal/expr"
+)
+
+// GlobalScope marks metadata visible to every element in the network.
+const GlobalScope = -1
+
+// MetaKey identifies a metadata entry: a name plus the owning element
+// instance (GlobalScope for global metadata).
+type MetaKey struct {
+	Name     string
+	Instance int
+}
+
+func (k MetaKey) String() string {
+	if k.Instance == GlobalScope {
+		return k.Name
+	}
+	return fmt.Sprintf("%s@%d", k.Name, k.Instance)
+}
+
+// AccessError describes a packet-memory safety violation.
+type AccessError struct {
+	Op     string
+	Detail string
+}
+
+func (e *AccessError) Error() string { return "memory: " + e.Op + ": " + e.Detail }
+
+func accessErr(op, format string, args ...any) *AccessError {
+	return &AccessError{Op: op, Detail: fmt.Sprintf(format, args...)}
+}
+
+// layer is one allocation of a field. Layers are immutable; assignment
+// replaces the top layer with a copy carrying the new value and extended
+// history.
+type layer struct {
+	size int      // width in bits
+	val  expr.Lin // current value (valid when set)
+	set  bool
+	hist *histNode // most recent assignment first
+	prev *layer    // masked layer beneath this allocation
+}
+
+type histNode struct {
+	val  expr.Lin
+	prev *histNode
+}
+
+// values returns the assignment history, oldest first.
+func (h *histNode) values() []expr.Lin {
+	var n int
+	for p := h; p != nil; p = p.prev {
+		n++
+	}
+	out := make([]expr.Lin, n)
+	for p := h; p != nil; p = p.prev {
+		n--
+		out[n] = p.val
+	}
+	return out
+}
+
+// Mem is the symbolic packet state. The zero value is not usable; call New.
+type Mem struct {
+	hdr  map[int64]*layer
+	meta map[MetaKey]*layer
+	tags map[string]*tagNode
+}
+
+type tagNode struct {
+	val  int64
+	prev *tagNode
+}
+
+// New returns an empty packet state (the "initial empty packet, with no
+// header fields or metadata" the engine starts from).
+func New() *Mem {
+	return &Mem{
+		hdr:  make(map[int64]*layer),
+		meta: make(map[MetaKey]*layer),
+		tags: make(map[string]*tagNode),
+	}
+}
+
+// Clone returns an independent copy sharing immutable layer chains.
+func (m *Mem) Clone() *Mem {
+	n := &Mem{
+		hdr:  make(map[int64]*layer, len(m.hdr)),
+		meta: make(map[MetaKey]*layer, len(m.meta)),
+		tags: make(map[string]*tagNode, len(m.tags)),
+	}
+	for k, v := range m.hdr {
+		n.hdr[k] = v
+	}
+	for k, v := range m.meta {
+		n.meta[k] = v
+	}
+	for k, v := range m.tags {
+		n.tags[k] = v
+	}
+	return n
+}
+
+// --- Header fields ---
+
+// AllocateHdr pushes a new allocation of size bits at bit offset off.
+// Re-allocating the same (off, size) masks the previous value (a stack
+// push); overlapping a *different* existing field is a safety violation.
+func (m *Mem) AllocateHdr(off int64, size int) error {
+	if size <= 0 || size > 64 {
+		return accessErr("allocate", "invalid field size %d at offset %d", size, off)
+	}
+	if l, ok := m.hdr[off]; ok {
+		if l.size != size {
+			return accessErr("allocate", "field at offset %d re-allocated with size %d, existing size %d", off, size, l.size)
+		}
+		m.hdr[off] = &layer{size: size, prev: l}
+		return nil
+	}
+	if err := m.checkOverlap(off, size); err != nil {
+		return err
+	}
+	m.hdr[off] = &layer{size: size}
+	return nil
+}
+
+// checkOverlap rejects an allocation [off, off+size) that intersects any
+// existing field at a different offset.
+func (m *Mem) checkOverlap(off int64, size int) error {
+	end := off + int64(size)
+	for o, l := range m.hdr {
+		if o == off {
+			continue
+		}
+		oEnd := o + int64(l.size)
+		if off < oEnd && o < end {
+			return accessErr("allocate", "field [%d,%d) overlaps existing field [%d,%d)", off, end, o, oEnd)
+		}
+	}
+	return nil
+}
+
+// DeallocateHdr pops the top allocation at off. When size >= 0 it is checked
+// against the allocated size (the paper's Deallocate(v, s) semantics).
+func (m *Mem) DeallocateHdr(off int64, size int) error {
+	l, ok := m.hdr[off]
+	if !ok {
+		return accessErr("deallocate", "no field allocated at offset %d", off)
+	}
+	if size >= 0 && l.size != size {
+		return accessErr("deallocate", "field at offset %d has size %d, deallocation declared %d", off, l.size, size)
+	}
+	if l.prev == nil {
+		delete(m.hdr, off)
+	} else {
+		m.hdr[off] = l.prev
+	}
+	return nil
+}
+
+// lookupHdr finds the field at (off, size) enforcing exact alignment.
+func (m *Mem) lookupHdr(op string, off int64, size int) (*layer, error) {
+	l, ok := m.hdr[off]
+	if !ok {
+		// Distinguish "nothing there" from "unaligned" for better messages.
+		for o, f := range m.hdr {
+			oEnd := o + int64(f.size)
+			if off >= o && off < oEnd {
+				return nil, accessErr(op, "unaligned access at offset %d (field starts at %d)", off, o)
+			}
+		}
+		return nil, accessErr(op, "access to unallocated offset %d", off)
+	}
+	if l.size != size {
+		return nil, accessErr(op, "size mismatch at offset %d: field is %d bits, access is %d bits", off, l.size, size)
+	}
+	return l, nil
+}
+
+// ReadHdr returns the current value of the field at (off, size).
+func (m *Mem) ReadHdr(off int64, size int) (expr.Lin, error) {
+	l, err := m.lookupHdr("read", off, size)
+	if err != nil {
+		return expr.Lin{}, err
+	}
+	if !l.set {
+		return expr.Lin{}, accessErr("read", "field at offset %d read before assignment", off)
+	}
+	return l.val, nil
+}
+
+// AssignHdr sets the value of the field at (off, size), recording history.
+func (m *Mem) AssignHdr(off int64, size int, v expr.Lin) error {
+	l, err := m.lookupHdr("assign", off, size)
+	if err != nil {
+		return err
+	}
+	m.hdr[off] = &layer{size: l.size, val: v, set: true, hist: &histNode{val: v, prev: l.hist}, prev: l.prev}
+	return nil
+}
+
+// HdrAllocated reports whether a field is allocated exactly at (off, size).
+func (m *Mem) HdrAllocated(off int64, size int) bool {
+	l, ok := m.hdr[off]
+	return ok && l.size == size
+}
+
+// HdrHistory returns the assignment history (oldest first) of the top
+// allocation at (off, size).
+func (m *Mem) HdrHistory(off int64, size int) ([]expr.Lin, error) {
+	l, err := m.lookupHdr("history", off, size)
+	if err != nil {
+		return nil, err
+	}
+	return l.hist.values(), nil
+}
+
+// HdrStackDepth returns how many allocations are stacked at off (0 if none).
+func (m *Mem) HdrStackDepth(off int64) int {
+	n := 0
+	for l := m.hdr[off]; l != nil; l = l.prev {
+		n++
+	}
+	return n
+}
+
+// HdrField describes one live (top-of-stack) header field.
+type HdrField struct {
+	Off  int64
+	Size int
+	Val  expr.Lin
+	Set  bool
+}
+
+// Fields returns all live header fields sorted by offset.
+func (m *Mem) Fields() []HdrField {
+	out := make([]HdrField, 0, len(m.hdr))
+	for off, l := range m.hdr {
+		out = append(out, HdrField{Off: off, Size: l.size, Val: l.val, Set: l.set})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
+	return out
+}
+
+// --- Tags ---
+
+// CreateTag pushes a tag value; tags are stacked so encapsulation can
+// temporarily override (e.g. an inner L3 masked by an outer L3).
+func (m *Mem) CreateTag(name string, val int64) {
+	m.tags[name] = &tagNode{val: val, prev: m.tags[name]}
+}
+
+// DestroyTag pops the top value of a tag.
+func (m *Mem) DestroyTag(name string) error {
+	t, ok := m.tags[name]
+	if !ok {
+		return accessErr("destroy-tag", "tag %q does not exist", name)
+	}
+	if t.prev == nil {
+		delete(m.tags, name)
+	} else {
+		m.tags[name] = t.prev
+	}
+	return nil
+}
+
+// Tag returns the current value of a tag.
+func (m *Mem) Tag(name string) (int64, bool) {
+	t, ok := m.tags[name]
+	if !ok {
+		return 0, false
+	}
+	return t.val, true
+}
+
+// Tags returns the current value of every tag, sorted by name.
+func (m *Mem) Tags() map[string]int64 {
+	out := make(map[string]int64, len(m.tags))
+	for k, v := range m.tags {
+		out[k] = v.val
+	}
+	return out
+}
+
+// --- Metadata ---
+
+// AllocateMeta pushes a metadata entry of the given bit width.
+func (m *Mem) AllocateMeta(key MetaKey, width int) error {
+	if width <= 0 || width > 64 {
+		return accessErr("allocate", "invalid metadata width %d for %s", width, key)
+	}
+	m.meta[key] = &layer{size: width, prev: m.meta[key]}
+	return nil
+}
+
+// DeallocateMeta pops the top entry for key. A negative size skips the size
+// check.
+func (m *Mem) DeallocateMeta(key MetaKey, width int) error {
+	l, ok := m.meta[key]
+	if !ok {
+		return accessErr("deallocate", "no metadata %s", key)
+	}
+	if width >= 0 && l.size != width {
+		return accessErr("deallocate", "metadata %s has width %d, deallocation declared %d", key, l.size, width)
+	}
+	if l.prev == nil {
+		delete(m.meta, key)
+	} else {
+		m.meta[key] = l.prev
+	}
+	return nil
+}
+
+// ReadMeta returns the value of a metadata entry.
+func (m *Mem) ReadMeta(key MetaKey) (expr.Lin, error) {
+	l, ok := m.meta[key]
+	if !ok {
+		return expr.Lin{}, accessErr("read", "no metadata %s", key)
+	}
+	if !l.set {
+		return expr.Lin{}, accessErr("read", "metadata %s read before assignment", key)
+	}
+	return l.val, nil
+}
+
+// AssignMeta sets the value of a metadata entry, recording history.
+func (m *Mem) AssignMeta(key MetaKey, v expr.Lin) error {
+	l, ok := m.meta[key]
+	if !ok {
+		return accessErr("assign", "no metadata %s", key)
+	}
+	m.meta[key] = &layer{size: l.size, val: v, set: true, hist: &histNode{val: v, prev: l.hist}, prev: l.prev}
+	return nil
+}
+
+// MetaExists reports whether key currently has an entry.
+func (m *Mem) MetaExists(key MetaKey) bool {
+	_, ok := m.meta[key]
+	return ok
+}
+
+// MetaWidth returns the declared width of a metadata entry.
+func (m *Mem) MetaWidth(key MetaKey) (int, bool) {
+	l, ok := m.meta[key]
+	if !ok {
+		return 0, false
+	}
+	return l.size, true
+}
+
+// MetaKeysMatching returns a sorted snapshot of metadata names visible to
+// instance (its local entries plus globals) whose name matches the pattern.
+// This is the bounded iteration space of SEFL's For instruction.
+func (m *Mem) MetaKeysMatching(re *regexp.Regexp, instance int) []MetaKey {
+	var out []MetaKey
+	for k := range m.meta {
+		if k.Instance != GlobalScope && k.Instance != instance {
+			continue
+		}
+		if re.MatchString(k.Name) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Instance < out[j].Instance
+	})
+	return out
+}
+
+// MetaEntry describes one live metadata binding.
+type MetaEntry struct {
+	Key MetaKey
+	Val expr.Lin
+	Set bool
+}
+
+// MetaEntries returns all live metadata entries, sorted by key.
+func (m *Mem) MetaEntries() []MetaEntry {
+	out := make([]MetaEntry, 0, len(m.meta))
+	for k, l := range m.meta {
+		out = append(out, MetaEntry{Key: k, Val: l.val, Set: l.set})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Name != out[j].Key.Name {
+			return out[i].Key.Name < out[j].Key.Name
+		}
+		return out[i].Key.Instance < out[j].Key.Instance
+	})
+	return out
+}
+
+// MetaHistory returns the assignment history (oldest first) for key.
+func (m *Mem) MetaHistory(key MetaKey) ([]expr.Lin, error) {
+	l, ok := m.meta[key]
+	if !ok {
+		return nil, accessErr("history", "no metadata %s", key)
+	}
+	return l.hist.values(), nil
+}

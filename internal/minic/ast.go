@@ -1,0 +1,187 @@
+// Package minic implements a miniature C-like language and a deliberately
+// *naive* symbolic executor over it — the stand-in for running Klee on
+// middlebox C code (paper §2, Tables 1 and 4).
+//
+// The executor forks an execution state at every branch whose condition is
+// symbolic, including loop tests and reads through symbolic array indexes
+// (the behaviour that makes straight symbolic execution of the TCP-options
+// parsing loop exponential in the options length). No SEFL-style tricks are
+// applied: that is the point of the baseline.
+package minic
+
+import "fmt"
+
+// Expr is a mini-C expression over 64-bit unsigned scalars and byte arrays.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Const is an integer literal.
+type Const struct{ V uint64 }
+
+// Var reads a scalar variable.
+type Var struct{ Name string }
+
+// Index reads array[Idx]; a symbolic index forks per feasible value.
+type Index struct {
+	Array string
+	Idx   Expr
+}
+
+// Bin is a binary arithmetic/comparison operation. Comparisons yield 0/1.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// BinOp enumerates mini-C binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // logical &&, short-circuit at statement level is not modeled
+	OpOr  // logical ||
+)
+
+func (Const) isExpr() {}
+func (Var) isExpr()   {}
+func (Index) isExpr() {}
+func (Bin) isExpr()   {}
+
+func (c Const) String() string { return fmt.Sprintf("%d", c.V) }
+func (v Var) String() string   { return v.Name }
+func (i Index) String() string { return fmt.Sprintf("%s[%s]", i.Array, i.Idx) }
+func (b Bin) String() string {
+	ops := map[BinOp]string{
+		OpAdd: "+", OpSub: "-", OpEq: "==", OpNe: "!=", OpLt: "<",
+		OpLe: "<=", OpGt: ">", OpGe: ">=", OpAnd: "&&", OpOr: "||",
+	}
+	return fmt.Sprintf("(%s %s %s)", b.L, ops[b.Op], b.R)
+}
+
+// Convenience constructors.
+
+// N builds an integer literal.
+func N(v uint64) Expr { return Const{V: v} }
+
+// V builds a variable reference.
+func V(name string) Expr { return Var{Name: name} }
+
+// At builds an array read.
+func At(arr string, idx Expr) Expr { return Index{Array: arr, Idx: idx} }
+
+// Add builds l + r.
+func Add(l, r Expr) Expr { return Bin{Op: OpAdd, L: l, R: r} }
+
+// Sub builds l - r.
+func Sub(l, r Expr) Expr { return Bin{Op: OpSub, L: l, R: r} }
+
+// Eq builds l == r.
+func Eq(l, r Expr) Expr { return Bin{Op: OpEq, L: l, R: r} }
+
+// Ne builds l != r.
+func Ne(l, r Expr) Expr { return Bin{Op: OpNe, L: l, R: r} }
+
+// Lt builds l < r.
+func Lt(l, r Expr) Expr { return Bin{Op: OpLt, L: l, R: r} }
+
+// Le builds l <= r.
+func Le(l, r Expr) Expr { return Bin{Op: OpLe, L: l, R: r} }
+
+// Gt builds l > r.
+func Gt(l, r Expr) Expr { return Bin{Op: OpGt, L: l, R: r} }
+
+// Ge builds l >= r.
+func Ge(l, r Expr) Expr { return Bin{Op: OpGe, L: l, R: r} }
+
+// Or builds l || r.
+func Or(l, r Expr) Expr { return Bin{Op: OpOr, L: l, R: r} }
+
+// And builds l && r.
+func And(l, r Expr) Expr { return Bin{Op: OpAnd, L: l, R: r} }
+
+// Stmt is a mini-C statement.
+type Stmt interface {
+	isStmt()
+}
+
+// Assign sets a scalar variable.
+type Assign struct {
+	Name string
+	E    Expr
+}
+
+// Store writes array[Idx] = E.
+type Store struct {
+	Array string
+	Idx   Expr
+	E     Expr
+}
+
+// If branches on a (possibly symbolic) condition.
+type If struct {
+	Cond       Expr
+	Then, Else []Stmt
+}
+
+// While loops on a (possibly symbolic) condition.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// Switch dispatches on E. Cases are (value, body) pairs; Default runs when
+// no case matches.
+type Switch struct {
+	E       Expr
+	Cases   []SwitchCase
+	Default []Stmt
+}
+
+// SwitchCase is one case arm. Fallthrough is not modeled; each arm is
+// independent (the Fig. 1 code only uses break/return/continue arms).
+type SwitchCase struct {
+	Val  uint64
+	Body []Stmt
+}
+
+// Return ends the program with a result value.
+type Return struct{ E Expr }
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// Continue restarts the innermost loop.
+type Continue struct{}
+
+func (Assign) isStmt()   {}
+func (Store) isStmt()    {}
+func (If) isStmt()       {}
+func (While) isStmt()    {}
+func (Switch) isStmt()   {}
+func (Return) isStmt()   {}
+func (Break) isStmt()    {}
+func (Continue) isStmt() {}
+
+// Program is a mini-C program: statements plus array declarations.
+type Program struct {
+	// Arrays maps array names to lengths; contents start symbolic or are
+	// set concrete via Init.
+	Arrays map[string]int
+	// Init holds concrete initial array contents (optional per array).
+	Init map[string][]uint64
+	// Vars holds concrete initial scalar values.
+	Vars map[string]uint64
+	// SymbolicArrays lists arrays whose cells start as fresh symbols.
+	SymbolicArrays []string
+	Body           []Stmt
+}

@@ -1,0 +1,196 @@
+package minic
+
+import "symnet/internal/expr"
+
+// TCP option kinds used by the options-parsing firewall code.
+const (
+	OptEOL       = 0
+	OptNOP       = 1
+	OptMSS       = 2
+	OptWScale    = 3
+	OptSackOK    = 4
+	OptSack      = 5
+	OptTimestamp = 8
+	OptMD5       = 19
+	OptMultipath = 30
+)
+
+// OptionAction is what the firewall does with an option kind.
+type OptionAction uint8
+
+// Firewall actions for an option kind (the `_options[opcode]` table of the
+// paper's Fig. 1).
+const (
+	ActionStrip OptionAction = iota // replace with NOP padding
+	ActionAllow
+	ActionDrop // drop the whole packet
+)
+
+// OptionsConfig is the firewall's option policy.
+type OptionsConfig struct {
+	Allow []uint64
+	Drop  []uint64
+	// Everything else is stripped.
+}
+
+// DefaultASAConfig mirrors the CISCO ASA default configuration the paper
+// analyzes: widely-used options are allowed (MSS, window scale, SACK
+// variants, timestamp), the MD5 signature option drops the packet, and
+// everything else — including multipath TCP — is stripped.
+func DefaultASAConfig() OptionsConfig {
+	return OptionsConfig{
+		Allow: []uint64{OptMSS, OptWScale, OptSackOK, OptSack, OptTimestamp},
+		Drop:  []uint64{OptMD5},
+	}
+}
+
+// OptionsBufLen is the maximum TCP options length (the paper's "length
+// parameter whose max value is 40").
+const OptionsBufLen = 40
+
+// OptionsProgram builds the Fig. 1 TCP-options parsing code as a mini-C
+// program: a while loop over a symbolic `options` byte array with a
+// concrete `length`, switching on the option kind and policing sizes.
+//
+//	while (length > 0) {
+//	    opcode = options[ptr];
+//	    switch (opcode) {
+//	    case TCPOPT_EOL: return 1;
+//	    case TCPOPT_NOP: length--; ptr++; continue;
+//	    default:
+//	        opsize = options[ptr+1];
+//	        if (opsize < 2 || opsize > length) {
+//	            for (i = 0; i < length; i++) options[ptr+i] = 1;
+//	            length = 0; continue;
+//	        }
+//	        if (DROP(opcode)) return 0;
+//	        if (!ALLOW(opcode))
+//	            for (i = 0; i < opsize; i++) options[ptr+i] = 1;
+//	        ptr += opsize; length -= opsize;
+//	    }
+//	}
+func OptionsProgram(length int, cfg OptionsConfig) *Program {
+	opcode := V("opcode")
+	opsize := V("opsize")
+	ptr := V("ptr")
+	i := V("i")
+	lengthV := V("length")
+
+	classCond := func(kinds []uint64) Expr {
+		if len(kinds) == 0 {
+			// No kinds: impossible condition.
+			return Eq(N(1), N(0))
+		}
+		c := Eq(opcode, N(kinds[0]))
+		for _, k := range kinds[1:] {
+			c = Or(c, Eq(opcode, N(k)))
+		}
+		return c
+	}
+
+	nopFill := func(bound Expr) []Stmt {
+		return []Stmt{
+			Assign{Name: "i", E: N(0)},
+			While{Cond: Lt(i, bound), Body: []Stmt{
+				Store{Array: "options", Idx: Add(ptr, i), E: N(1)},
+				Assign{Name: "i", E: Add(i, N(1))},
+			}},
+		}
+	}
+
+	defaultArm := []Stmt{
+		Assign{Name: "opsize", E: At("options", Add(ptr, N(1)))},
+		If{
+			Cond: Or(Lt(opsize, N(2)), Gt(opsize, lengthV)),
+			Then: append(nopFill(lengthV),
+				Assign{Name: "length", E: N(0)},
+				Continue{},
+			),
+		},
+		If{
+			Cond: classCond(cfg.Drop),
+			Then: []Stmt{Return{E: N(0)}},
+		},
+		If{
+			Cond: classCond(cfg.Allow),
+			Else: nopFill(opsize), // not allowed, not dropped: strip
+		},
+		Assign{Name: "ptr", E: Add(ptr, opsize)},
+		Assign{Name: "length", E: Sub(lengthV, opsize)},
+	}
+
+	body := []Stmt{
+		While{Cond: Gt(lengthV, N(0)), Body: []Stmt{
+			Assign{Name: "opcode", E: At("options", ptr)},
+			Switch{
+				E: opcode,
+				Cases: []SwitchCase{
+					{Val: OptEOL, Body: []Stmt{Return{E: N(1)}}},
+					{Val: OptNOP, Body: []Stmt{
+						Assign{Name: "length", E: Sub(lengthV, N(1))},
+						Assign{Name: "ptr", E: Add(ptr, N(1))},
+						Continue{},
+					}},
+				},
+				Default: defaultArm,
+			},
+		}},
+		Return{E: N(1)},
+	}
+
+	return &Program{
+		Arrays:         map[string]int{"options": OptionsBufLen},
+		SymbolicArrays: []string{"options"},
+		Vars:           map[string]uint64{"ptr": 0, "length": uint64(length), "opcode": 0, "opsize": 0, "i": 0},
+		Body:           body,
+	}
+}
+
+// ParseOptions concretely parses an options byte buffer into the list of
+// option kinds present (skipping NOP padding, stopping at EOL or on invalid
+// sizes) — the "iterate the options field afterwards" probe of §8.2.
+func ParseOptions(buf []uint64, length int) []uint64 {
+	var kinds []uint64
+	ptr := 0
+	for length > 0 && ptr < len(buf) {
+		op := buf[ptr]
+		switch op {
+		case OptEOL:
+			return kinds
+		case OptNOP:
+			ptr++
+			length--
+		default:
+			if ptr+1 >= len(buf) {
+				return kinds
+			}
+			size := int(buf[ptr+1])
+			if size < 2 || size > length {
+				return kinds
+			}
+			kinds = append(kinds, op)
+			ptr += size
+			length -= size
+		}
+	}
+	return kinds
+}
+
+// ConcreteOptions extracts a concrete options buffer from a path outcome
+// using a solver model.
+func ConcreteOptions(o Outcome) ([]uint64, bool) {
+	model, ok := o.Ctx.Model()
+	if !ok {
+		return nil, false
+	}
+	cells := o.Arrays["options"]
+	out := make([]uint64, len(cells))
+	for idx, c := range cells {
+		if v, isConst := c.ConstVal(); isConst {
+			out[idx] = v
+			continue
+		}
+		out[idx] = (model[c.Sym] + c.Add) & expr.Mask(64) & 0xff
+	}
+	return out, true
+}

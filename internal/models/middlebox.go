@@ -1,0 +1,101 @@
+package models
+
+import (
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+// localMeta is shorthand for element-local metadata.
+func localMeta(name string) sefl.Meta { return sefl.Meta{Name: name, Local: true} }
+
+// NATConfig parameterizes the paper's NAT model (§7): outgoing traffic on
+// input port Inside is source-rewritten to PublicIP and a symbolic port in
+// [PortLo, PortHi]; return traffic on input port Outside is translated back
+// only when it matches the recorded mapping.
+type NATConfig struct {
+	PublicIP        string
+	PortLo, PortHi  uint64
+	Inside, Outside int // input port indexes
+	ToOut, ToIn     int // output port indexes
+}
+
+// DefaultNATConfig returns the conventional 2x2 port NAT layout.
+func DefaultNATConfig(publicIP string) NATConfig {
+	return NATConfig{PublicIP: publicIP, PortLo: 1024, PortHi: 65535, Inside: 0, Outside: 1, ToOut: 0, ToIn: 1}
+}
+
+// NAT installs the paper's NAT model: per-flow state is carried in local
+// packet metadata ("storing per flow state inside the packet"), so cascaded
+// NAT instances keep independent state and no branching is introduced.
+func NAT(e *core.Element, cfg NATConfig) {
+	e.SetInCode(cfg.Inside, sefl.Seq(
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.IPProto}, sefl.C(uint64(sefl.ProtoTCP)))},
+		sefl.Allocate{LV: localMeta("orig-ip"), Size: 32},
+		sefl.Allocate{LV: localMeta("orig-port"), Size: 16},
+		sefl.Allocate{LV: localMeta("new-ip"), Size: 32},
+		sefl.Allocate{LV: localMeta("new-port"), Size: 16},
+		sefl.Assign{LV: localMeta("orig-ip"), E: sefl.Ref{LV: sefl.IPSrc}},
+		sefl.Assign{LV: localMeta("orig-port"), E: sefl.Ref{LV: sefl.TcpSrc}},
+		sefl.Assign{LV: sefl.IPSrc, E: sefl.IP(cfg.PublicIP)},
+		// The paper: "the newly mapped port will be a symbolic variable with
+		// allowed values in the NAT's port range".
+		sefl.Assign{LV: sefl.TcpSrc, E: sefl.Symbolic{W: 16, Name: "nat-port"}},
+		sefl.Constrain{C: sefl.AndC(
+			sefl.Ge(sefl.Ref{LV: sefl.TcpSrc}, sefl.CW(cfg.PortLo, 16)),
+			sefl.Le(sefl.Ref{LV: sefl.TcpSrc}, sefl.CW(cfg.PortHi, 16)),
+		)},
+		sefl.Assign{LV: localMeta("new-ip"), E: sefl.Ref{LV: sefl.IPSrc}},
+		sefl.Assign{LV: localMeta("new-port"), E: sefl.Ref{LV: sefl.TcpSrc}},
+		sefl.Forward{Port: cfg.ToOut},
+	))
+	e.SetInCode(cfg.Outside, sefl.Seq(
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.IPProto}, sefl.C(uint64(sefl.ProtoTCP)))},
+		// Reading absent metadata fails the path: return traffic is allowed
+		// only when related to outgoing traffic the NAT has seen.
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.IPDst}, sefl.Ref{LV: localMeta("new-ip")})},
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.Ref{LV: localMeta("new-port")})},
+		sefl.Assign{LV: sefl.IPDst, E: sefl.Ref{LV: localMeta("orig-ip")}},
+		sefl.Assign{LV: sefl.TcpDst, E: sefl.Ref{LV: localMeta("orig-port")}},
+		sefl.Forward{Port: cfg.ToIn},
+	))
+}
+
+// StatefulFirewall installs a firewall that allows outside->inside traffic
+// only for flows initiated from the inside, using the same
+// state-in-the-packet technique as the NAT. Port layout matches NATConfig.
+func StatefulFirewall(e *core.Element, inside, outside, toOut, toIn int) {
+	e.SetInCode(inside, sefl.Seq(
+		sefl.Allocate{LV: localMeta("fw-ip"), Size: 32},
+		sefl.Allocate{LV: localMeta("fw-port"), Size: 16},
+		sefl.Assign{LV: localMeta("fw-ip"), E: sefl.Ref{LV: sefl.IPSrc}},
+		sefl.Assign{LV: localMeta("fw-port"), E: sefl.Ref{LV: sefl.TcpSrc}},
+		sefl.Forward{Port: toOut},
+	))
+	e.SetInCode(outside, sefl.Seq(
+		// Return traffic must target the recorded flow origin.
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.IPDst}, sefl.Ref{LV: localMeta("fw-ip")})},
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.Ref{LV: localMeta("fw-port")})},
+		sefl.Forward{Port: toIn},
+	))
+}
+
+// SeqRandomizer installs a firewall feature that randomizes TCP initial
+// sequence numbers on the way out and de-randomizes acknowledgments on the
+// way back (mentioned in §7 as modeled with the NAT technique).
+func SeqRandomizer(e *core.Element, inside, outside, toOut, toIn int) {
+	e.SetInCode(inside, sefl.Seq(
+		sefl.Allocate{LV: localMeta("orig-seq"), Size: 32},
+		sefl.Assign{LV: localMeta("orig-seq"), E: sefl.Ref{LV: sefl.TcpSeq}},
+		sefl.Allocate{LV: localMeta("rand-seq"), Size: 32},
+		sefl.Assign{LV: sefl.TcpSeq, E: sefl.Symbolic{W: 32, Name: "rand-seq"}},
+		sefl.Assign{LV: localMeta("rand-seq"), E: sefl.Ref{LV: sefl.TcpSeq}},
+		sefl.Forward{Port: toOut},
+	))
+	e.SetInCode(outside, sefl.Seq(
+		// The returning ACK must acknowledge the randomized sequence; the
+		// original is restored for the inside host.
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.TcpAck}, sefl.Ref{LV: localMeta("rand-seq")})},
+		sefl.Assign{LV: sefl.TcpAck, E: sefl.Ref{LV: localMeta("orig-seq")}},
+		sefl.Forward{Port: toIn},
+	))
+}

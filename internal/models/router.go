@@ -1,0 +1,101 @@
+package models
+
+import (
+	"fmt"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+	"symnet/internal/tables"
+)
+
+// Router installs an IP longest-prefix-match router model onto e.
+//
+// Basic: one If per prefix, most-specific first (branching factor = number
+// of prefixes — the naive model the paper shows is intractable for core
+// routers).
+//
+// Ingress: per-port If-chain where each route carries "!more_specific &
+// prefix" exclusion constraints so grouping preserves LPM semantics.
+//
+// Egress: fork to all used ports, with each output port constraining the
+// disjunction of its routes (optimal branching AND minimal constraints —
+// Table 2's winner).
+func Router(e *core.Element, fib tables.FIB, style Style) error {
+	if len(fib) == 0 {
+		return fmt.Errorf("models: router %s: empty FIB", e.Name)
+	}
+	ports := fib.Ports()
+	if max := ports[len(ports)-1]; max >= e.NumOut {
+		return fmt.Errorf("models: router %s: FIB uses port %d but element has %d output ports", e.Name, max, e.NumOut)
+	}
+	dst := sefl.Ref{LV: sefl.IPDst}
+	compiled := tables.CompileLPM(fib)
+	switch style {
+	case Basic:
+		// compiled is sorted most-specific-first; ordered Ifs implement LPM
+		// without exclusion constraints, at the cost of per-prefix branching.
+		code := sefl.Instr(sefl.Fail{Msg: "no route"})
+		for i := len(compiled) - 1; i >= 0; i-- {
+			r := compiled[i]
+			code = sefl.If{
+				C:    sefl.Prefix{E: dst, Value: r.Prefix, Len: r.Len},
+				Then: sefl.Forward{Port: r.Port},
+				Else: code,
+			}
+		}
+		e.SetInCode(core.WildcardPort, code)
+	case Ingress:
+		perPort := groupRoutes(compiled)
+		code := sefl.Instr(sefl.Fail{Msg: "no route"})
+		for i := len(ports) - 1; i >= 0; i-- {
+			p := ports[i]
+			code = sefl.If{
+				C:    routeDisjunction(dst, perPort[p]),
+				Then: sefl.Forward{Port: p},
+				Else: code,
+			}
+		}
+		e.SetInCode(core.WildcardPort, code)
+	case Egress:
+		perPort := groupRoutes(compiled)
+		e.SetInCode(core.WildcardPort, sefl.Fork{Ports: ports})
+		for _, p := range ports {
+			e.SetOutCode(p, sefl.Constrain{C: routeDisjunction(dst, perPort[p])})
+		}
+	default:
+		return fmt.Errorf("models: unknown router style %v", style)
+	}
+	return nil
+}
+
+// groupRoutes splits compiled routes by output port, preserving the
+// most-specific-first order within each port.
+func groupRoutes(cs []tables.CompiledRoute) map[int][]tables.CompiledRoute {
+	out := make(map[int][]tables.CompiledRoute)
+	for _, c := range cs {
+		out[c.Port] = append(out[c.Port], c)
+	}
+	return out
+}
+
+// routeDisjunction builds OR over "prefix & !exclusion1 & !exclusion2 ..."
+// for a port's routes.
+func routeDisjunction(dst sefl.Expr, rs []tables.CompiledRoute) sefl.Cond {
+	cs := make([]sefl.Cond, len(rs))
+	for i, r := range rs {
+		match := sefl.Cond(sefl.Prefix{E: dst, Value: r.Prefix, Len: r.Len})
+		if len(r.Exclusions) > 0 {
+			conj := make([]sefl.Cond, 0, len(r.Exclusions)+1)
+			conj = append(conj, match)
+			for _, ex := range r.Exclusions {
+				conj = append(conj, sefl.NotC(sefl.Prefix{E: dst, Value: ex.Prefix, Len: ex.Len}))
+			}
+			match = sefl.AndC(conj...)
+		}
+		cs[i] = match
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return sefl.OrC(cs...)
+}

@@ -1,0 +1,143 @@
+// Package models generates SEFL models for standard network boxes: switches
+// (three styles, §8.1), IP routers with longest-prefix-match compilation
+// (§7), NATs, stateful firewalls, IP-in-IP tunnel endpoints, VLAN
+// operations and encrypted tunnels. Each generator configures a
+// core.Element's port code from parsed forwarding state.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+	"symnet/internal/tables"
+)
+
+// Style selects the switch/router model construction of the paper's
+// evaluation (§8.1).
+type Style int
+
+const (
+	// Basic is a lookup table with one If per entry — what a generic
+	// symbolic-execution tool sees in forwarding code.
+	Basic Style = iota
+	// Ingress groups entries per output port and applies If-chains on the
+	// input port: optimal path count, quadratic constraint growth.
+	Ingress
+	// Egress forks to all used ports and constrains on each output port:
+	// optimal path count and minimal constraints.
+	Egress
+)
+
+func (s Style) String() string {
+	switch s {
+	case Basic:
+		return "basic"
+	case Ingress:
+		return "ingress"
+	case Egress:
+		return "egress"
+	}
+	return "unknown"
+}
+
+// Switch installs a MAC-learning switch model onto e using the given style.
+// The element forwards on EtherDst; unknown MACs fail ("Mac unknown"), as in
+// the paper's ingress model.
+func Switch(e *core.Element, t tables.MACTable, style Style) error {
+	byPort := t.ByPort()
+	ports := t.Ports()
+	if len(ports) == 0 {
+		return fmt.Errorf("models: switch %s: empty MAC table", e.Name)
+	}
+	if max := ports[len(ports)-1]; max >= e.NumOut {
+		return fmt.Errorf("models: switch %s: table uses port %d but element has %d output ports", e.Name, max, e.NumOut)
+	}
+	ref := sefl.Ref{LV: sefl.EtherDst}
+	switch style {
+	case Basic:
+		// One If per table entry, most recently learned first is irrelevant
+		// for MAC tables (no overlap), so keep table order.
+		code := sefl.Instr(sefl.Fail{Msg: "Mac unknown"})
+		for i := len(t) - 1; i >= 0; i-- {
+			code = sefl.If{
+				C:    sefl.Eq(ref, sefl.CW(t[i].MAC, sefl.MACWidth)),
+				Then: sefl.Forward{Port: t[i].Port},
+				Else: code,
+			}
+		}
+		e.SetInCode(core.WildcardPort, code)
+	case Ingress:
+		code := sefl.Instr(sefl.Fail{Msg: "Mac unknown"})
+		for i := len(ports) - 1; i >= 0; i-- {
+			p := ports[i]
+			code = sefl.If{
+				C:    macDisjunction(ref, byPort[p]),
+				Then: sefl.Forward{Port: p},
+				Else: code,
+			}
+		}
+		e.SetInCode(core.WildcardPort, code)
+	case Egress:
+		e.SetInCode(core.WildcardPort, sefl.Fork{Ports: ports})
+		for _, p := range ports {
+			e.SetOutCode(p, sefl.Constrain{C: macDisjunction(ref, byPort[p])})
+		}
+	default:
+		return fmt.Errorf("models: unknown switch style %v", style)
+	}
+	return nil
+}
+
+func macDisjunction(ref sefl.Expr, macs []uint64) sefl.Cond {
+	cs := make([]sefl.Cond, len(macs))
+	for i, m := range macs {
+		cs[i] = sefl.Eq(ref, sefl.CW(m, sefl.MACWidth))
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return sefl.OrC(cs...)
+}
+
+// VLANAwareSwitch installs an egress-style switch that matches (VLAN, MAC)
+// pairs: used for the department network where trunk links carry several
+// VLANs. Frames are matched on EtherDst per port with a VLAN guard.
+func VLANAwareSwitch(e *core.Element, t tables.MACTable) error {
+	if len(t) == 0 {
+		return fmt.Errorf("models: switch %s: empty MAC table", e.Name)
+	}
+	// Group (vlan, mac) by port.
+	type vm struct {
+		vlan int
+		mac  uint64
+	}
+	byPort := make(map[int][]vm)
+	for _, en := range t {
+		byPort[en.Port] = append(byPort[en.Port], vm{en.VLAN, en.MAC})
+	}
+	ports := t.Ports()
+	if max := ports[len(ports)-1]; max >= e.NumOut {
+		return fmt.Errorf("models: switch %s: table uses port %d but element has %d output ports", e.Name, max, e.NumOut)
+	}
+	e.SetInCode(core.WildcardPort, sefl.Fork{Ports: ports})
+	for _, p := range ports {
+		entries := byPort[p]
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].vlan != entries[j].vlan {
+				return entries[i].vlan < entries[j].vlan
+			}
+			return entries[i].mac < entries[j].mac
+		})
+		cs := make([]sefl.Cond, len(entries))
+		for i, en := range entries {
+			cs[i] = sefl.AndC(
+				sefl.Eq(sefl.Ref{LV: sefl.VlanID}, sefl.CW(uint64(en.vlan), 16)),
+				sefl.Eq(sefl.Ref{LV: sefl.EtherDst}, sefl.CW(en.mac, sefl.MACWidth)),
+			)
+		}
+		e.SetOutCode(p, sefl.Constrain{C: sefl.OrC(cs...)})
+	}
+	return nil
+}

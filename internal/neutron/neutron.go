@@ -1,0 +1,190 @@
+// Package neutron translates OpenStack-Neutron-style tenant network
+// configurations into SEFL models (§7.1: "We have written an Openstack
+// plugin that takes the router and firewall configurations and translates
+// them into SEFL models"), so reachability can be checked *before* the
+// virtual network is instantiated.
+//
+// The configuration is a self-contained JSON document:
+//
+//	{
+//	  "routers":  [{"name": "r1", "routes": [{"prefix": "10.0.0.0/24", "port": 0}]}],
+//	  "firewalls":[{"name": "fw1", "rules": [
+//	      {"action": "allow", "protocol": "tcp", "dst_port": 80},
+//	      {"action": "deny"}]}],
+//	  "networks": [{"name": "net1"}],
+//	  "links":    [{"from": "r1", "from_port": 0, "to": "fw1", "to_port": 0}]
+//	}
+package neutron
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"symnet/internal/core"
+	"symnet/internal/models"
+	"symnet/internal/sefl"
+	"symnet/internal/tables"
+)
+
+// Config is the parsed tenant topology.
+type Config struct {
+	Routers   []Router   `json:"routers"`
+	Firewalls []Firewall `json:"firewalls"`
+	Networks  []Network  `json:"networks"`
+	Links     []Link     `json:"links"`
+}
+
+// Router is a tenant router with static routes.
+type Router struct {
+	Name   string  `json:"name"`
+	Routes []Route `json:"routes"`
+}
+
+// Route is one static route.
+type Route struct {
+	Prefix string `json:"prefix"`
+	Port   int    `json:"port"`
+}
+
+// Firewall is a security-group-style packet filter with first-match rules.
+type Firewall struct {
+	Name  string `json:"name"`
+	Rules []Rule `json:"rules"`
+}
+
+// Rule is one firewall rule; zero-valued matchers are wildcards.
+type Rule struct {
+	Action   string `json:"action"` // "allow" or "deny"
+	Protocol string `json:"protocol,omitempty"`
+	DstPort  uint64 `json:"dst_port,omitempty"`
+	SrcCIDR  string `json:"src_cidr,omitempty"`
+	DstCIDR  string `json:"dst_cidr,omitempty"`
+}
+
+// Network is a tenant L2 network (modeled as a delivery endpoint).
+type Network struct {
+	Name string `json:"name"`
+}
+
+// Link is a unidirectional connection.
+type Link struct {
+	From     string `json:"from"`
+	FromPort int    `json:"from_port"`
+	To       string `json:"to"`
+	ToPort   int    `json:"to_port"`
+}
+
+// Parse reads a Neutron-style JSON configuration.
+func Parse(r io.Reader) (*Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("neutron: %w", err)
+	}
+	return &cfg, nil
+}
+
+// Build generates the SymNet network for a tenant configuration.
+func Build(cfg *Config) (*core.Network, error) {
+	net := core.NewNetwork()
+	for _, r := range cfg.Routers {
+		if len(r.Routes) == 0 {
+			return nil, fmt.Errorf("neutron: router %q has no routes", r.Name)
+		}
+		var fib tables.FIB
+		maxPort := 0
+		for _, rt := range r.Routes {
+			pfx, plen, err := tables.ParsePrefix(rt.Prefix)
+			if err != nil {
+				return nil, fmt.Errorf("neutron: router %q: %w", r.Name, err)
+			}
+			fib = append(fib, tables.Route{Prefix: pfx, Len: plen, Port: rt.Port})
+			if rt.Port > maxPort {
+				maxPort = rt.Port
+			}
+		}
+		e := net.AddElement(r.Name, "router", maxPort+1, maxPort+1)
+		if err := models.Router(e, fib, models.Egress); err != nil {
+			return nil, fmt.Errorf("neutron: router %q: %w", r.Name, err)
+		}
+	}
+	for _, fw := range cfg.Firewalls {
+		e := net.AddElement(fw.Name, "firewall", 1, 1)
+		code, err := firewallCode(fw)
+		if err != nil {
+			return nil, err
+		}
+		e.SetInCode(core.WildcardPort, code)
+	}
+	for _, n := range cfg.Networks {
+		e := net.AddElement(n.Name, "network", 1, 0)
+		e.SetInCode(0, sefl.NoOp{})
+	}
+	for _, l := range cfg.Links {
+		if err := net.Link(l.From, l.FromPort, l.To, l.ToPort); err != nil {
+			return nil, fmt.Errorf("neutron: %w", err)
+		}
+	}
+	return net, nil
+}
+
+// firewallCode compiles first-match-wins rules; the implicit default denies.
+func firewallCode(fw Firewall) (sefl.Instr, error) {
+	code := sefl.Instr(sefl.Fail{Msg: fw.Name + ": implicit deny"})
+	for i := len(fw.Rules) - 1; i >= 0; i-- {
+		r := fw.Rules[i]
+		cond, err := ruleCond(r)
+		if err != nil {
+			return nil, fmt.Errorf("neutron: firewall %q rule %d: %w", fw.Name, i, err)
+		}
+		var hit sefl.Instr
+		switch r.Action {
+		case "allow":
+			hit = sefl.Forward{Port: 0}
+		case "deny":
+			hit = sefl.Fail{Msg: fmt.Sprintf("%s: denied by rule %d", fw.Name, i)}
+		default:
+			return nil, fmt.Errorf("neutron: firewall %q rule %d: unknown action %q", fw.Name, i, r.Action)
+		}
+		code = sefl.If{C: cond, Then: hit, Else: code}
+	}
+	return code, nil
+}
+
+func ruleCond(r Rule) (sefl.Cond, error) {
+	var cs []sefl.Cond
+	switch r.Protocol {
+	case "":
+	case "tcp":
+		cs = append(cs, sefl.Eq(sefl.Ref{LV: sefl.IPProto}, sefl.C(uint64(sefl.ProtoTCP))))
+	case "udp":
+		cs = append(cs, sefl.Eq(sefl.Ref{LV: sefl.IPProto}, sefl.C(uint64(sefl.ProtoUDP))))
+	case "icmp":
+		cs = append(cs, sefl.Eq(sefl.Ref{LV: sefl.IPProto}, sefl.C(uint64(sefl.ProtoICMP))))
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", r.Protocol)
+	}
+	if r.DstPort != 0 {
+		cs = append(cs, sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.CW(r.DstPort, 16)))
+	}
+	if r.SrcCIDR != "" {
+		pfx, plen, err := tables.ParsePrefix(r.SrcCIDR)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, sefl.Prefix{E: sefl.Ref{LV: sefl.IPSrc}, Value: pfx, Len: plen})
+	}
+	if r.DstCIDR != "" {
+		pfx, plen, err := tables.ParsePrefix(r.DstCIDR)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, sefl.Prefix{E: sefl.Ref{LV: sefl.IPDst}, Value: pfx, Len: plen})
+	}
+	if len(cs) == 0 {
+		return sefl.CBool(true), nil
+	}
+	return sefl.AndC(cs...), nil
+}

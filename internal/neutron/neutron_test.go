@@ -1,0 +1,107 @@
+package neutron
+
+import (
+	"strings"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+	"symnet/internal/verify"
+)
+
+const tenantConfig = `{
+  "routers": [
+    {"name": "r1", "routes": [
+      {"prefix": "10.0.1.0/24", "port": 0},
+      {"prefix": "0.0.0.0/0", "port": 1}
+    ]}
+  ],
+  "firewalls": [
+    {"name": "fw1", "rules": [
+      {"action": "allow", "protocol": "tcp", "dst_port": 80},
+      {"action": "allow", "protocol": "tcp", "dst_port": 443},
+      {"action": "deny"}
+    ]}
+  ],
+  "networks": [{"name": "web"}, {"name": "ext"}],
+  "links": [
+    {"from": "r1", "from_port": 0, "to": "fw1", "to_port": 0},
+    {"from": "fw1", "from_port": 0, "to": "web", "to_port": 0},
+    {"from": "r1", "from_port": 1, "to": "ext", "to_port": 0}
+  ]
+}`
+
+func TestParseAndBuild(t *testing.T) {
+	cfg, err := Parse(strings.NewReader(tenantConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(net, core.PortRef{Elem: "r1", Port: 0}, sefl.NewTCPPacket(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Web network admits only ports 80/443 within 10.0.1.0/24.
+	webPaths := res.DeliveredAt("web", 0)
+	if len(webPaths) != 2 {
+		t.Fatalf("web paths = %d, want 2 (80 and 443)", len(webPaths))
+	}
+	var total uint64
+	for _, p := range webPaths {
+		d, err := verify.FieldDomain(p, sefl.TcpDst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += d.Size()
+		dst, err := verify.FieldDomain(p, sefl.IPDst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mx, _ := dst.Max(); mx > sefl.IPToNumber("10.0.1.255") {
+			t.Fatalf("web path admits address outside the routed prefix: %v", dst)
+		}
+	}
+	if total != 2 {
+		t.Fatalf("admitted ports = %d, want exactly {80, 443}", total)
+	}
+	// External network must be reachable with everything not in 10.0.1/24.
+	ext := res.DeliveredAt("ext", 0)
+	if len(ext) != 1 {
+		t.Fatalf("ext paths = %d", len(ext))
+	}
+	d, _ := verify.FieldDomain(ext[0], sefl.IPDst)
+	if d.Contains(sefl.IPToNumber("10.0.1.5")) {
+		t.Fatal("default route must exclude the more-specific tenant prefix")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{"unknown_field": 1}`,
+		`{`,
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("config %q must fail", c)
+		}
+	}
+	// Build-time errors.
+	bad := []string{
+		`{"routers":[{"name":"r","routes":[]}]}`,
+		`{"routers":[{"name":"r","routes":[{"prefix":"nonsense","port":0}]}]}`,
+		`{"firewalls":[{"name":"f","rules":[{"action":"frobnicate"}]}]}`,
+		`{"links":[{"from":"ghost","to":"ghost2"}]}`,
+	}
+	for _, c := range bad {
+		cfg, err := Parse(strings.NewReader(c))
+		if err != nil {
+			continue
+		}
+		if _, err := Build(cfg); err == nil {
+			t.Errorf("config %q must fail to build", c)
+		}
+	}
+}

@@ -1,0 +1,754 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"symnet/internal/expr"
+)
+
+// Stats accumulates solver activity across a run; the evaluation section of
+// the paper reports "time spent in and number of calls to the constraint
+// solver", which these counters feed.
+type Stats struct {
+	Adds      int // conditions asserted
+	SatChecks int // full satisfiability decisions
+	Branches  int // DPLL case splits explored
+	Models    int // concrete models generated
+}
+
+type ufEntry struct {
+	parent expr.SymID // root when parent == self
+	off    uint64     // value(self) = value(parent) + off (mod 2^width)
+	width  int
+}
+
+type diseq struct {
+	a, b expr.SymID
+	off  uint64 // constraint: value(a) != value(b) + off
+}
+
+// relCmp is a residual ordering comparison between two symbolic terms:
+// value(a) + aAdd  op  value(b) + bAdd. These are rare in network models
+// (none of the paper's models need them) and are decided during Sat with
+// hull reasoning plus post-verification.
+type relCmp struct {
+	op         expr.CmpOp
+	a, b       expr.SymID
+	aAdd, bAdd uint64
+	width      int
+}
+
+// classInfo describes one union-find equivalence class during ground solving.
+type classInfo struct {
+	root   expr.SymID
+	width  int
+	dom    *IntervalSet
+	diseqs []diseq // canonicalized on roots
+}
+
+// Context is an incrementally-built conjunction of conditions. Add asserts a
+// condition and eagerly propagates everything deterministic; residual
+// disjunctions are kept pending and resolved by Sat via DPLL branching.
+//
+// Context is not safe for concurrent use. Clone is O(state) and is how the
+// engine forks paths cheaply.
+type Context struct {
+	uf      map[expr.SymID]ufEntry
+	domains map[expr.SymID]*IntervalSet // keyed by union-find root
+	diseqs  []diseq
+	rels    []relCmp
+	pending []expr.Cond // unresolved Or conditions
+	unsat   bool
+	stats   *Stats
+}
+
+// NewContext returns an empty, satisfiable context sharing the given stats
+// collector (which may be nil).
+func NewContext(stats *Stats) *Context {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Context{
+		uf:      make(map[expr.SymID]ufEntry),
+		domains: make(map[expr.SymID]*IntervalSet),
+		stats:   stats,
+	}
+}
+
+// Stats returns the shared stats collector.
+func (c *Context) Stats() *Stats { return c.stats }
+
+// Unsat reports whether the context has been refuted by propagation alone.
+func (c *Context) Unsat() bool { return c.unsat }
+
+// PendingOrs reports the number of unresolved disjunctions (for tests and
+// diagnostics).
+func (c *Context) PendingOrs() int { return len(c.pending) }
+
+// Clone returns an independent copy; the stats collector stays shared.
+func (c *Context) Clone() *Context {
+	n := &Context{
+		uf:      make(map[expr.SymID]ufEntry, len(c.uf)),
+		domains: make(map[expr.SymID]*IntervalSet, len(c.domains)),
+		unsat:   c.unsat,
+		stats:   c.stats,
+	}
+	for k, v := range c.uf {
+		n.uf[k] = v
+	}
+	for k, v := range c.domains {
+		n.domains[k] = v // IntervalSets are immutable
+	}
+	n.diseqs = append([]diseq(nil), c.diseqs...)
+	n.rels = append([]relCmp(nil), c.rels...)
+	n.pending = append([]expr.Cond(nil), c.pending...)
+	return n
+}
+
+// find returns the root of s and the offset such that
+// value(s) = value(root) + off. Unseen symbols become their own root with
+// the given width.
+func (c *Context) find(s expr.SymID, width int) (expr.SymID, uint64) {
+	e, ok := c.uf[s]
+	if !ok {
+		c.uf[s] = ufEntry{parent: s, off: 0, width: width}
+		return s, 0
+	}
+	if e.parent == s {
+		return s, 0
+	}
+	root, rootOff := c.find(e.parent, e.width)
+	// Path compression, preserving offsets.
+	e.off = (e.off + rootOff) & expr.Mask(e.width)
+	e.parent = root
+	c.uf[s] = e
+	return root, e.off
+}
+
+func (c *Context) widthOf(s expr.SymID) int { return c.uf[s].width }
+
+// domainOf returns the current domain of a root (Full if untracked).
+func (c *Context) domainOf(root expr.SymID, width int) *IntervalSet {
+	if d, ok := c.domains[root]; ok {
+		return d
+	}
+	return Full(width)
+}
+
+// constrainRoot intersects the root's domain with set; flags unsat on empty.
+func (c *Context) constrainRoot(root expr.SymID, width int, set *IntervalSet) {
+	d := c.domainOf(root, width).Intersect(set)
+	c.domains[root] = d
+	if d.IsEmpty() {
+		c.unsat = true
+	}
+}
+
+// Domain returns the set of values the term can take under the deterministic
+// part of the context (pending disjunctions are ignored, which makes the
+// result an over-approximation — exactly what loop detection needs for its
+// old ⊆ new check to stay sound).
+func (c *Context) Domain(l expr.Lin) *IntervalSet {
+	if v, ok := l.ConstVal(); ok {
+		return Singleton(v, l.Width)
+	}
+	root, off := c.find(l.Sym, l.Width)
+	return c.domainOf(root, l.Width).Shift(off + l.Add)
+}
+
+// Add asserts cond. It returns false when the context became definitely
+// unsatisfiable. A true return means "not yet refuted": if disjunctions are
+// pending, call Sat for the authoritative answer.
+func (c *Context) Add(cond expr.Cond) bool {
+	if c.unsat {
+		return false
+	}
+	c.stats.Adds++
+	c.assert(cond, false)
+	return !c.unsat
+}
+
+// assert handles one condition; neg requests the negation.
+func (c *Context) assert(cond expr.Cond, neg bool) {
+	if c.unsat {
+		return
+	}
+	switch v := cond.(type) {
+	case expr.Bool:
+		if bool(v) == neg {
+			c.unsat = true
+		}
+	case expr.Not:
+		c.assert(v.C, !neg)
+	case expr.And:
+		if neg { // ¬(a ∧ b) = ¬a ∨ ¬b
+			if l, set, ok := atomSet(v); ok {
+				c.assertTermInSet(l, set.Complement())
+				return
+			}
+			ors := make([]expr.Cond, len(v.Cs))
+			for i, sub := range v.Cs {
+				ors[i] = expr.NewNot(sub)
+			}
+			c.assertOr(ors)
+			return
+		}
+		for _, sub := range v.Cs {
+			c.assert(sub, false)
+		}
+	case expr.Or:
+		if neg { // ¬(a ∨ b) = ¬a ∧ ¬b — batched via the complement set when
+			// the disjunction constrains one symbol (ingress else-branches).
+			if l, set, ok := atomSet(v); ok {
+				c.assertTermInSet(l, set.Complement())
+				return
+			}
+			for _, sub := range v.Cs {
+				c.assert(sub, true)
+			}
+			return
+		}
+		c.assertOr(v.Cs)
+	case expr.Cmp:
+		op := v.Op
+		if neg {
+			op = op.Negate()
+		}
+		c.assertCmp(op, v.L, v.R)
+	case expr.Match:
+		if neg {
+			// ¬(x & m == v): complement of the match set; single-symbol, so
+			// it folds into the domain directly.
+			c.assertTermInSet(v.L, FromMask(v.Mask, v.Val, v.L.Width).Complement())
+			return
+		}
+		c.assertTermInSet(v.L, FromMask(v.Mask, v.Val, v.L.Width))
+	default:
+		panic(fmt.Sprintf("solver: unknown condition %T", cond))
+	}
+}
+
+// assertTermInSet constrains term l to lie in set (defined over l's width).
+func (c *Context) assertTermInSet(l expr.Lin, set *IntervalSet) {
+	if v, ok := l.ConstVal(); ok {
+		if !set.Contains(v) {
+			c.unsat = true
+		}
+		return
+	}
+	root, off := c.find(l.Sym, l.Width)
+	// value(l) = value(root) + off + l.Add must be in set
+	// => value(root) ∈ set shifted by -(off + l.Add).
+	c.constrainRoot(root, l.Width, set.Shift(-(off + l.Add)))
+}
+
+func (c *Context) assertCmp(op expr.CmpOp, l, r expr.Lin) {
+	lv, lConst := l.ConstVal()
+	rv, rConst := r.ConstVal()
+	switch {
+	case lConst && rConst:
+		if !expr.EvalCmp(op, lv, rv) {
+			c.unsat = true
+		}
+	case lConst:
+		c.assertCmp(op.Flip(), r, l)
+	case rConst:
+		// (sym + add) op const  =>  sym ∈ shift(solutions(op, const), -add)
+		set := FromCmp(op, rv, l.Width).Shift(-l.Add)
+		c.assertTermInSet(expr.Lin{Sym: l.Sym, Width: l.Width}, set)
+	default:
+		c.assertSymSym(op, l, r)
+	}
+}
+
+// assertSymSym handles comparisons where both sides carry symbols.
+func (c *Context) assertSymSym(op expr.CmpOp, l, r expr.Lin) {
+	w := l.Width
+	if r.Width != w {
+		// Cross-width symbolic comparisons do not occur in well-typed SEFL
+		// models; refuting the path is safer than guessing a semantics.
+		panic(fmt.Sprintf("solver: width mismatch %d vs %d in %s %s %s", l.Width, r.Width, l, op, r))
+	}
+	m := expr.Mask(w)
+	lr, lo := c.find(l.Sym, w)
+	rr, ro := c.find(r.Sym, w)
+	// value(l) = value(lr) + lAdd ; value(r) = value(rr) + rAdd
+	lAdd := (lo + l.Add) & m
+	rAdd := (ro + r.Add) & m
+	switch op {
+	case expr.Eq:
+		// value(lr) + lAdd == value(rr) + rAdd
+		// => value(lr) = value(rr) + (rAdd - lAdd)
+		c.union(lr, rr, (rAdd-lAdd)&m, w)
+	case expr.Ne:
+		if lr == rr {
+			if lAdd == rAdd {
+				c.unsat = true
+			}
+			return // offsets differ: always distinct
+		}
+		c.diseqs = append(c.diseqs, diseq{a: lr, b: rr, off: (rAdd - lAdd) & m})
+	default:
+		c.rels = append(c.rels, relCmp{op: op, a: lr, b: rr, aAdd: lAdd, bAdd: rAdd, width: w})
+	}
+}
+
+// union merges value(a) = value(b) + off.
+func (c *Context) union(a, b expr.SymID, off uint64, width int) {
+	if a == b {
+		if off != 0 {
+			c.unsat = true
+		}
+		return
+	}
+	// Attach a under b: value(a) = value(b) + off.
+	domA := c.domainOf(a, width)
+	c.uf[a] = ufEntry{parent: b, off: off, width: width}
+	delete(c.domains, a)
+	if _, ok := c.uf[b]; !ok {
+		c.uf[b] = ufEntry{parent: b, width: width}
+	}
+	// value(a) ∈ domA  =>  value(b) ∈ domA - off.
+	c.constrainRoot(b, width, domA.Shift(-off))
+	c.checkDiseqs()
+}
+
+// checkDiseqs flags unsat when any disequality now relates a class to itself
+// with matching offset.
+func (c *Context) checkDiseqs() {
+	for _, d := range c.diseqs {
+		w := c.widthOf(d.a)
+		ra, oa := c.find(d.a, w)
+		rb, ob := c.find(d.b, w)
+		if ra == rb && oa == (ob+d.off)&expr.Mask(w) {
+			c.unsat = true
+			return
+		}
+	}
+}
+
+// assertOr records a disjunction, first attempting compression: when every
+// disjunct constrains the same single symbol, the union of the per-disjunct
+// solution sets becomes one domain constraint. This is the key optimization
+// behind the egress switch/router models in the paper's Fig. 8 and Table 2.
+func (c *Context) assertOr(cs []expr.Cond) {
+	live := make([]expr.Cond, 0, len(cs))
+	for _, sub := range cs {
+		if b, ok := sub.(expr.Bool); ok {
+			if bool(b) {
+				return
+			}
+			continue // drop trivially-false disjunct
+		}
+		live = append(live, sub)
+	}
+	if len(live) == 0 {
+		c.unsat = true
+		return
+	}
+	if len(live) == 1 {
+		c.assert(live[0], false)
+		return
+	}
+	if set, l, ok := c.compressOr(live); ok {
+		c.assertTermInSet(l, set)
+		return
+	}
+	c.pending = append(c.pending, expr.Or{Cs: live})
+}
+
+// atomSet expresses a condition as "symbol ∈ set" when it constrains a
+// single symbolic term: comparisons against constants, masked matches,
+// their negations, and single-symbol And/Or combinations thereof.
+func atomSet(cond expr.Cond) (expr.Lin, *IntervalSet, bool) {
+	switch v := cond.(type) {
+	case expr.Cmp:
+		rv, rConst := v.R.ConstVal()
+		lv, lConst := v.L.ConstVal()
+		switch {
+		case !lConst && rConst:
+			return bare(v.L), FromCmp(v.Op, rv, v.L.Width).Shift(-v.L.Add), true
+		case lConst && !rConst:
+			return bare(v.R), FromCmp(v.Op.Flip(), lv, v.R.Width).Shift(-v.R.Add), true
+		}
+		return expr.Lin{}, nil, false
+	case expr.Match:
+		if v.L.IsConst() {
+			return expr.Lin{}, nil, false
+		}
+		return bare(v.L), FromMask(v.Mask, v.Val, v.L.Width).Shift(-v.L.Add), true
+	case expr.Not:
+		l, set, ok := atomSet(v.C)
+		if !ok {
+			return expr.Lin{}, nil, false
+		}
+		return l, set.Complement(), true
+	case expr.And:
+		return combineAtoms(v.Cs, true)
+	case expr.Or:
+		return combineAtoms(v.Cs, false)
+	}
+	return expr.Lin{}, nil, false
+}
+
+// bare strips the additive offset: atomSet returns sets over the raw symbol.
+func bare(l expr.Lin) expr.Lin { return expr.Lin{Sym: l.Sym, Width: l.Width} }
+
+// combineAtoms intersects (and=true) or unions the atom sets of cs, provided
+// they all constrain the same symbol. Unions are merged in one k-way pass so
+// huge disjunctions (egress switch ports) stay linear.
+func combineAtoms(cs []expr.Cond, and bool) (expr.Lin, *IntervalSet, bool) {
+	var term expr.Lin
+	var acc *IntervalSet
+	var pendingUnion []*IntervalSet
+	for i, sub := range cs {
+		l, set, ok := atomSet(sub)
+		if !ok {
+			return expr.Lin{}, nil, false
+		}
+		if i == 0 {
+			term, acc = l, set
+			if !and {
+				pendingUnion = append(pendingUnion, set)
+			}
+			continue
+		}
+		if l != term {
+			return expr.Lin{}, nil, false
+		}
+		if and {
+			acc = acc.Intersect(set)
+		} else {
+			pendingUnion = append(pendingUnion, set)
+		}
+	}
+	if acc == nil {
+		return expr.Lin{}, nil, false
+	}
+	if !and && len(pendingUnion) > 1 {
+		acc = UnionAll(term.Width, pendingUnion)
+	}
+	return term, acc, true
+}
+
+// compressOr attempts to express the disjunction as "symbol ∈ set" for a
+// single symbol. Returns the set, the bare-symbol term, and success.
+func (c *Context) compressOr(cs []expr.Cond) (*IntervalSet, expr.Lin, bool) {
+	term, acc, ok := combineAtoms(cs, false)
+	if !ok {
+		return nil, expr.Lin{}, false
+	}
+	return acc, term, true
+}
+
+// Sat decides satisfiability of the full context, branching over pending
+// disjunctions and deciding residual symbolic comparisons.
+func (c *Context) Sat() bool {
+	c.stats.SatChecks++
+	_, ok := c.solve(false, 0)
+	return ok
+}
+
+// Model returns a satisfying assignment covering every symbol the context
+// has seen. The second result is false when the context is unsatisfiable.
+// Values are chosen minimum-first, which lands on boundary values (0, range
+// edges) — the behaviour that exposed the paper's DecIPTTL and IPClassifier
+// findings.
+func (c *Context) Model() (map[expr.SymID]uint64, bool) {
+	return c.modelSalted(0)
+}
+
+// ModelDiverse returns a satisfying assignment that spreads values across
+// each class's domain (classes pick different ranks), so unrelated fields
+// don't all collapse to the same boundary value. Conformance testing runs
+// both models per path: Model for boundary bugs, ModelDiverse for
+// value-aliasing bugs (e.g. a mirror model that looks right when src==dst).
+func (c *Context) ModelDiverse(salt uint64) (map[expr.SymID]uint64, bool) {
+	return c.modelSalted(salt + 1)
+}
+
+func (c *Context) modelSalted(salt uint64) (map[expr.SymID]uint64, bool) {
+	c.stats.SatChecks++
+	m, ok := c.solve(true, salt)
+	if ok {
+		c.stats.Models++
+	}
+	return m, ok
+}
+
+// solve is the DPLL core: resolve pending disjunctions by branching, then
+// decide the deterministic residue by model construction.
+func (c *Context) solve(wantModel bool, salt uint64) (map[expr.SymID]uint64, bool) {
+	if c.unsat {
+		return nil, false
+	}
+	if len(c.pending) == 0 {
+		return c.solveGround(wantModel, salt)
+	}
+	or := c.pending[0].(expr.Or)
+	for _, choice := range or.Cs {
+		c.stats.Branches++
+		br := c.Clone()
+		br.pending = br.pending[1:]
+		br.assert(choice, false)
+		if br.unsat {
+			continue
+		}
+		if m, ok := br.solve(wantModel, salt); ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// solveGround decides a disjunction-free context by constructing a model:
+// greedy assignment over classes, smallest domain first, honoring
+// disequalities, with bounded backtracking (exact for all practically
+// occurring constraint graphs; pathological pigeonhole instances could in
+// principle exceed the budget and be reported unsatisfiable).
+func (c *Context) solveGround(wantModel bool, salt uint64) (map[expr.SymID]uint64, bool) {
+	roots := make(map[expr.SymID]*classInfo)
+	// Materialize all classes (iterate deterministic order for stable models).
+	syms := make([]expr.SymID, 0, len(c.uf))
+	for s := range c.uf {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	for _, s := range syms {
+		w := c.widthOf(s)
+		r, _ := c.find(s, w)
+		if _, ok := roots[r]; !ok {
+			d := c.domainOf(r, c.widthOf(r))
+			if d.IsEmpty() {
+				return nil, false
+			}
+			roots[r] = &classInfo{root: r, width: c.widthOf(r), dom: d}
+		}
+	}
+	// Canonicalize disequalities onto roots.
+	for _, d := range c.diseqs {
+		w := c.widthOf(d.a)
+		m := expr.Mask(w)
+		ra, oa := c.find(d.a, w)
+		rb, ob := c.find(d.b, w)
+		off := (ob + d.off - oa) & m // value(ra) != value(rb) + off
+		if ra == rb {
+			if off == 0 {
+				return nil, false
+			}
+			continue
+		}
+		cd := diseq{a: ra, b: rb, off: off}
+		roots[ra].diseqs = append(roots[ra].diseqs, cd)
+		roots[rb].diseqs = append(roots[rb].diseqs, cd)
+	}
+	// Residual ordering comparisons: prune via interval hulls.
+	for _, rel := range c.rels {
+		if !c.applyRel(roots, rel) {
+			return nil, false
+		}
+	}
+	order := make([]*classInfo, 0, len(roots))
+	for _, ci := range roots {
+		order = append(order, ci)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := order[i].dom.Size(), order[j].dom.Size()
+		if si != sj {
+			return si < sj
+		}
+		return order[i].root < order[j].root
+	})
+	assign := make(map[expr.SymID]uint64, len(order))
+	budget := 4096
+	if !assignClasses(order, 0, assign, &budget, salt) {
+		return nil, false
+	}
+	if !c.verifyRels(assign) {
+		return nil, false
+	}
+	if !wantModel {
+		return nil, true
+	}
+	model := make(map[expr.SymID]uint64, len(c.uf))
+	for _, s := range syms {
+		w := c.widthOf(s)
+		r, off := c.find(s, w)
+		model[s] = (assign[r] + off) & expr.Mask(w)
+	}
+	return model, true
+}
+
+// verifyRels checks residual ordering comparisons against the constructed
+// assignment; hull pruning in applyRel makes violations essentially
+// impossible in practice, but we never report SAT with a bad model.
+func (c *Context) verifyRels(assign map[expr.SymID]uint64) bool {
+	for _, rel := range c.rels {
+		m := expr.Mask(rel.width)
+		ra, oa := c.find(rel.a, rel.width)
+		rb, ob := c.find(rel.b, rel.width)
+		av := (assign[ra] + oa + rel.aAdd) & m
+		bv := (assign[rb] + ob + rel.bAdd) & m
+		if !expr.EvalCmp(rel.op, av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// assignClasses assigns values to classes[idx:], backtracking on diseq
+// conflicts within a global budget. With salt == 0 candidates are tried
+// minimum-first (boundary values); a nonzero salt starts each class at a
+// per-class rank so unrelated classes receive distinct values.
+func assignClasses(classes []*classInfo, idx int, assign map[expr.SymID]uint64, budget *int, salt uint64) bool {
+	if idx == len(classes) {
+		return true
+	}
+	ci := classes[idx]
+	dom := ci.dom
+	m := expr.Mask(ci.width)
+	// Remove values conflicting with already-assigned neighbors.
+	for _, d := range ci.diseqs {
+		if d.a == ci.root {
+			if bv, ok := assign[d.b]; ok {
+				dom = dom.Remove((bv + d.off) & m)
+			}
+		} else if d.b == ci.root {
+			if av, ok := assign[d.a]; ok {
+				dom = dom.Remove((av - d.off) & m)
+			}
+		}
+	}
+	if salt != 0 {
+		if v, ok := valueAtRank(dom, (uint64(ci.root)*2654435761+salt)%dom.Size()); ok {
+			assign[ci.root] = v
+			if assignClasses(classes, idx+1, assign, budget, salt) {
+				return true
+			}
+			*budget--
+			if *budget <= 0 {
+				delete(assign, ci.root)
+				return false
+			}
+		}
+	}
+	for _, iv := range dom.Intervals() {
+		for v := iv.Lo; ; v++ {
+			assign[ci.root] = v
+			if assignClasses(classes, idx+1, assign, budget, salt) {
+				return true
+			}
+			*budget--
+			if *budget <= 0 {
+				delete(assign, ci.root)
+				return false
+			}
+			if v == iv.Hi {
+				break
+			}
+		}
+	}
+	delete(assign, ci.root)
+	return false
+}
+
+// valueAtRank returns the rank-th smallest element of the set.
+func valueAtRank(s *IntervalSet, rank uint64) (uint64, bool) {
+	for _, iv := range s.Intervals() {
+		n := iv.Hi - iv.Lo + 1
+		if rank < n {
+			return iv.Lo + rank, true
+		}
+		rank -= n
+	}
+	return 0, false
+}
+
+// applyRel prunes class domains using an ordering relation; returns false
+// when the relation is plainly unsatisfiable. Same-class relations are
+// decided exactly; cross-class relations use hull checks and directional
+// tightening.
+func (c *Context) applyRel(roots map[expr.SymID]*classInfo, rel relCmp) bool {
+	w := rel.width
+	m := expr.Mask(w)
+	ra, oa := c.find(rel.a, w)
+	rb, ob := c.find(rel.b, w)
+	aAdd := (oa + rel.aAdd) & m
+	bAdd := (ob + rel.bAdd) & m
+	if ra == rb {
+		sol := solveSelfRel(rel.op, aAdd, bAdd, roots[ra].dom, w)
+		if sol.IsEmpty() {
+			return false
+		}
+		roots[ra].dom = sol
+		return true
+	}
+	da := roots[ra].dom.Shift(aAdd)
+	db := roots[rb].dom.Shift(bAdd)
+	aMin, _ := da.Min()
+	aMax, _ := da.Max()
+	bMin, _ := db.Min()
+	bMax, _ := db.Max()
+	switch rel.op {
+	case expr.Lt:
+		if aMin >= bMax {
+			return false
+		}
+		// Tighten: a < bMax and b > aMin.
+		roots[ra].dom = roots[ra].dom.Intersect(FromCmp(expr.Lt, bMax, w).Shift(-aAdd))
+		roots[rb].dom = roots[rb].dom.Intersect(FromCmp(expr.Gt, aMin, w).Shift(-bAdd))
+	case expr.Le:
+		if aMin > bMax {
+			return false
+		}
+		roots[ra].dom = roots[ra].dom.Intersect(FromCmp(expr.Le, bMax, w).Shift(-aAdd))
+		roots[rb].dom = roots[rb].dom.Intersect(FromCmp(expr.Ge, aMin, w).Shift(-bAdd))
+	case expr.Gt:
+		if aMax <= bMin {
+			return false
+		}
+		roots[ra].dom = roots[ra].dom.Intersect(FromCmp(expr.Gt, bMin, w).Shift(-aAdd))
+		roots[rb].dom = roots[rb].dom.Intersect(FromCmp(expr.Lt, aMax, w).Shift(-bAdd))
+	case expr.Ge:
+		if aMax < bMin {
+			return false
+		}
+		roots[ra].dom = roots[ra].dom.Intersect(FromCmp(expr.Ge, bMin, w).Shift(-aAdd))
+		roots[rb].dom = roots[rb].dom.Intersect(FromCmp(expr.Le, aMax, w).Shift(-bAdd))
+	}
+	if roots[ra].dom.IsEmpty() || roots[rb].dom.IsEmpty() {
+		return false
+	}
+	return true
+}
+
+// solveSelfRel returns {x ∈ dom : (x+aAdd) op (x+bAdd)} under mod-2^w
+// arithmetic.
+func solveSelfRel(op expr.CmpOp, aAdd, bAdd uint64, dom *IntervalSet, w int) *IntervalSet {
+	m := expr.Mask(w)
+	d := (aAdd - bAdd) & m
+	var uSol *IntervalSet
+	if d == 0 {
+		switch op {
+		case expr.Le, expr.Ge:
+			uSol = Full(w)
+		default:
+			uSol = Empty(w)
+		}
+	} else {
+		// Let u = x + aAdd, v = u - d. If u >= d then v = u-d < u (u > v);
+		// otherwise v wraps above u (u < v). Since d != 0, u == v never holds.
+		gt := FromRange(d, m, w)
+		lt := FromRange(0, d-1, w)
+		switch op {
+		case expr.Lt, expr.Le:
+			uSol = lt
+		case expr.Gt, expr.Ge:
+			uSol = gt
+		default:
+			uSol = Empty(w)
+		}
+	}
+	return dom.Intersect(uSol.Shift(-aAdd))
+}

@@ -1,0 +1,201 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"symnet/internal/expr"
+)
+
+func TestIntervalSetBasics(t *testing.T) {
+	full := Full(8)
+	if got := full.Size(); got != 256 {
+		t.Fatalf("Full(8).Size() = %d, want 256", got)
+	}
+	if !full.Contains(0) || !full.Contains(255) {
+		t.Fatal("Full(8) must contain 0 and 255")
+	}
+	e := Empty(8)
+	if !e.IsEmpty() || e.Contains(0) {
+		t.Fatal("Empty(8) must be empty")
+	}
+	s := Singleton(42, 8)
+	if s.Size() != 1 || !s.Contains(42) || s.Contains(41) {
+		t.Fatalf("Singleton broken: %v", s)
+	}
+}
+
+func TestIntervalSetUnionIntersect(t *testing.T) {
+	a := FromRange(10, 20, 8)
+	b := FromRange(15, 30, 8)
+	u := a.Union(b)
+	if u.Size() != 21 || !u.Contains(10) || !u.Contains(30) || u.Contains(31) {
+		t.Fatalf("union: %v", u)
+	}
+	i := a.Intersect(b)
+	if i.Size() != 6 || !i.Contains(15) || !i.Contains(20) || i.Contains(21) {
+		t.Fatalf("intersect: %v", i)
+	}
+	// Adjacent intervals merge.
+	c := FromRange(0, 4, 8).Union(FromRange(5, 9, 8))
+	if len(c.Intervals()) != 1 {
+		t.Fatalf("adjacent intervals should merge: %v", c)
+	}
+}
+
+func TestIntervalSetComplement(t *testing.T) {
+	a := FromRange(10, 20, 8)
+	cmp := a.Complement()
+	if cmp.Contains(10) || cmp.Contains(20) || !cmp.Contains(9) || !cmp.Contains(21) {
+		t.Fatalf("complement: %v", cmp)
+	}
+	if got := cmp.Size(); got != 256-11 {
+		t.Fatalf("complement size = %d", got)
+	}
+	if !a.Complement().Complement().Equal(a) {
+		t.Fatal("double complement must be identity")
+	}
+	if !Full(8).Complement().IsEmpty() {
+		t.Fatal("complement of full must be empty")
+	}
+	if !Empty(8).Complement().IsFull() {
+		t.Fatal("complement of empty must be full")
+	}
+}
+
+func TestIntervalSetShiftWraps(t *testing.T) {
+	a := FromRange(250, 255, 8)
+	sh := a.Shift(10)
+	// 250..255 + 10 = 260..265 mod 256 = 4..9
+	if !sh.Contains(4) || !sh.Contains(9) || sh.Contains(3) || sh.Contains(10) {
+		t.Fatalf("wrapping shift: %v", sh)
+	}
+	// Shift must be invertible.
+	if !sh.Shift(246).Equal(a) { // 246 == -10 mod 256
+
+		t.Fatal("shift must be invertible")
+	}
+}
+
+func TestFromCmp(t *testing.T) {
+	cases := []struct {
+		op   expr.CmpOp
+		c    uint64
+		has  []uint64
+		lack []uint64
+	}{
+		{expr.Eq, 7, []uint64{7}, []uint64{6, 8}},
+		{expr.Ne, 7, []uint64{6, 8, 0, 255}, []uint64{7}},
+		{expr.Lt, 7, []uint64{0, 6}, []uint64{7, 8}},
+		{expr.Le, 7, []uint64{0, 7}, []uint64{8}},
+		{expr.Gt, 7, []uint64{8, 255}, []uint64{7, 0}},
+		{expr.Ge, 7, []uint64{7, 255}, []uint64{6}},
+	}
+	for _, tc := range cases {
+		s := FromCmp(tc.op, tc.c, 8)
+		for _, v := range tc.has {
+			if !s.Contains(v) {
+				t.Errorf("FromCmp(%v,%d) should contain %d", tc.op, tc.c, v)
+			}
+		}
+		for _, v := range tc.lack {
+			if s.Contains(v) {
+				t.Errorf("FromCmp(%v,%d) should not contain %d", tc.op, tc.c, v)
+			}
+		}
+	}
+	if !FromCmp(expr.Lt, 0, 8).IsEmpty() {
+		t.Error("x < 0 must be empty (unsigned)")
+	}
+	if !FromCmp(expr.Gt, 255, 8).IsEmpty() {
+		t.Error("x > 255 must be empty at width 8")
+	}
+}
+
+func TestFromMaskPrefix(t *testing.T) {
+	// 10.0.0.0/8 over 32-bit values.
+	set := FromMask(expr.PrefixMask(8, 32), 10<<24, 32)
+	if !set.Contains(10<<24) || !set.Contains(10<<24|0xffffff) {
+		t.Fatal("prefix must include network and broadcast addresses")
+	}
+	if set.Contains(11 << 24) {
+		t.Fatal("prefix must exclude next network")
+	}
+	if got := set.Size(); got != 1<<24 {
+		t.Fatalf("10/8 size = %d, want 2^24", got)
+	}
+	if len(set.Intervals()) != 1 {
+		t.Fatalf("prefix mask must yield a single interval, got %d", len(set.Intervals()))
+	}
+}
+
+func TestFromMaskGeneral(t *testing.T) {
+	// Non-contiguous mask 0b1010: val 0b1000 -> x matches iff bit3=1, bit1=0.
+	set := FromMask(0b1010, 0b1000, 4)
+	want := map[uint64]bool{8: true, 9: true, 12: true, 13: true}
+	for v := uint64(0); v < 16; v++ {
+		if set.Contains(v) != want[v] {
+			t.Errorf("mask 0b1010 val 0b1000: Contains(%d)=%v want %v", v, set.Contains(v), want[v])
+		}
+	}
+}
+
+// Property: union/intersect/complement behave like their set-theoretic
+// counterparts on a brute-force byte universe.
+func TestIntervalSetQuickSetSemantics(t *testing.T) {
+	mk := func(seed int64) (*IntervalSet, map[uint64]bool) {
+		rng := rand.New(rand.NewSource(seed))
+		set := Empty(8)
+		ref := make(map[uint64]bool)
+		for i := 0; i < rng.Intn(5); i++ {
+			lo := uint64(rng.Intn(256))
+			hi := lo + uint64(rng.Intn(40))
+			if hi > 255 {
+				hi = 255
+			}
+			set = set.Union(FromRange(lo, hi, 8))
+			for v := lo; v <= hi; v++ {
+				ref[v] = true
+			}
+		}
+		return set, ref
+	}
+	f := func(seedA, seedB int64) bool {
+		sa, ra := mk(seedA)
+		sb, rb := mk(seedB)
+		u := sa.Union(sb)
+		in := sa.Intersect(sb)
+		sub := sa.Subtract(sb)
+		for v := uint64(0); v < 256; v++ {
+			if u.Contains(v) != (ra[v] || rb[v]) {
+				return false
+			}
+			if in.Contains(v) != (ra[v] && rb[v]) {
+				return false
+			}
+			if sub.Contains(v) != (ra[v] && !rb[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixMask(t *testing.T) {
+	if got := expr.PrefixMask(24, 32); got != 0xffffff00 {
+		t.Fatalf("PrefixMask(24,32) = %#x", got)
+	}
+	if got := expr.PrefixMask(0, 32); got != 0 {
+		t.Fatalf("PrefixMask(0,32) = %#x", got)
+	}
+	if got := expr.PrefixMask(32, 32); got != 0xffffffff {
+		t.Fatalf("PrefixMask(32,32) = %#x", got)
+	}
+	if got := expr.PrefixMask(48, 48); got != 0xffffffffffff {
+		t.Fatalf("PrefixMask(48,48) = %#x", got)
+	}
+}

@@ -1,0 +1,148 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	"symnet/internal/sefl"
+)
+
+func TestParseMACTable(t *testing.T) {
+	in := `# vlan mac port
+302 00:1a:2b:3c:4d:5e 7
+304 00:1a:2b:3c:4d:5f 2  # lab host
+`
+	tbl, err := ParseMACTable(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl) != 2 {
+		t.Fatalf("entries = %d", len(tbl))
+	}
+	if tbl[0].VLAN != 302 || tbl[0].Port != 7 || tbl[0].MAC != sefl.MACToNumber("00:1a:2b:3c:4d:5e") {
+		t.Fatalf("entry 0: %+v", tbl[0])
+	}
+	ports := tbl.Ports()
+	if len(ports) != 2 || ports[0] != 2 || ports[1] != 7 {
+		t.Fatalf("ports: %v", ports)
+	}
+}
+
+func TestParseMACTableErrors(t *testing.T) {
+	if _, err := ParseMACTable(strings.NewReader("302 00:1a:2b:3c:4d:5e")); err == nil {
+		t.Fatal("missing field must error")
+	}
+	if _, err := ParseMACTable(strings.NewReader("x 00:1a:2b:3c:4d:5e 1")); err == nil {
+		t.Fatal("bad vlan must error")
+	}
+}
+
+func TestParseFIB(t *testing.T) {
+	in := `10.0.0.0/8 0
+192.168.0.0/24 1
+0.0.0.0/0 2
+`
+	fib, err := ParseFIB(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fib) != 3 {
+		t.Fatalf("routes = %d", len(fib))
+	}
+	if fib[0].Prefix != sefl.IPToNumber("10.0.0.0") || fib[0].Len != 8 {
+		t.Fatalf("route 0: %+v", fib[0])
+	}
+	if fib[2].Len != 0 || fib[2].Prefix != 0 {
+		t.Fatalf("default route: %+v", fib[2])
+	}
+}
+
+func TestParsePrefixMasksHostBits(t *testing.T) {
+	pfx, plen, err := ParsePrefix("10.1.2.3/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plen != 8 || pfx != sefl.IPToNumber("10.0.0.0") {
+		t.Fatalf("prefix %x/%d; host bits must be masked", pfx, plen)
+	}
+	if _, _, err := ParsePrefix("10.0.0.0/33"); err == nil {
+		t.Fatal("prefix length 33 must error")
+	}
+	if _, _, err := ParsePrefix("10.0.0.0"); err == nil {
+		t.Fatal("missing length must error")
+	}
+}
+
+func TestCompileLPM(t *testing.T) {
+	// The paper's §7 example table.
+	fib := FIB{
+		{Prefix: sefl.IPToNumber("192.168.0.1"), Len: 32, Port: 0},
+		{Prefix: sefl.IPToNumber("10.0.0.0"), Len: 8, Port: 0},
+		{Prefix: sefl.IPToNumber("192.168.0.0"), Len: 24, Port: 1},
+		{Prefix: sefl.IPToNumber("10.10.0.1"), Len: 32, Port: 1},
+	}
+	cs := CompileLPM(fib)
+	if len(cs) != 4 {
+		t.Fatalf("compiled routes = %d", len(cs))
+	}
+	// Most specific first.
+	if cs[0].Len != 32 || cs[1].Len != 32 {
+		t.Fatalf("ordering: %+v", cs)
+	}
+	byStr := map[string]CompiledRoute{}
+	for _, c := range cs {
+		byStr[c.Route.String()] = c
+	}
+	// 10/8 must exclude 10.10.0.1/32.
+	ten := byStr["10.0.0.0/8->0"]
+	if len(ten.Exclusions) != 1 || ten.Exclusions[0].Len != 32 {
+		t.Fatalf("10/8 exclusions: %+v", ten.Exclusions)
+	}
+	// 192.168.0.0/24 must exclude 192.168.0.1/32.
+	net24 := byStr["192.168.0.0/24->1"]
+	if len(net24.Exclusions) != 1 || net24.Exclusions[0].Prefix != sefl.IPToNumber("192.168.0.1") {
+		t.Fatalf("/24 exclusions: %+v", net24.Exclusions)
+	}
+	// Host routes have no exclusions.
+	if len(byStr["192.168.0.1/32->0"].Exclusions) != 0 {
+		t.Fatal("host route must have no exclusions")
+	}
+	if got := NumExclusions(cs); got != 2 {
+		t.Fatalf("total exclusions = %d", got)
+	}
+}
+
+func TestCompileLPMChain(t *testing.T) {
+	// Nested prefixes: /8 ⊃ /16 ⊃ /24; the /8 excludes both, /16 excludes
+	// the /24.
+	fib := FIB{
+		{Prefix: sefl.IPToNumber("10.0.0.0"), Len: 8, Port: 0},
+		{Prefix: sefl.IPToNumber("10.1.0.0"), Len: 16, Port: 1},
+		{Prefix: sefl.IPToNumber("10.1.2.0"), Len: 24, Port: 2},
+	}
+	cs := CompileLPM(fib)
+	byLen := map[int]CompiledRoute{}
+	for _, c := range cs {
+		byLen[c.Len] = c
+	}
+	if len(byLen[8].Exclusions) != 2 {
+		t.Fatalf("/8 exclusions: %+v", byLen[8].Exclusions)
+	}
+	if len(byLen[16].Exclusions) != 1 {
+		t.Fatalf("/16 exclusions: %+v", byLen[16].Exclusions)
+	}
+	if len(byLen[24].Exclusions) != 0 {
+		t.Fatalf("/24 exclusions: %+v", byLen[24].Exclusions)
+	}
+}
+
+func TestCompileLPMDeduplicates(t *testing.T) {
+	fib := FIB{
+		{Prefix: sefl.IPToNumber("10.0.0.0"), Len: 8, Port: 0},
+		{Prefix: sefl.IPToNumber("10.0.0.0"), Len: 8, Port: 1}, // duplicate, dropped
+	}
+	cs := CompileLPM(fib)
+	if len(cs) != 1 || cs[0].Port != 0 {
+		t.Fatalf("dedup: %+v", cs)
+	}
+}

@@ -1,0 +1,168 @@
+// Package verify provides the network-verification queries of §6 of the
+// paper on top of the core engine: reachability, field invariance, header
+// visibility, and loop reporting. (Loop *detection* itself runs inside the
+// engine; this package interprets its results.)
+package verify
+
+import (
+	"fmt"
+
+	"symnet/internal/core"
+	"symnet/internal/expr"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+// Reachability runs a symbolic packet from inject and reports the paths
+// that reach any port of target. It is the paper's basic query: inspect the
+// values and constraints of header variables at each reached port.
+func Reachability(net *core.Network, inject core.PortRef, packet sefl.Instr, target string, opts core.Options) (*Report, error) {
+	res, err := core.Run(net, inject, packet, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewReport(res, target), nil
+}
+
+// Report wraps a run result with a reachability target.
+type Report struct {
+	Result  *core.Result
+	Target  string
+	Reached []*core.Path
+}
+
+// NewReport extracts the delivered paths ending at the target element.
+func NewReport(res *core.Result, target string) *Report {
+	r := &Report{Result: res, Target: target}
+	r.Reached = res.DeliveredAt(target, -1)
+	return r
+}
+
+// Reachable reports whether any path reached the target.
+func (r *Report) Reachable() bool { return len(r.Reached) > 0 }
+
+// resolveHdr resolves a header shorthand against a path's final tag values.
+func resolveHdr(p *core.Path, h sefl.Hdr) (int64, error) {
+	if h.Off.Tag == "" {
+		return h.Off.Rel, nil
+	}
+	base, ok := p.Mem.Tag(h.Off.Tag)
+	if !ok {
+		return 0, fmt.Errorf("verify: tag %q not set on path %d", h.Off.Tag, p.ID)
+	}
+	return base + h.Off.Rel, nil
+}
+
+// FieldValue returns the final symbolic value of a header field on a path.
+func FieldValue(p *core.Path, h sefl.Hdr) (expr.Lin, error) {
+	off, err := resolveHdr(p, h)
+	if err != nil {
+		return expr.Lin{}, err
+	}
+	return p.Mem.ReadHdr(off, h.Size)
+}
+
+// FieldDomain returns the set of values a header field can take at the end
+// of a path, under the path's constraints.
+func FieldDomain(p *core.Path, h sefl.Hdr) (*solver.IntervalSet, error) {
+	v, err := FieldValue(p, h)
+	if err != nil {
+		return nil, err
+	}
+	return p.Ctx.Domain(v), nil
+}
+
+// FieldInvariant reports whether a header field was never modified along the
+// path: every recorded assignment is the same term. This is the paper's
+// invariance check via the per-field value history.
+func FieldInvariant(p *core.Path, h sefl.Hdr) (bool, error) {
+	off, err := resolveHdr(p, h)
+	if err != nil {
+		return false, err
+	}
+	hist, err := p.Mem.HdrHistory(off, h.Size)
+	if err != nil {
+		return false, err
+	}
+	if len(hist) == 0 {
+		return false, fmt.Errorf("verify: field %s never assigned", h)
+	}
+	first := hist[0]
+	for _, v := range hist[1:] {
+		if !v.Equal(first) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// FieldEndToEnd reports whether the field's final value provably equals its
+// first (injected) value: either syntactically, or forced by the path
+// constraints (checked by asking the solver whether first != last is
+// satisfiable).
+func FieldEndToEnd(p *core.Path, h sefl.Hdr) (bool, error) {
+	off, err := resolveHdr(p, h)
+	if err != nil {
+		return false, err
+	}
+	hist, err := p.Mem.HdrHistory(off, h.Size)
+	if err != nil {
+		return false, err
+	}
+	if len(hist) == 0 {
+		return false, fmt.Errorf("verify: field %s never assigned", h)
+	}
+	first, last := hist[0], hist[len(hist)-1]
+	if first.Equal(last) {
+		return true, nil
+	}
+	// Ask the solver whether first != last is satisfiable under the path
+	// constraints; if not, the values are provably equal end to end.
+	ctx := p.Ctx.Clone()
+	if !ctx.Add(expr.NewCmp(expr.Ne, first, last)) {
+		return true, nil
+	}
+	return !ctx.Sat(), nil
+}
+
+// Visible reports whether the current value of field h on path p is the
+// same term the source wrote (the paper's header-visibility test: do
+// firewalls and endhosts see the same headers?).
+func Visible(p *core.Path, h sefl.Hdr, source expr.Lin) (bool, error) {
+	v, err := FieldValue(p, h)
+	if err != nil {
+		return false, err
+	}
+	return v.Equal(source), nil
+}
+
+// Loops returns the looped paths of a result.
+func Loops(res *core.Result) []*core.Path { return res.ByStatus(core.Looped) }
+
+// Failures returns the failed paths of a result.
+func Failures(res *core.Result) []*core.Path { return res.ByStatus(core.Failed) }
+
+// ConcretePacket solves a path's constraints into concrete values for the
+// listed header fields (the ATPG-style test-packet generation of §8.3).
+func ConcretePacket(p *core.Path, fields []sefl.Hdr) (map[string]uint64, error) {
+	model, ok := p.Ctx.Model()
+	if !ok {
+		return nil, fmt.Errorf("verify: path %d constraints unsatisfiable", p.ID)
+	}
+	out := make(map[string]uint64, len(fields))
+	for _, h := range fields {
+		v, err := FieldValue(p, h)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := v.ConstVal(); ok {
+			out[h.Name] = c
+			continue
+		}
+		// Symbols the solver never saw are unconstrained: any value
+		// satisfies the path, so default to zero.
+		base := model[v.Sym]
+		out[h.Name] = (base + v.Add) & expr.Mask(v.Width)
+	}
+	return out, nil
+}

@@ -1,0 +1,157 @@
+package verify
+
+import (
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+func passthroughNet(t *testing.T) (*core.Network, core.PortRef) {
+	t.Helper()
+	net := core.NewNetwork()
+	a := net.AddElement("A", "fwd", 1, 1)
+	a.SetInCode(0, sefl.Seq(
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.C(80))},
+		sefl.Forward{Port: 0},
+	))
+	b := net.AddElement("B", "sink", 1, 0)
+	b.SetInCode(0, sefl.NoOp{})
+	net.MustLink("A", 0, "B", 0)
+	return net, core.PortRef{Elem: "A", Port: 0}
+}
+
+func TestReachabilityReport(t *testing.T) {
+	net, inj := passthroughNet(t)
+	rep, err := Reachability(net, inj, sefl.NewTCPPacket(), "B", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reachable() || len(rep.Reached) != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestFieldDomainAndValue(t *testing.T) {
+	net, inj := passthroughNet(t)
+	rep, err := Reachability(net, inj, sefl.NewTCPPacket(), "B", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Reached[0]
+	dom, err := FieldDomain(p, sefl.TcpDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Size() != 1 || !dom.Contains(80) {
+		t.Fatalf("TcpDst domain %v", dom)
+	}
+	if _, err := FieldValue(p, sefl.Hdr{Off: sefl.FromTag("NOPE", 0), Size: 8}); err == nil {
+		t.Fatal("missing tag must error")
+	}
+}
+
+func TestFieldEndToEndRewrite(t *testing.T) {
+	net := core.NewNetwork()
+	a := net.AddElement("A", "rewrite", 1, 1)
+	a.SetInCode(0, sefl.Seq(
+		sefl.Assign{LV: sefl.TcpDst, E: sefl.C(22)},
+		sefl.Forward{Port: 0},
+	))
+	b := net.AddElement("B", "sink", 1, 0)
+	b.SetInCode(0, sefl.NoOp{})
+	net.MustLink("A", 0, "B", 0)
+	res, err := core.Run(net, core.PortRef{Elem: "A", Port: 0}, sefl.NewTCPPacket(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.DeliveredAt("B", 0)[0]
+	inv, err := FieldInvariant(p, sefl.TcpDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv {
+		t.Fatal("rewritten field must not be invariant")
+	}
+	e2e, err := FieldEndToEnd(p, sefl.TcpDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e {
+		t.Fatal("rewritten symbolic field cannot provably equal its original")
+	}
+	// An untouched field is both invariant and end-to-end equal.
+	inv, _ = FieldInvariant(p, sefl.TcpSrc)
+	e2e, _ = FieldEndToEnd(p, sefl.TcpSrc)
+	if !inv || !e2e {
+		t.Fatal("untouched field must be invariant")
+	}
+}
+
+func TestFieldEndToEndForcedEqual(t *testing.T) {
+	// Save, overwrite, restore: syntactically different final term that is
+	// provably equal to the original (metadata round-trip).
+	net := core.NewNetwork()
+	a := net.AddElement("A", "saver", 1, 1)
+	a.SetInCode(0, sefl.Seq(
+		sefl.Allocate{LV: sefl.Meta{Name: "save"}, Size: 16},
+		sefl.Assign{LV: sefl.Meta{Name: "save"}, E: sefl.Ref{LV: sefl.TcpDst}},
+		sefl.Assign{LV: sefl.TcpDst, E: sefl.C(9)},
+		sefl.Assign{LV: sefl.TcpDst, E: sefl.Ref{LV: sefl.Meta{Name: "save"}}},
+		sefl.Forward{Port: 0},
+	))
+	b := net.AddElement("B", "sink", 1, 0)
+	b.SetInCode(0, sefl.NoOp{})
+	net.MustLink("A", 0, "B", 0)
+	res, err := core.Run(net, core.PortRef{Elem: "A", Port: 0}, sefl.NewTCPPacket(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.DeliveredAt("B", 0)[0]
+	inv, _ := FieldInvariant(p, sefl.TcpDst)
+	if inv {
+		t.Fatal("rewriting makes the history non-constant")
+	}
+	e2e, err := FieldEndToEnd(p, sefl.TcpDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e2e {
+		t.Fatal("restored field must be provably equal end to end")
+	}
+}
+
+func TestConcretePacket(t *testing.T) {
+	net, inj := passthroughNet(t)
+	rep, err := Reachability(net, inj, sefl.NewTCPPacket(), "B", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := ConcretePacket(rep.Reached[0], []sefl.Hdr{sefl.TcpDst, sefl.IPSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["TcpDst"] != 80 {
+		t.Fatalf("concrete TcpDst = %d", vals["TcpDst"])
+	}
+	if _, ok := vals["IPSrc"]; !ok {
+		t.Fatal("IPSrc missing from concrete packet")
+	}
+}
+
+func TestLoopsAndFailures(t *testing.T) {
+	net := core.NewNetwork()
+	for _, n := range []string{"A", "B"} {
+		e := net.AddElement(n, "fwd", 1, 1)
+		e.SetInCode(0, sefl.Forward{Port: 0})
+	}
+	net.MustLink("A", 0, "B", 0)
+	net.MustLink("B", 0, "A", 0)
+	res, err := core.Run(net, core.PortRef{Elem: "A", Port: 0}, sefl.NewTCPPacket(), core.Options{Loop: core.LoopFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Loops(res)) != 1 || len(Failures(res)) != 0 {
+		t.Fatalf("loops=%d failures=%d", len(Loops(res)), len(Failures(res)))
+	}
+}

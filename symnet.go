@@ -1,0 +1,75 @@
+// Package symnet is a Go reimplementation of SymNet (Stoenescu et al.,
+// SIGCOMM 2016): scalable symbolic execution for network dataplanes using
+// SEFL, a modeling language designed so that a packet *is* an execution
+// path.
+//
+// The facade re-exports the main entry points; the implementation lives in
+// internal packages:
+//
+//	internal/sefl     — the SEFL language (Fig. 2 instruction set)
+//	internal/core     — the symbolic-execution engine
+//	internal/solver   — the constraint solver (Z3's role)
+//	internal/models   — switches, routers, NATs, tunnels, encryption
+//	internal/tables   — MAC-table / FIB parsers + LPM compilation
+//	internal/click    — Click configurations and element models
+//	internal/asa      — Cisco ASA configuration -> pipeline models
+//	internal/verify   — reachability / invariance / loop queries
+//	internal/conform  — model-vs-implementation testing (§8.3)
+//	internal/hsa      — Header Space Analysis baseline
+//	internal/minic    — naive symbolic execution baseline ("Klee")
+//	internal/datasets — synthetic evaluation workloads
+//
+// Quickstart:
+//
+//	net := symnet.NewNetwork()
+//	fw := net.AddElement("fw", "firewall", 1, 1)
+//	fw.SetInCode(symnet.WildcardPort, sefl.Seq(
+//	    sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.C(80))},
+//	    sefl.Forward{Port: 0},
+//	))
+//	res, err := symnet.Run(net, symnet.PortRef{Elem: "fw", Port: 0},
+//	    sefl.NewTCPPacket(), symnet.Options{})
+package symnet
+
+import (
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+// Re-exported core types. See internal/core for full documentation.
+type (
+	// Network is the set of elements and links under analysis.
+	Network = core.Network
+	// Element is a network box with SEFL code on its ports.
+	Element = core.Element
+	// PortRef names an element port.
+	PortRef = core.PortRef
+	// Options configures a run.
+	Options = core.Options
+	// Result is the outcome of a symbolic-execution run.
+	Result = core.Result
+	// Path is one finished execution path.
+	Path = core.Path
+	// Status classifies how a path ended.
+	Status = core.Status
+)
+
+// Engine constants.
+const (
+	WildcardPort = core.WildcardPort
+	Delivered    = core.Delivered
+	Failed       = core.Failed
+	Looped       = core.Looped
+	LoopOff      = core.LoopOff
+	LoopFull     = core.LoopFull
+	LoopAddrOnly = core.LoopAddrOnly
+)
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return core.NewNetwork() }
+
+// Run injects a symbolic packet built by init at an input port and explores
+// every feasible path.
+func Run(net *Network, inject PortRef, init sefl.Instr, opts Options) (*Result, error) {
+	return core.Run(net, inject, init, opts)
+}
