@@ -6,6 +6,7 @@
 package symnet
 
 import (
+	"runtime"
 	"testing"
 
 	"symnet/internal/core"
@@ -14,7 +15,9 @@ import (
 	"symnet/internal/hsa"
 	"symnet/internal/minic"
 	"symnet/internal/models"
+	"symnet/internal/sched"
 	"symnet/internal/sefl"
+	"symnet/internal/verify"
 )
 
 // --- Table 1: Klee-style execution of the TCP-options code ---
@@ -142,6 +145,77 @@ func BenchmarkDepartmentInbound(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Parallel scheduler (internal/sched) ---
+//
+// The speedup claims of the parallel engine are measured, not asserted:
+// run `go test -bench 'AllPairs|Parallel' -benchmem` and compare the Seq
+// and Par variants. On a single-core machine the pair runs at parity (the
+// scheduler adds only merge overhead); on 4+ cores the all-pairs batch is
+// embarrassingly parallel and the Par variant should exceed 2x.
+
+func benchAllPairsDepartment(b *testing.B, workers int) {
+	d := datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 15, HostsPerSwitch: 400, Routes: 400, Seed: 11})
+	srcs, targets := d.AllPairs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := verify.AllPairsReachability(d.Net, srcs, sefl.NewTCPPacket(), targets,
+			core.Options{MaxHops: 64}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reached := 0
+		for s := range rep.Sources {
+			for t := range rep.Targets {
+				reached += rep.PathCount[s][t]
+			}
+		}
+		if reached == 0 {
+			b.Fatal("no source reached any target — benchmark would measure a trivial workload")
+		}
+	}
+}
+
+func BenchmarkAllPairsDepartmentSeq(b *testing.B) { benchAllPairsDepartment(b, 1) }
+func BenchmarkAllPairsDepartmentPar(b *testing.B) {
+	benchAllPairsDepartment(b, runtime.GOMAXPROCS(0))
+}
+func BenchmarkAllPairsDepartmentPar8(b *testing.B) { benchAllPairsDepartment(b, 8) }
+
+func benchAllPairsStanford(b *testing.B, workers int) {
+	bb := datasets.StanfordBackbone(14, 300)
+	srcs, targets := bb.AllPairs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verify.AllPairsReachability(bb.Net, srcs, sefl.NewIPPacket(), targets,
+			core.Options{}, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllPairsStanfordSeq(b *testing.B) { benchAllPairsStanford(b, 1) }
+func BenchmarkAllPairsStanfordPar(b *testing.B) { benchAllPairsStanford(b, runtime.GOMAXPROCS(0)) }
+
+// Single-run wave parallelism over the department inbound query (the widest
+// frontier of the §8.5 scenarios).
+func benchDepartmentInboundWorkers(b *testing.B, workers int) {
+	d := datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 15, HostsPerSwitch: 400, Routes: 400, Seed: 11})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Run(d.Net, core.PortRef{Elem: "exit", Port: 1}, sefl.NewTCPPacket(),
+			core.Options{MaxHops: 64}, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDepartmentInboundSeq1Worker(b *testing.B) { benchDepartmentInboundWorkers(b, 1) }
+func BenchmarkDepartmentInboundParallel(b *testing.B) {
+	benchDepartmentInboundWorkers(b, runtime.GOMAXPROCS(0))
 }
 
 // --- Ablations (DESIGN.md §5) ---

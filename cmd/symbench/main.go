@@ -9,6 +9,7 @@
 //	symbench -run table5      # capability matrix
 //	symbench -run splittcp    # §8.4 middlebox scenarios
 //	symbench -run dept        # §8.5 department network
+//	symbench -run allpairs    # batch all-pairs reachability, sequential vs -workers
 //	symbench -run all
 package main
 
@@ -16,17 +17,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
+	"symnet/internal/core"
 	"symnet/internal/datasets"
 	"symnet/internal/experiments"
 	"symnet/internal/models"
+	"symnet/internal/sefl"
+	"symnet/internal/verify"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|all)")
+	run := flag.String("run", "all", "experiment to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|all)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
+	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
 	flag.Parse()
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
 	sel := strings.ToLower(*run)
 	want := func(name string) bool { return sel == "all" || sel == name }
 	if want("table1") {
@@ -52,6 +62,9 @@ func main() {
 	}
 	if want("dept") {
 		dept(*quick)
+	}
+	if want("allpairs") {
+		allpairs(*quick, *workers)
 	}
 }
 
@@ -191,4 +204,55 @@ func dept(quick bool) {
 		}
 	}
 	fmt.Println()
+}
+
+// allpairs measures batch all-pairs reachability — the workload shape of
+// repair-and-verify tools — sequentially and on the worker pool.
+func allpairs(quick bool, workers int) {
+	fmt.Println("== All-pairs reachability: sequential vs parallel batch ==")
+	fmt.Printf("%-22s %-8s %-8s %-12s %-12s %s\n", "Dataset", "Sources", "Pairs", "Seq", fmt.Sprintf("Par(%d)", workers), "Speedup")
+
+	deptCfg := datasets.DefaultDepartment()
+	if quick {
+		deptCfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 5}
+	}
+	d := datasets.NewDepartment(deptCfg)
+	deptSrcs, deptTargets := d.AllPairs()
+	allpairsRow("department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
+		core.Options{MaxHops: 64}, workers)
+
+	zones, perZone := 14, 300
+	if quick {
+		zones, perZone = 8, 100
+	}
+	bb := datasets.StanfordBackbone(zones, perZone)
+	bbSrcs, bbTargets := bb.AllPairs()
+	allpairsRow("stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
+		core.Options{}, workers)
+	fmt.Println()
+}
+
+func allpairsRow(name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int) {
+	t0 := time.Now()
+	seqRep, err := verify.AllPairsReachability(net, srcs, packet, targets, opts, 1)
+	if err != nil {
+		fail(err)
+	}
+	seq := time.Since(t0)
+	t0 = time.Now()
+	parRep, err := verify.AllPairsReachability(net, srcs, packet, targets, opts, workers)
+	if err != nil {
+		fail(err)
+	}
+	par := time.Since(t0)
+	for s := range srcs {
+		for t := range targets {
+			if seqRep.Reachable[s][t] != parRep.Reachable[s][t] {
+				fail(fmt.Errorf("allpairs %s: parallel answer differs at [%d][%d]", name, s, t))
+			}
+		}
+	}
+	fmt.Printf("%-22s %-8d %-8d %-12v %-12v %.2fx\n",
+		name, len(srcs), seqRep.Pairs(), seq.Round(time.Millisecond), par.Round(time.Millisecond),
+		float64(seq)/float64(par))
 }

@@ -4,7 +4,7 @@
 // (the paper's output format: per-path variables, constraints, and the
 // ports visited).
 //
-//	symnet -config pipeline.click -inject dut:0 [-loop addr|full|off]
+//	symnet -config pipeline.click -inject dut:0 [-loop addr|full|off] [-workers N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"symnet/internal/click"
 	"symnet/internal/core"
+	"symnet/internal/sched"
 	"symnet/internal/sefl"
 	"symnet/internal/verify"
 )
@@ -36,6 +37,7 @@ func main() {
 	loopMode := flag.String("loop", "full", "loop detection: off|full|addr")
 	trace := flag.Bool("trace", false, "record executed instructions per path")
 	packet := flag.String("packet", "tcp", "packet template: tcp|udp|ip|ether")
+	workers := flag.Int("workers", 1, "exploration workers (0 = all cores); results are identical for any count")
 	flag.Parse()
 	if *cfgPath == "" || *inject == "" {
 		fmt.Fprintln(os.Stderr, "usage: symnet -config FILE -inject element:port")
@@ -78,7 +80,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown packet template %q", *packet))
 	}
-	res, err := core.Run(cfg.Net, core.PortRef{Elem: elem, Port: port}, tmpl, opts)
+	res, err := sched.Run(cfg.Net, core.PortRef{Elem: elem, Port: port}, tmpl, opts, *workers)
 	if err != nil {
 		fatal(err)
 	}

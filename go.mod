@@ -1,0 +1,3 @@
+module symnet
+
+go 1.24

@@ -5,7 +5,6 @@ import (
 	"regexp"
 
 	"symnet/internal/expr"
-	"symnet/internal/memory"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
 )
@@ -36,6 +35,13 @@ type Options struct {
 	Trace bool
 	// Stats receives solver statistics; a fresh collector is used when nil.
 	Stats *solver.Stats
+	// Workers requests parallel exploration when > 1; 0 and 1 mean
+	// sequential, so the zero Options value never spawns goroutines.
+	// (symnet.RunParallel is the parallel-by-default entry point: there,
+	// <= 0 selects all cores.) The core engine itself always explores on
+	// the calling goroutine; internal/sched and the symnet facade honor
+	// this field. Results are identical for any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -48,83 +54,47 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// run carries the per-run engine state.
+// run carries the state one worker needs while stepping a single task: the
+// immutable run configuration plus task-private collectors. It never touches
+// shared mutable state, which is what makes tasks schedulable on any
+// goroutine (see explore.go).
 type run struct {
-	net    *Network
-	opts   Options
-	alloc  *expr.Alloc
-	stats  *solver.Stats
-	result *Result
-	nextID int
+	net      *Network
+	opts     Options
+	alloc    *expr.Alloc
+	stats    *solver.Stats
+	finished []*State
+	pruned   int
 }
 
 // Run injects a packet built by init at the given input port and explores
 // all execution paths. init executes before the packet enters the port (it
 // is the paper's "code to create a symbolic packet of the given type").
+//
+// Run explores on the calling goroutine; internal/sched runs the same
+// exploration across a worker pool with identical results.
+//
+// Exploration proceeds in bounded depth-first waves (the canonical order
+// shared with the parallel engine): each wave takes up to maxWave of the
+// most recently created tasks, so peak live-state memory stays near the
+// classic DFS profile while still exposing wave-wide parallelism, and the
+// MaxPaths budget is overshot by at most one wave on exploding runs.
 func Run(net *Network, inject PortRef, init sefl.Instr, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	elem, ok := net.Element(inject.Elem)
-	if !ok {
-		return nil, fmt.Errorf("core: inject element %q not found", inject.Elem)
+	e, err := NewExploration(net, inject, init, opts)
+	if err != nil {
+		return nil, err
 	}
-	if inject.Out || inject.Port < 0 || inject.Port >= elem.NumIn {
-		return nil, fmt.Errorf("core: inject port %s invalid", inject)
-	}
-	stats := opts.Stats
-	if stats == nil {
-		stats = &solver.Stats{}
-	}
-	r := &run{
-		net:    net,
-		opts:   opts,
-		alloc:  &expr.Alloc{},
-		stats:  stats,
-		result: &Result{},
-	}
-	r.result.Alloc = r.alloc
-
-	st := &State{
-		Mem:  memory.New(),
-		Ctx:  solver.NewContext(stats),
-		Here: PortRef{Elem: inject.Elem, Port: inject.Port},
-		seen: make(map[PortRef][]snapshot),
-	}
-	if opts.Trace {
-		st.Trace = []string{}
-	}
-	// Build the symbolic packet. Injection code runs in the context of the
-	// target element (so local metadata in templates scopes sensibly).
-	var worklist []*State
-	for _, s := range r.exec(st, elem, init) {
-		if s.Status == Failed {
-			r.finalize(s)
-			continue
+	for !e.Done() {
+		tasks := e.Frontier()
+		results := make([]TaskResult, len(tasks))
+		for i, t := range tasks {
+			results[i] = e.RunTask(t)
 		}
-		if s.forwarding() {
-			r.finalize(failWith(s, "injection code must not forward"))
-			continue
-		}
-		worklist = append(worklist, s)
-	}
-
-	// Depth-first exploration for deterministic ordering.
-	for len(worklist) > 0 {
-		st := worklist[len(worklist)-1]
-		worklist = worklist[:len(worklist)-1]
-		succ, err := r.step(st)
-		if err != nil {
+		if err := e.Merge(results); err != nil {
 			return nil, err
 		}
-		// Push in reverse so listed order is explored first.
-		for i := len(succ) - 1; i >= 0; i-- {
-			worklist = append(worklist, succ[i])
-		}
-		if len(r.result.Paths) > r.opts.MaxPaths {
-			return nil, fmt.Errorf("core: path budget exceeded (%d)", r.opts.MaxPaths)
-		}
 	}
-	r.result.Stats.Solver = *stats
-	return r.result, nil
+	return e.Finish(), nil
 }
 
 func failWith(st *State, msg string) *State {
@@ -142,15 +112,14 @@ func (r *run) step(st *State) ([]*State, error) {
 	}
 	st.History = append(st.History, st.Here)
 	st.hops++
-	r.result.Stats.Hops++
 	if st.hops > r.opts.MaxHops {
-		r.finalize(failWith(st, fmt.Sprintf("hop budget exceeded (%d)", r.opts.MaxHops)))
+		r.finish(failWith(st, fmt.Sprintf("hop budget exceeded (%d)", r.opts.MaxHops)))
 		return nil, nil
 	}
 	if r.opts.Loop != LoopOff {
 		if looped := r.loopCheck(st); looped {
 			st.Status = Looped
-			r.finalize(st)
+			r.finish(st)
 			return nil, nil
 		}
 	}
@@ -159,19 +128,19 @@ func (r *run) step(st *State) ([]*State, error) {
 	if !ok {
 		// No code: the packet stops here.
 		st.Status = Delivered
-		r.finalize(st)
+		r.finish(st)
 		return nil, nil
 	}
 
 	var next []*State
 	for _, s := range r.exec(st, elem, code) {
 		if s.Status == Failed {
-			r.finalize(s)
+			r.finish(s)
 			continue
 		}
 		if !s.forwarding() {
 			s.Status = Delivered
-			r.finalize(s)
+			r.finish(s)
 			continue
 		}
 		outs, err := r.depart(s, elem)
@@ -195,7 +164,7 @@ func (r *run) depart(st *State, elem *Element) ([]*State, error) {
 			s = st.clone()
 		}
 		if p < 0 || p >= elem.NumOut {
-			r.finalize(failWith(s, fmt.Sprintf("forward to nonexistent output port %d of %s", p, elem.Name)))
+			r.finish(failWith(s, fmt.Sprintf("forward to nonexistent output port %d of %s", p, elem.Name)))
 			continue
 		}
 		outRef := PortRef{Elem: elem.Name, Port: p, Out: true}
@@ -205,11 +174,11 @@ func (r *run) depart(st *State, elem *Element) ([]*State, error) {
 			states := r.exec(s, elem, code)
 			for _, os := range states {
 				if os.Status == Failed {
-					r.finalize(os)
+					r.finish(os)
 					continue
 				}
 				if os.forwarding() {
-					r.finalize(failWith(os, "output-port code must not forward"))
+					r.finish(failWith(os, "output-port code must not forward"))
 					continue
 				}
 				ns, err := r.follow(os, outRef)
@@ -236,34 +205,17 @@ func (r *run) follow(st *State, outRef PortRef) ([]*State, error) {
 	in, ok := r.net.Follow(outRef)
 	if !ok {
 		st.Status = Delivered
-		r.finalize(st)
+		r.finish(st)
 		return nil, nil
 	}
 	st.Here = in
 	return []*State{st}, nil
 }
 
-func (r *run) finalize(st *State) {
-	p := &Path{
-		ID:      r.nextID,
-		Status:  st.Status,
-		FailMsg: st.FailMsg,
-		History: st.History,
-		Trace:   st.Trace,
-		Mem:     st.Mem,
-		Ctx:     st.Ctx,
-	}
-	r.nextID++
-	r.result.Paths = append(r.result.Paths, p)
-	r.result.Stats.Paths++
-	switch st.Status {
-	case Delivered:
-		r.result.Stats.Delivered++
-	case Failed:
-		r.result.Stats.Failed++
-	case Looped:
-		r.result.Stats.Looped++
-	}
+// finish records a completed state; Exploration.Merge turns it into a Path
+// with a deterministic ID.
+func (r *run) finish(st *State) {
+	r.finished = append(r.finished, st)
 }
 
 // --- Instruction interpreter ---
@@ -409,12 +361,12 @@ func (r *run) exec(st *State, elem *Element, ins sefl.Instr) []*State {
 		if thenSt.Ctx.Add(cond) && (thenSt.Ctx.PendingOrs() == 0 || thenSt.Ctx.Sat()) {
 			out = append(out, r.exec(thenSt, elem, v.Then)...)
 		} else {
-			r.result.Stats.Pruned++
+			r.pruned++
 		}
 		if elseSt.Ctx.Add(expr.NewNot(cond)) && (elseSt.Ctx.PendingOrs() == 0 || elseSt.Ctx.Sat()) {
 			out = append(out, r.exec(elseSt, elem, v.Else)...)
 		} else {
-			r.result.Stats.Pruned++
+			r.pruned++
 		}
 		return out
 

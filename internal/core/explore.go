@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+// This file is the shardable heart of the engine. Exploration splits a run
+// into Tasks — one port-visit step of one state — that are pure with respect
+// to everything except the task's own state, so independent tasks can run on
+// any goroutine in any order. Determinism is re-imposed at the merge:
+//
+//   - every task carries a sequence number assigned in frontier order, and
+//     fresh symbols allocated while stepping it come from the band
+//     [seq<<expr.BandBits, (seq+1)<<expr.BandBits), so symbol IDs do not
+//     depend on worker interleaving;
+//   - finished paths receive their IDs in Merge, which walks task results in
+//     wave order;
+//   - statistics are counter sums, which commute.
+//
+// A sequential run (core.Run) and a parallel run (internal/sched) drive the
+// same Frontier/RunTask/Merge cycle, so they produce identical Results by
+// construction.
+
+// Task is one schedulable unit of exploration: the injection step (init
+// non-nil, carrying the injection code to run on st) or one port-visit step
+// of a state.
+type Task struct {
+	seq  int64
+	st   *State
+	init sefl.Instr // injection code (injection task only)
+}
+
+// TaskResult is everything stepping one task produced. Values are merged
+// back into the Exploration in frontier order by Merge.
+type TaskResult struct {
+	finished []*State // completed paths, canonical order
+	next     []*State // successor states, canonical order
+	err      error
+	pruned   int
+	hops     int
+	solver   solver.Stats
+	alloc    *expr.Alloc // per-task allocator, for diagnostic names
+}
+
+// maxWave bounds how many tasks one wave may contain. Waves are taken from
+// the tail of the pending-task queue, so exploration is depth-first in
+// blocks: peak live-state memory stays near the classic DFS engine's
+// O(depth x branching) plus one wave, instead of materializing the full
+// breadth-first frontier, and a run that explodes overshoots the MaxPaths
+// budget by at most one wave of steps. The constant is part of the
+// canonical exploration order — every driver goes through Frontier(), so
+// path IDs are identical for any worker count.
+const maxWave = 1024
+
+// Exploration is an in-progress run decomposed into waves of tasks. The
+// Frontier/RunTask/Merge methods form the driver loop:
+//
+//	e, err := NewExploration(net, inject, init, opts)
+//	for !e.Done() {
+//		tasks := e.Frontier()
+//		results := make([]TaskResult, len(tasks))
+//		for i, t := range tasks { // or in parallel, any order
+//			results[i] = e.RunTask(t)
+//		}
+//		if err := e.Merge(results); err != nil { ... }
+//	}
+//	res := e.Finish()
+//
+// RunTask is safe to call concurrently for distinct tasks of the same wave;
+// all other methods must be called from a single driver goroutine.
+type Exploration struct {
+	net     *Network
+	opts    Options
+	inject  *Element
+	queue   []*Task // pending tasks; waves are cut from the tail
+	nextSeq int64
+	paths   []*Path
+	stats   RunStats
+	names   *expr.Alloc
+	err     error
+}
+
+// NewExploration validates the injection point and prepares the first wave
+// (the injection task).
+func NewExploration(net *Network, inject PortRef, init sefl.Instr, opts Options) (*Exploration, error) {
+	opts = opts.withDefaults()
+	elem, ok := net.Element(inject.Elem)
+	if !ok {
+		return nil, fmt.Errorf("core: inject element %q not found", inject.Elem)
+	}
+	if inject.Out || inject.Port < 0 || inject.Port >= elem.NumIn {
+		return nil, fmt.Errorf("core: inject port %s invalid", inject)
+	}
+	e := &Exploration{
+		net:    net,
+		opts:   opts,
+		inject: elem,
+		names:  &expr.Alloc{},
+	}
+	st := &State{
+		Mem:  memory.New(),
+		Here: PortRef{Elem: inject.Elem, Port: inject.Port},
+		seen: make(map[PortRef][]snapshot),
+	}
+	if opts.Trace {
+		st.Trace = []string{}
+	}
+	e.queue = []*Task{{seq: 0, st: st, init: init}}
+	e.nextSeq = 1
+	return e, nil
+}
+
+// Done reports whether the run has finished (no tasks left, or aborted).
+func (e *Exploration) Done() bool { return e.err != nil || len(e.queue) == 0 }
+
+// Frontier removes and returns the next wave: up to maxWave tasks from the
+// tail of the pending queue. The caller must step every task and hand Merge
+// a results slice aligned with the returned one.
+func (e *Exploration) Frontier() []*Task {
+	k := len(e.queue) - maxWave
+	if k < 0 {
+		k = 0
+	}
+	wave := append([]*Task(nil), e.queue[k:]...)
+	e.queue = e.queue[:k]
+	return wave
+}
+
+// RunTask steps one task. It reads only immutable run configuration and the
+// task's own state, so distinct tasks may be stepped concurrently.
+func (e *Exploration) RunTask(t *Task) TaskResult {
+	stats := &solver.Stats{}
+	r := &run{
+		net:   e.net,
+		opts:  e.opts,
+		alloc: expr.NewAllocBand(t.seq),
+		stats: stats,
+	}
+	var res TaskResult
+	if t.init != nil {
+		res.next = r.runInjection(t.st, e.inject, t.init)
+	} else {
+		t.st.Ctx.SetStats(stats)
+		res.next, res.err = r.step(t.st)
+		res.hops = 1
+	}
+	res.finished = r.finished
+	res.pruned = r.pruned
+	res.solver = *stats
+	res.alloc = r.alloc
+	return res
+}
+
+// runInjection builds the symbolic packet: injection code runs in the
+// context of the target element (so local metadata in templates scopes
+// sensibly) before the packet enters the port.
+func (r *run) runInjection(st *State, elem *Element, init sefl.Instr) []*State {
+	st.Ctx = solver.NewContext(r.stats)
+	var next []*State
+	for _, s := range r.exec(st, elem, init) {
+		if s.Status == Failed {
+			r.finish(s)
+			continue
+		}
+		if s.forwarding() {
+			r.finish(failWith(s, "injection code must not forward"))
+			continue
+		}
+		next = append(next, s)
+	}
+	return next
+}
+
+// Merge folds one wave of results — aligned with the slice Frontier
+// returned — back into the run and builds the next frontier. It returns the
+// first error in frontier order (deterministic regardless of which worker
+// hit it); a non-nil error aborts the run.
+func (e *Exploration) Merge(results []TaskResult) error {
+	if e.err != nil {
+		return e.err
+	}
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			e.err = res.err
+			return e.err
+		}
+		for _, st := range res.finished {
+			e.appendPath(st)
+		}
+		e.stats.Pruned += res.pruned
+		e.stats.Hops += res.hops
+		e.stats.Symbols += res.alloc.Count()
+		e.stats.Solver.Add(res.solver)
+		if e.opts.Stats != nil {
+			// Fold into the caller's collector wave by wave, so a run
+			// that aborts mid-way still reports the solver work it did
+			// (matching the old engine's live accumulation).
+			e.opts.Stats.Add(res.solver)
+		}
+		e.names.MergeNames(res.alloc)
+		for _, st := range res.next {
+			e.queue = append(e.queue, &Task{seq: e.nextSeq, st: st})
+			e.nextSeq++
+		}
+		if len(e.paths) > e.opts.MaxPaths {
+			e.err = fmt.Errorf("core: path budget exceeded (%d)", e.opts.MaxPaths)
+			return e.err
+		}
+	}
+	return nil
+}
+
+// appendPath finalizes a completed state as the next path in canonical
+// order.
+func (e *Exploration) appendPath(st *State) {
+	p := &Path{
+		ID:      len(e.paths),
+		Status:  st.Status,
+		FailMsg: st.FailMsg,
+		History: st.History,
+		Trace:   st.Trace,
+		Mem:     st.Mem,
+		Ctx:     st.Ctx,
+	}
+	e.paths = append(e.paths, p)
+	e.stats.Paths++
+	switch st.Status {
+	case Delivered:
+		e.stats.Delivered++
+	case Failed:
+		e.stats.Failed++
+	case Looped:
+		e.stats.Looped++
+	}
+}
+
+// Finish assembles the Result. Call only after Done with no error.
+func (e *Exploration) Finish() *Result {
+	// The result allocator starts past every band the run handed out, so
+	// callers minting follow-up symbols (extra query constraints) cannot
+	// collide with the run's own, and its Count tracks only those follow-up
+	// symbols (the run's total is Stats.Symbols).
+	alloc := expr.NewAllocAt(expr.SymID(e.nextSeq) << expr.BandBits)
+	alloc.MergeNames(e.names)
+	return &Result{Paths: e.paths, Stats: e.stats, Alloc: alloc}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"symnet/internal/expr"
+	"symnet/internal/sefl"
+)
+
+// TestResultAllocFreshAfterRun guards the post-run allocator contract:
+// symbols minted from Result.Alloc for follow-up queries must not collide
+// with any symbol the run allocated (the injection band starts at ID 0, so
+// a result allocator rewound to zero would silently alias the packet's
+// fields).
+func TestResultAllocFreshAfterRun(t *testing.T) {
+	net := NewNetwork()
+	nat := net.AddElement("N", "nat", 1, 1)
+	nat.SetInCode(0, sefl.Seq(
+		sefl.Assign{LV: sefl.TcpSrc, E: sefl.Symbolic{W: 16, Name: "rewritten"}},
+		sefl.Forward{Port: 0},
+	))
+	sink := net.AddElement("S", "sink", 1, 0)
+	sink.SetInCode(0, sefl.NoOp{})
+	net.MustLink("N", 0, "S", 0)
+
+	res, err := Run(net, PortRef{Elem: "N", Port: 0}, sefl.NewTCPPacket(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[expr.SymID]bool)
+	for _, p := range res.Paths {
+		for _, f := range p.Mem.Fields() {
+			if f.Set && !f.Val.IsConst() {
+				used[f.Val.Sym] = true
+			}
+		}
+	}
+	if len(used) == 0 {
+		t.Fatal("run allocated no symbols")
+	}
+	for i := 0; i < 4; i++ {
+		fresh := res.Alloc.Fresh(16, "probe")
+		if used[fresh.Sym] {
+			t.Fatalf("post-run Fresh returned ID %d, already used by the run", fresh.Sym)
+		}
+	}
+}

@@ -213,6 +213,20 @@ tcp-options strip-sack-http
 	return d
 }
 
+// AllPairs returns the canonical batch-verification scenario for the
+// department network: one source per access switch (an office host port)
+// plus the Internet-facing exit router, against the Internet, management,
+// labs and access-switch targets. cmd/symbench and the benchmarks share
+// this so they measure the same pair set.
+func (d *Department) AllPairs() (sources []core.PortRef, targets []string) {
+	for _, asw := range d.AccessSwitches {
+		sources = append(sources, core.PortRef{Elem: asw, Port: 1})
+	}
+	sources = append(sources, core.PortRef{Elem: "exit", Port: 1})
+	targets = append([]string{"internet", "mgmt", "labs"}, d.AccessSwitches...)
+	return sources, targets
+}
+
 // OfficePacket returns injection code for a packet from an office host:
 // a TCP packet with the office host's source MAC, destined to the ASA at
 // layer 2.

@@ -21,6 +21,15 @@ type Backbone struct {
 	Rules int
 }
 
+// AllPairs returns the canonical batch-verification scenario for the
+// backbone: inject at every zone router's host port, target every zone.
+func (b *Backbone) AllPairs() (sources []core.PortRef, targets []string) {
+	for _, z := range b.Zones {
+		sources = append(sources, core.PortRef{Elem: z, Port: 2})
+	}
+	return sources, b.Zones
+}
+
 // StanfordBackbone generates the Table 3 topology: nZones zone routers with
 // perZone /24 routes each, plus two backbone routers with per-zone routes.
 // Zone router ports: 0 -> bb1, 1 -> bb2, 2 -> hosts (unconnected). Backbone

@@ -17,15 +17,33 @@ import (
 // SymID identifies a symbolic value. IDs are unique within one Alloc
 // (i.e. within one symbolic-execution run), never across runs, keeping runs
 // deterministic and replayable.
-type SymID int32
+type SymID int64
 
 // NoSym marks the absence of a symbolic part in a Lin term.
 const NoSym SymID = -1
 
-// Alloc hands out fresh symbolic values. The zero value is ready to use.
+// BandBits sizes the per-task symbol bands used by the parallel engine: a
+// banded Alloc hands out IDs [band<<BandBits, (band+1)<<BandBits). Bands make
+// fresh-symbol IDs a function of a task's deterministic sequence number
+// rather than of worker interleaving, which is what keeps a parallel run
+// byte-identical to a sequential one.
+const BandBits = 21
+
+// Alloc hands out fresh symbolic values. The zero value is ready to use and
+// unbounded; NewAllocBand returns an Alloc restricted to one band.
 type Alloc struct {
+	base  SymID
 	next  SymID
+	limit SymID // exclusive; 0 means unbounded
 	names map[SymID]string
+}
+
+// NewAllocBand returns an allocator confined to the given band. Exhausting a
+// band (2^BandBits symbols from a single exploration step) panics: no
+// realistic SEFL step allocates millions of symbols.
+func NewAllocBand(band int64) *Alloc {
+	base := SymID(band) << BandBits
+	return &Alloc{base: base, next: base, limit: base + (1 << BandBits)}
 }
 
 // Fresh returns a new symbol of the given bit width. The name is only used
@@ -33,6 +51,9 @@ type Alloc struct {
 func (a *Alloc) Fresh(width int, name string) Lin {
 	if width <= 0 || width > 64 {
 		panic(fmt.Sprintf("expr: invalid symbol width %d", width))
+	}
+	if a.limit != 0 && a.next >= a.limit {
+		panic(fmt.Sprintf("expr: symbol band [%d,%d) exhausted", a.base, a.limit))
 	}
 	id := a.next
 	a.next++
@@ -46,10 +67,32 @@ func (a *Alloc) Fresh(width int, name string) Lin {
 }
 
 // Count reports how many symbols have been allocated.
-func (a *Alloc) Count() int { return int(a.next) }
+func (a *Alloc) Count() int { return int(a.next - a.base) }
 
 // Name returns the diagnostic name registered for id, or "".
 func (a *Alloc) Name(id SymID) string { return a.names[id] }
+
+// NewAllocAt returns an unbounded allocator whose first Fresh symbol is
+// start. The engine uses it to build a run's result allocator positioned
+// past every band the run handed out, so post-run Fresh symbols (follow-up
+// query constraints) cannot collide with the run's own.
+func NewAllocAt(start SymID) *Alloc {
+	return &Alloc{base: start, next: start}
+}
+
+// MergeNames copies o's diagnostic names into a (used when merging per-task
+// allocators into a run-level name table).
+func (a *Alloc) MergeNames(o *Alloc) {
+	if o == nil || len(o.names) == 0 {
+		return
+	}
+	if a.names == nil {
+		a.names = make(map[SymID]string, len(o.names))
+	}
+	for id, name := range o.names {
+		a.names[id] = name
+	}
+}
 
 // Mask returns the all-ones mask for a bit width in [1,64].
 func Mask(width int) uint64 {

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+// Job is one independent verification query: inject a packet, explore, keep
+// the result. Batch workloads — all-pairs reachability, repair-and-verify
+// loops that re-check many properties per candidate fix — are sets of Jobs.
+type Job struct {
+	// Name labels the job in its JobResult (e.g. "asw3->internet").
+	Name string
+	// Inject is the injection port.
+	Inject core.PortRef
+	// Packet builds the symbolic packet (sefl instruction trees are
+	// immutable, so one value may be shared across jobs).
+	Packet sefl.Instr
+	// Opts configures the run. Opts.Workers is ignored: batch parallelism
+	// is across jobs, each of which explores sequentially.
+	Opts core.Options
+}
+
+// JobResult pairs a Job with its outcome.
+type JobResult struct {
+	Name   string
+	Result *core.Result
+	Err    error
+}
+
+// RunBatch runs every job against the network, fanning jobs across a
+// bounded work-stealing pool (workers <= 0 selects GOMAXPROCS). Results are
+// returned in job order regardless of scheduling, and each job's Result is
+// identical to a standalone core.Run: jobs share the immutable network but
+// nothing else — every run has its own solver contexts, symbol namespace,
+// and statistics.
+func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
+	out := make([]JobResult, len(jobs))
+	NewPool(workers).Map(len(jobs), func(_, i int) {
+		j := jobs[i]
+		opts := j.Opts
+		opts.Workers = 0
+		// Jobs routinely share one Options value, so a caller-supplied
+		// stats collector would be hammered from every worker; collect
+		// per-job and fold into the caller's collector below, after the
+		// pool has drained.
+		opts.Stats = nil
+		res, err := core.Run(net, j.Inject, j.Packet, opts)
+		out[i] = JobResult{Name: j.Name, Result: res, Err: err}
+	})
+	for i, j := range jobs {
+		if j.Opts.Stats != nil && out[i].Result != nil {
+			j.Opts.Stats.Add(out[i].Result.Stats.Solver)
+		}
+	}
+	return out
+}

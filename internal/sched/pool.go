@@ -1,0 +1,128 @@
+// Package sched is the parallel exploration scheduler: a work-stealing
+// worker pool (Pool), a parallel driver for the core engine's exploration
+// waves (Run), and a batch query runner (RunBatch) that fans independent
+// verification jobs across the pool.
+//
+// Parallel runs are deterministic: the core engine assigns path IDs and
+// symbol bands from task sequence numbers fixed at frontier-construction
+// time, so Run with any worker count returns a Result identical to
+// core.Run. The pool only decides *where* a task executes, never what it
+// produces.
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool distributes index-addressed tasks over a fixed number of workers
+// using contiguous-range work stealing: each worker owns a span of task
+// indices, takes from its front, and steals the upper half of a victim's
+// remaining span when it runs dry. Task granularity in symbolic execution is
+// wildly uneven (one state may fan out into a thousand If branches while its
+// neighbor fails immediately), which is exactly the load shape stealing
+// handles and static chunking does not.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given size; workers <= 0 selects
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// span is one worker's owned range of task indices [lo, hi).
+type span struct {
+	mu sync.Mutex
+	lo int
+	hi int
+}
+
+// take pops the next index from the front of the span.
+func (s *span) take() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lo >= s.hi {
+		return 0, false
+	}
+	i := s.lo
+	s.lo++
+	return i, true
+}
+
+// stealFrom moves the upper half of v's remaining range into s (which must
+// be empty, i.e. owned by an idle worker). A victim with a single remaining
+// index is left alone: its owner will take it next.
+func (s *span) stealFrom(v *span) bool {
+	v.mu.Lock()
+	n := v.hi - v.lo
+	if n <= 1 {
+		v.mu.Unlock()
+		return false
+	}
+	mid := v.lo + n/2
+	lo, hi := mid, v.hi
+	v.hi = mid
+	v.mu.Unlock()
+
+	s.mu.Lock()
+	s.lo, s.hi = lo, hi
+	s.mu.Unlock()
+	return true
+}
+
+// Map invokes fn(worker, i) exactly once for every i in [0, n), fanning the
+// calls across the pool. worker identifies the executing worker in
+// [0, Workers()), letting callers keep per-worker accumulators without
+// locking. Map returns when every call has completed.
+func (p *Pool) Map(n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	spans := make([]*span, w)
+	for k := range spans {
+		spans[k] = &span{lo: k * n / w, hi: (k + 1) * n / w}
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			self := spans[k]
+			for {
+				if i, ok := self.take(); ok {
+					fn(k, i)
+					continue
+				}
+				stolen := false
+				for d := 1; d < w; d++ {
+					if self.stealFrom(spans[(k+d)%w]) {
+						stolen = true
+						break
+					}
+				}
+				if !stolen {
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8, 16} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			p := NewPool(workers)
+			counts := make([]int32, n)
+			p.Map(n, func(_, i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolMapWorkerIndexInRange(t *testing.T) {
+	p := NewPool(4)
+	var bad int32
+	p.Map(500, func(w, _ int) {
+		if w < 0 || w >= p.Workers() {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d calls saw an out-of-range worker index", bad)
+	}
+}
+
+// TestPoolMapUnevenLoad makes the first few indices vastly more expensive
+// than the rest; stealing must still complete every index exactly once.
+func TestPoolMapUnevenLoad(t *testing.T) {
+	p := NewPool(8)
+	n := 256
+	counts := make([]int32, n)
+	sink := int64(0)
+	p.Map(n, func(_, i int) {
+		atomic.AddInt32(&counts[i], 1)
+		work := 10
+		if i < 4 {
+			work = 200000 // force idle workers to steal the tail
+		}
+		s := int64(0)
+		for k := 0; k < work; k++ {
+			s += int64(k)
+		}
+		atomic.AddInt64(&sink, s)
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Workers() < 1 {
+		t.Fatal("zero workers")
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Fatalf("workers = %d, want 5", got)
+	}
+}

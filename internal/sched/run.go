@@ -1,0 +1,36 @@
+package sched
+
+import (
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+// Run explores all execution paths of a symbolic packet injected at the
+// given port, stepping each exploration wave across a work-stealing worker
+// pool. workers <= 0 selects GOMAXPROCS; workers == 1 is exactly core.Run.
+//
+// The Result — paths, statuses, IDs, statistics — is identical to a
+// sequential core.Run for every worker count: task sequence numbers (and
+// with them path IDs and fresh-symbol bands) are fixed when a wave is built,
+// before any worker touches it, and waves are merged in frontier order.
+func Run(net *core.Network, inject core.PortRef, init sefl.Instr, opts core.Options, workers int) (*core.Result, error) {
+	pool := NewPool(workers)
+	if pool.Workers() == 1 {
+		return core.Run(net, inject, init, opts)
+	}
+	e, err := core.NewExploration(net, inject, init, opts)
+	if err != nil {
+		return nil, err
+	}
+	for !e.Done() {
+		tasks := e.Frontier()
+		results := make([]core.TaskResult, len(tasks))
+		pool.Map(len(tasks), func(_, i int) {
+			results[i] = e.RunTask(tasks[i])
+		})
+		if err := e.Merge(results); err != nil {
+			return nil, err
+		}
+	}
+	return e.Finish(), nil
+}

@@ -1,0 +1,191 @@
+package sched_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/models"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+	"symnet/internal/verify"
+)
+
+// fingerprint serializes a Result completely enough that two equal
+// fingerprints mean byte-identical path sets: IDs, statuses, fail messages,
+// port histories, final header values (including fresh-symbol IDs, so the
+// band allocator is under test too), their solver domains, and the run
+// statistics.
+func fingerprint(res *core.Result) string {
+	var b strings.Builder
+	fields := []sefl.Hdr{sefl.EtherDst, sefl.EtherSrc, sefl.IPSrc, sefl.IPDst, sefl.IPTTL, sefl.TcpSrc, sefl.TcpDst}
+	for _, p := range res.Paths {
+		fmt.Fprintf(&b, "#%d %s %q", p.ID, p.Status, p.FailMsg)
+		for _, h := range p.History {
+			fmt.Fprintf(&b, " %s", h)
+		}
+		for _, f := range p.Mem.Fields() {
+			if f.Set {
+				fmt.Fprintf(&b, " @%d/%d=%s", f.Off, f.Size, f.Val)
+			}
+		}
+		for _, h := range fields {
+			if d, err := verify.FieldDomain(p, h); err == nil {
+				fmt.Fprintf(&b, " %s:%s", h.Name, d)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "stats %+v\n", res.Stats)
+	return b.String()
+}
+
+// checkDeterministic runs the same query sequentially and with 1, 2 and 8
+// workers and demands byte-identical results.
+func checkDeterministic(t *testing.T, name string, net *core.Network, inject core.PortRef, packet sefl.Instr, opts core.Options) {
+	t.Helper()
+	seq, err := core.Run(net, inject, packet, opts)
+	if err != nil {
+		t.Fatalf("%s: sequential run: %v", name, err)
+	}
+	want := fingerprint(seq)
+	if seq.Stats.Paths == 0 {
+		t.Fatalf("%s: sequential run explored no paths", name)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par, err := sched.Run(net, inject, packet, opts, workers)
+		if err != nil {
+			t.Fatalf("%s: %d-worker run: %v", name, workers, err)
+		}
+		got := fingerprint(par)
+		if got != want {
+			t.Errorf("%s: %d-worker result differs from sequential:\n--- sequential ---\n%s--- %d workers ---\n%s",
+				name, workers, want, workers, got)
+		}
+	}
+}
+
+func natFirewallNet(t *testing.T) *core.Network {
+	t.Helper()
+	net := core.NewNetwork()
+	fw := net.AddElement("FW", "stateful-firewall", 2, 2)
+	models.StatefulFirewall(fw, 0, 1, 0, 1)
+	nat := net.AddElement("NAT", "nat", 2, 2)
+	models.NAT(nat, models.DefaultNATConfig("141.85.37.2"))
+	srv := net.AddElement("SRV", "reflector", 1, 1)
+	srv.SetInCode(0, sefl.Seq(
+		sefl.Allocate{LV: sefl.Meta{Name: "t"}, Size: 32},
+		sefl.Assign{LV: sefl.Meta{Name: "t"}, E: sefl.Ref{LV: sefl.IPSrc}},
+		sefl.Assign{LV: sefl.IPSrc, E: sefl.Ref{LV: sefl.IPDst}},
+		sefl.Assign{LV: sefl.IPDst, E: sefl.Ref{LV: sefl.Meta{Name: "t"}}},
+		sefl.Deallocate{LV: sefl.Meta{Name: "t"}, Size: 32},
+		sefl.Allocate{LV: sefl.Meta{Name: "tp"}, Size: 16},
+		sefl.Assign{LV: sefl.Meta{Name: "tp"}, E: sefl.Ref{LV: sefl.TcpSrc}},
+		sefl.Assign{LV: sefl.TcpSrc, E: sefl.Ref{LV: sefl.TcpDst}},
+		sefl.Assign{LV: sefl.TcpDst, E: sefl.Ref{LV: sefl.Meta{Name: "tp"}}},
+		sefl.Deallocate{LV: sefl.Meta{Name: "tp"}, Size: 16},
+		sefl.Forward{Port: 0},
+	))
+	host := net.AddElement("HOST", "host", 1, 0)
+	host.SetInCode(0, sefl.NoOp{})
+	net.MustLink("FW", 0, "NAT", 0)
+	net.MustLink("NAT", 0, "SRV", 0)
+	net.MustLink("SRV", 0, "NAT", 1)
+	net.MustLink("NAT", 1, "FW", 1)
+	net.MustLink("FW", 1, "HOST", 0)
+	return net
+}
+
+func smallDepartment(fixed bool) *datasets.Department {
+	return datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 3, HostsPerSwitch: 24, Routes: 40, Seed: 5, Fixed: fixed})
+}
+
+func TestRunDeterministicDepartment(t *testing.T) {
+	d := smallDepartment(false)
+	opts := core.Options{MaxHops: 64}
+	checkDeterministic(t, "department office",
+		d.Net, core.PortRef{Elem: "asw0", Port: 1}, d.OfficePacket(false), opts)
+	checkDeterministic(t, "department inbound",
+		d.Net, core.PortRef{Elem: "exit", Port: 1}, sefl.NewTCPPacket(), opts)
+}
+
+func TestRunDeterministicSplitTCP(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  datasets.SplitTCPConfig
+	}{
+		{"plain", datasets.SplitTCPConfig{ProxyRewritesMAC: true}},
+		{"tunnel-mtu", datasets.SplitTCPConfig{Tunnel: true, MTUDrop: true, ProxyRewritesMAC: true}},
+		{"vlan-bug", datasets.SplitTCPConfig{ProxyStripsVLAN: true, ProxyRewritesMAC: true}},
+		{"dhcp", datasets.SplitTCPConfig{DHCPAppliance: true, ProxyRewritesMAC: true}},
+	} {
+		net := datasets.NewSplitTCP(tc.cfg)
+		checkDeterministic(t, "splittcp/"+tc.name,
+			net, core.PortRef{Elem: "ap", Port: 0}, datasets.SplitTCPClientPacket(),
+			core.Options{MaxHops: 64})
+	}
+}
+
+// TestRunDeterministicNATFirewall covers mid-path fresh-symbol allocation
+// (the NAT's rewritten source port), the case banded allocation exists for.
+func TestRunDeterministicNATFirewall(t *testing.T) {
+	net := natFirewallNet(t)
+	checkDeterministic(t, "nat+firewall roundtrip",
+		net, core.PortRef{Elem: "FW", Port: 0}, sefl.NewTCPPacket(), core.Options{})
+	checkDeterministic(t, "nat+firewall unsolicited",
+		net, core.PortRef{Elem: "NAT", Port: 1}, sefl.NewTCPPacket(), core.Options{})
+}
+
+func TestRunDeterministicStanford(t *testing.T) {
+	bb := datasets.StanfordBackbone(4, 30)
+	checkDeterministic(t, "stanford zone inject",
+		bb.Net, core.PortRef{Elem: bb.Zones[0], Port: 2}, sefl.NewIPPacket(), core.Options{})
+}
+
+func TestRunDeterministicWithLoopDetection(t *testing.T) {
+	d := smallDepartment(false)
+	checkDeterministic(t, "department loop-full",
+		d.Net, core.PortRef{Elem: "asw0", Port: 1}, d.OfficePacket(false),
+		core.Options{MaxHops: 64, Loop: core.LoopFull})
+}
+
+// TestRunDeterministicWideFrontier drives a Basic-style switch whose single
+// ingress step fans out into ~1500 branch states — more than one wave
+// (maxWave=1024) can hold — so the wave-cutting rule itself is exercised.
+func TestRunDeterministicWideFrontier(t *testing.T) {
+	tbl := datasets.SwitchTable(1500, 20, 42)
+	net := core.NewNetwork()
+	sw := net.AddElement("SW", "switch", 1, 20)
+	if err := models.Switch(sw, tbl, models.Basic); err != nil {
+		t.Fatal(err)
+	}
+	checkDeterministic(t, "wide basic switch",
+		net, core.PortRef{Elem: "SW", Port: 0}, sefl.NewEthernetPacket(), core.Options{})
+}
+
+func TestRunErrorsMatchSequential(t *testing.T) {
+	d := smallDepartment(false)
+	// Invalid injection port.
+	_, seqErr := core.Run(d.Net, core.PortRef{Elem: "nosuch", Port: 0}, sefl.NewTCPPacket(), core.Options{})
+	_, parErr := sched.Run(d.Net, core.PortRef{Elem: "nosuch", Port: 0}, sefl.NewTCPPacket(), core.Options{}, 4)
+	if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+		t.Fatalf("inject errors differ: seq=%v par=%v", seqErr, parErr)
+	}
+	// Path budget exceeded. A caller-supplied stats collector must still
+	// report the solver work done before the abort.
+	collector := &solver.Stats{}
+	opts := core.Options{MaxHops: 64, MaxPaths: 2, Stats: collector}
+	_, seqErr = core.Run(d.Net, core.PortRef{Elem: "exit", Port: 1}, sefl.NewTCPPacket(), opts)
+	if collector.Adds == 0 {
+		t.Fatal("aborted run reported no solver work to the caller's collector")
+	}
+	opts.Stats = &solver.Stats{}
+	_, parErr = sched.Run(d.Net, core.PortRef{Elem: "exit", Port: 1}, sefl.NewTCPPacket(), opts, 4)
+	if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+		t.Fatalf("budget errors differ: seq=%v par=%v", seqErr, parErr)
+	}
+}

@@ -17,6 +17,15 @@ type Stats struct {
 	Models    int // concrete models generated
 }
 
+// Add accumulates o into s. Counter sums are order-independent, so merging
+// per-worker collectors yields the same totals as a sequential run.
+func (s *Stats) Add(o Stats) {
+	s.Adds += o.Adds
+	s.SatChecks += o.SatChecks
+	s.Branches += o.Branches
+	s.Models += o.Models
+}
+
 type ufEntry struct {
 	parent expr.SymID // root when parent == self
 	off    uint64     // value(self) = value(parent) + off (mod 2^width)
@@ -78,6 +87,16 @@ func NewContext(stats *Stats) *Context {
 
 // Stats returns the shared stats collector.
 func (c *Context) Stats() *Stats { return c.stats }
+
+// SetStats repoints the context at a different collector. The parallel
+// engine calls this when a state created on one worker is stepped by
+// another, so each worker only ever increments its own counters.
+func (c *Context) SetStats(s *Stats) {
+	if s == nil {
+		s = &Stats{}
+	}
+	c.stats = s
+}
 
 // Unsat reports whether the context has been refuted by propagation alone.
 func (c *Context) Unsat() bool { return c.unsat }

@@ -1,0 +1,69 @@
+package verify
+
+import (
+	"fmt"
+
+	"symnet/internal/core"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+)
+
+// AllPairsReport answers "which sources reach which targets?" for a set of
+// injection ports and target elements — the workload shape of batch
+// verification and repair-and-verify tools, which re-run many reachability
+// queries per candidate configuration change.
+type AllPairsReport struct {
+	Sources []core.PortRef
+	Targets []string
+	// Reachable[s][t] reports whether any delivered path from Sources[s]
+	// ends at Targets[t].
+	Reachable [][]bool
+	// PathCount[s][t] is the number of such paths.
+	PathCount [][]int
+	// Results holds the per-source run results, aligned with Sources, for
+	// follow-up queries (ConcretePacket, FieldEndToEnd, ...).
+	Results []*core.Result
+}
+
+// ReachedPaths returns the delivered paths from Sources[s] to Targets[t].
+func (r *AllPairsReport) ReachedPaths(s, t int) []*core.Path {
+	return r.Results[s].DeliveredAt(r.Targets[t], -1)
+}
+
+// Pairs returns the number of (source, target) pairs answered.
+func (r *AllPairsReport) Pairs() int { return len(r.Sources) * len(r.Targets) }
+
+// AllPairsReachability injects the packet at every source and reports, for
+// each (source, target) pair, whether the target is reachable. One symbolic
+// run per source answers all targets for that source; runs are fanned across
+// a bounded worker pool (workers <= 0 selects GOMAXPROCS). The report is
+// deterministic: results are merged in source order, and each run is
+// identical to a standalone core.Run.
+func AllPairsReachability(net *core.Network, sources []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int) (*AllPairsReport, error) {
+	jobs := make([]sched.Job, len(sources))
+	for i, src := range sources {
+		jobs[i] = sched.Job{Name: src.String(), Inject: src, Packet: packet, Opts: opts}
+	}
+	results := sched.RunBatch(net, jobs, workers)
+	rep := &AllPairsReport{
+		Sources:   sources,
+		Targets:   targets,
+		Reachable: make([][]bool, len(sources)),
+		PathCount: make([][]int, len(sources)),
+		Results:   make([]*core.Result, len(sources)),
+	}
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("verify: all-pairs source %s: %w", jr.Name, jr.Err)
+		}
+		rep.Results[i] = jr.Result
+		rep.Reachable[i] = make([]bool, len(targets))
+		rep.PathCount[i] = make([]int, len(targets))
+		for t, target := range targets {
+			paths := jr.Result.DeliveredAt(target, -1)
+			rep.Reachable[i][t] = len(paths) > 0
+			rep.PathCount[i][t] = len(paths)
+		}
+	}
+	return rep, nil
+}

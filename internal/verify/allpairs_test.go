@@ -1,0 +1,151 @@
+package verify_test
+
+import (
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+	"symnet/internal/verify"
+)
+
+func deptSources(d *datasets.Department) []core.PortRef {
+	var srcs []core.PortRef
+	for _, asw := range d.AccessSwitches {
+		srcs = append(srcs, core.PortRef{Elem: asw, Port: 1})
+	}
+	srcs = append(srcs, core.PortRef{Elem: "exit", Port: 1})
+	return srcs
+}
+
+func TestAllPairsReachabilityDepartment(t *testing.T) {
+	cfg := datasets.DepartmentConfig{NumAccessSwitches: 3, HostsPerSwitch: 24, Routes: 40, Seed: 5}
+	targets := []string{"internet", "mgmt"}
+	for _, fixed := range []bool{false, true} {
+		cfg.Fixed = fixed
+		d := datasets.NewDepartment(cfg)
+		srcs := deptSources(d)
+		rep, err := verify.AllPairsReachability(d.Net, srcs, sefl.NewTCPPacket(), targets,
+			core.Options{MaxHops: 64}, 8)
+		if err != nil {
+			t.Fatalf("fixed=%v: %v", fixed, err)
+		}
+		if rep.Pairs() != len(srcs)*len(targets) {
+			t.Fatalf("pairs = %d", rep.Pairs())
+		}
+		// Every office source reaches the Internet through the ASA.
+		for s := range d.AccessSwitches {
+			if !rep.Reachable[s][0] {
+				t.Errorf("fixed=%v: %s cannot reach internet", fixed, srcs[s])
+			}
+		}
+		// The inbound management hole (§8.5): open before the fix, closed
+		// after the admins update the static routes.
+		inbound := len(srcs) - 1
+		if got := rep.Reachable[inbound][1]; got == fixed {
+			t.Errorf("fixed=%v: inbound->mgmt reachable = %v", fixed, got)
+		}
+	}
+}
+
+// TestAllPairsAgreesWithSingleRuns cross-checks the batched report against
+// individual Reachability queries.
+func TestAllPairsAgreesWithSingleRuns(t *testing.T) {
+	d := datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 3, HostsPerSwitch: 24, Routes: 40, Seed: 5})
+	srcs := deptSources(d)
+	targets := []string{"internet", "mgmt", "labs"}
+	opts := core.Options{MaxHops: 64}
+	rep, err := verify.AllPairsReachability(d.Net, srcs, sefl.NewTCPPacket(), targets, opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, src := range srcs {
+		for ti, target := range targets {
+			single, err := verify.Reachability(d.Net, src, sefl.NewTCPPacket(), target, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if single.Reachable() != rep.Reachable[s][ti] {
+				t.Errorf("%s->%s: batch says %v, single run says %v",
+					src, target, rep.Reachable[s][ti], single.Reachable())
+			}
+			if len(single.Reached) != rep.PathCount[s][ti] {
+				t.Errorf("%s->%s: batch counts %d paths, single run %d",
+					src, target, rep.PathCount[s][ti], len(single.Reached))
+			}
+		}
+	}
+}
+
+// TestSolverQueriesOnParallelPaths exercises ConcretePacket and
+// FieldEndToEnd on paths produced by the parallel engine: per-path solver
+// contexts must remain independent and satisfiable regardless of which
+// worker built them.
+func TestSolverQueriesOnParallelPaths(t *testing.T) {
+	net := datasets.NewSplitTCP(datasets.SplitTCPConfig{ProxyRewritesMAC: true})
+	res, err := sched.Run(net, core.PortRef{Elem: "ap", Port: 0},
+		datasets.SplitTCPClientPacket(), core.Options{MaxHops: 64}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := res.ByStatus(core.Delivered)
+	if len(delivered) == 0 {
+		t.Fatal("no delivered paths")
+	}
+	fields := []sefl.Hdr{sefl.IPSrc, sefl.IPDst, sefl.TcpSrc, sefl.TcpDst, sefl.IPLen}
+	for _, p := range delivered {
+		pkt, err := verify.ConcretePacket(p, fields)
+		if err != nil {
+			t.Fatalf("path %d: ConcretePacket: %v", p.ID, err)
+		}
+		// The client packet constrains 40 <= IPLen <= 9000; any concrete
+		// witness must honor it.
+		if l := pkt["IPLen"]; l < 40 || l > 9000 {
+			t.Errorf("path %d: concrete IPLen %d outside [40,9000]", p.ID, l)
+		}
+		// The round trip crosses the mirror exactly once, which swaps the
+		// IP addresses: IPSrc must NOT be end-to-end invariant, while
+		// TcpDst (untouched by every box on the path) must be.
+		if p.Last().Elem == "client" {
+			swapped, err := verify.FieldEndToEnd(p, sefl.IPSrc)
+			if err != nil {
+				t.Fatalf("path %d: FieldEndToEnd(IPSrc): %v", p.ID, err)
+			}
+			if swapped {
+				t.Errorf("path %d: IPSrc end-to-end invariant despite the mirror swap", p.ID)
+			}
+			kept, err := verify.FieldEndToEnd(p, sefl.TcpDst)
+			if err != nil {
+				t.Fatalf("path %d: FieldEndToEnd(TcpDst): %v", p.ID, err)
+			}
+			if !kept {
+				t.Errorf("path %d: TcpDst not end-to-end invariant", p.ID)
+			}
+		}
+	}
+
+	// The same queries must give the same answers on the sequential run.
+	seq, err := core.Run(net, core.PortRef{Elem: "ap", Port: 0},
+		datasets.SplitTCPClientPacket(), core.Options{MaxHops: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Paths) != len(res.Paths) {
+		t.Fatalf("path count differs: seq %d, parallel %d", len(seq.Paths), len(res.Paths))
+	}
+	for i := range seq.Paths {
+		sp, pp := seq.Paths[i], res.Paths[i]
+		spkt, err1 := verify.ConcretePacket(sp, fields)
+		ppkt, err2 := verify.ConcretePacket(pp, fields)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("path %d: ConcretePacket err seq=%v par=%v", i, err1, err2)
+		}
+		for _, f := range fields {
+			if spkt[f.Name] != ppkt[f.Name] {
+				t.Errorf("path %d field %s: seq %d, parallel %d", i, f.Name, spkt[f.Name], ppkt[f.Name])
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ package symnet
 
 import (
 	"symnet/internal/core"
+	"symnet/internal/sched"
 	"symnet/internal/sefl"
 )
 
@@ -65,11 +66,39 @@ const (
 	LoopAddrOnly = core.LoopAddrOnly
 )
 
+// Batch types. See internal/sched for full documentation.
+type (
+	// BatchJob is one independent verification query in a batch.
+	BatchJob = sched.Job
+	// BatchResult pairs a BatchJob with its outcome.
+	BatchResult = sched.JobResult
+)
+
 // NewNetwork returns an empty network.
 func NewNetwork() *Network { return core.NewNetwork() }
 
 // Run injects a symbolic packet built by init at an input port and explores
-// every feasible path.
+// every feasible path. When opts.Workers > 1, exploration is fanned across
+// that many workers; 0 and 1 stay sequential (the zero Options value never
+// spawns goroutines — use RunParallel for all-cores-by-default). The Result
+// is identical either way.
 func Run(net *Network, inject PortRef, init sefl.Instr, opts Options) (*Result, error) {
+	if opts.Workers > 1 {
+		return sched.Run(net, inject, init, opts, opts.Workers)
+	}
 	return core.Run(net, inject, init, opts)
+}
+
+// RunParallel is Run with parallel exploration: opts.Workers selects the
+// worker count (<= 0 selects all cores). Results are identical to a
+// sequential Run — same paths, same statuses, same IDs.
+func RunParallel(net *Network, inject PortRef, init sefl.Instr, opts Options) (*Result, error) {
+	return sched.Run(net, inject, init, opts, opts.Workers)
+}
+
+// RunBatch runs independent queries against the network, fanning jobs
+// across a bounded worker pool (workers <= 0 selects GOMAXPROCS). Results
+// are returned in job order.
+func RunBatch(net *Network, jobs []BatchJob, workers int) []BatchResult {
+	return sched.RunBatch(net, jobs, workers)
 }
