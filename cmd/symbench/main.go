@@ -1,5 +1,8 @@
 // Command symbench regenerates the paper's tables and figures and prints
-// rows shaped like the originals. Select experiments with -run.
+// rows shaped like the originals. Select experiments with -run. With -json
+// the same measurements are emitted as a machine-readable JSON array
+// (experiment, name, paths, hops, ns/op, solver stats) for recording perf
+// trajectories.
 //
 //	symbench -run table1      # Klee paths/runtimes on options code
 //	symbench -run fig8        # switch model scaling (Basic/Ingress/Egress)
@@ -14,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,45 +30,93 @@ import (
 	"symnet/internal/experiments"
 	"symnet/internal/models"
 	"symnet/internal/sefl"
+	"symnet/internal/solver"
 	"symnet/internal/verify"
 )
+
+// jsonRow is one machine-readable measurement. Paths/Hops/NsPerOp/Solver
+// are filled when the experiment exposes them; experiment-specific columns
+// ride in Extra.
+type jsonRow struct {
+	Experiment string         `json:"experiment"`
+	Name       string         `json:"name,omitempty"`
+	Paths      int            `json:"paths,omitempty"`
+	Hops       int            `json:"hops,omitempty"`
+	NsPerOp    int64          `json:"ns_per_op,omitempty"`
+	Solver     *solver.Stats  `json:"solver,omitempty"`
+	Extra      map[string]any `json:"extra,omitempty"`
+}
+
+// reporter collects JSON rows or passes human-readable output through,
+// depending on -json.
+type reporter struct {
+	jsonMode bool
+	rows     []jsonRow
+}
+
+// printf emits human-readable output (suppressed in JSON mode).
+func (r *reporter) printf(format string, args ...any) {
+	if !r.jsonMode {
+		fmt.Printf(format, args...)
+	}
+}
+
+func (r *reporter) add(row jsonRow) {
+	if r.jsonMode {
+		r.rows = append(r.rows, row)
+	}
+}
+
+func (r *reporter) flush() error {
+	if !r.jsonMode {
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.rows)
+}
 
 func main() {
 	run := flag.String("run", "all", "experiment to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|all)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of paper-shaped tables")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	rep := &reporter{jsonMode: *jsonOut}
 	sel := strings.ToLower(*run)
 	want := func(name string) bool { return sel == "all" || sel == name }
 	if want("table1") {
-		table1(*quick)
+		table1(rep, *quick)
 	}
 	if want("fig8") {
-		fig8(*quick)
+		fig8(rep, *quick)
 	}
 	if want("table2") {
-		table2(*quick)
+		table2(rep, *quick)
 	}
 	if want("table3") {
-		table3(*quick)
+		table3(rep, *quick)
 	}
 	if want("table4") {
-		table4()
+		table4(rep)
 	}
 	if want("table5") {
-		table5()
+		table5(rep)
 	}
 	if want("splittcp") {
-		splittcp()
+		splittcp(rep)
 	}
 	if want("dept") {
-		dept(*quick)
+		dept(rep, *quick)
 	}
 	if want("allpairs") {
-		allpairs(*quick, *workers)
+		allpairs(rep, *quick, *workers)
+	}
+	if err := rep.flush(); err != nil {
+		fail(err)
 	}
 }
 
@@ -73,22 +125,29 @@ func fail(err error) {
 	os.Exit(1)
 }
 
-func table1(quick bool) {
+func table1(rep *reporter, quick bool) {
 	maxLen := 7
 	if quick {
 		maxLen = 5
 	}
-	fmt.Println("== Table 1: naive symbolic execution of TCP-options parsing ==")
-	fmt.Printf("%-8s %-12s %-12s %s\n", "Length", "Paths", "Paper", "Runtime")
+	rep.printf("== Table 1: naive symbolic execution of TCP-options parsing ==\n")
+	rep.printf("%-8s %-12s %-12s %s\n", "Length", "Paths", "Paper", "Runtime")
 	for _, r := range experiments.Table1(maxLen) {
-		fmt.Printf("%-8d %-12d %-12d %v\n", r.Length, r.Paths, r.PaperPaths, r.Time)
+		rep.printf("%-8d %-12d %-12d %v\n", r.Length, r.Paths, r.PaperPaths, r.Time)
+		rep.add(jsonRow{
+			Experiment: "table1",
+			Name:       fmt.Sprintf("len%d", r.Length),
+			Paths:      r.Paths,
+			NsPerOp:    r.Time.Nanoseconds(),
+			Extra:      map[string]any{"paper_paths": r.PaperPaths},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func fig8(quick bool) {
-	fmt.Println("== Fig. 8: switch model scaling (symbolic EtherDst) ==")
-	fmt.Printf("%-9s %-10s %-8s %-12s %s\n", "Style", "Entries", "Paths", "SolverOps", "Time")
+func fig8(rep *reporter, quick bool) {
+	rep.printf("== Fig. 8: switch model scaling (symbolic EtherDst) ==\n")
+	rep.printf("%-9s %-10s %-8s %-12s %s\n", "Style", "Entries", "Paths", "SolverOps", "Time")
 	if quick {
 		experiments.Fig8Limits[models.Egress] = 100000
 	}
@@ -97,14 +156,21 @@ func fig8(quick bool) {
 		fail(err)
 	}
 	for _, r := range rows {
-		fmt.Printf("%-9v %-10d %-8d %-12d %v\n", r.Style, r.Entries, r.Paths, r.SolverOps, r.Time)
+		rep.printf("%-9v %-10d %-8d %-12d %v\n", r.Style, r.Entries, r.Paths, r.SolverOps, r.Time)
+		rep.add(jsonRow{
+			Experiment: "fig8",
+			Name:       fmt.Sprintf("%v-%d", r.Style, r.Entries),
+			Paths:      r.Paths,
+			NsPerOp:    r.Time.Nanoseconds(),
+			Extra:      map[string]any{"entries": r.Entries, "solver_ops": r.SolverOps},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func table2(quick bool) {
-	fmt.Println("== Table 2: core-router analysis ==")
-	fmt.Printf("%-9s %-10s %-8s %-12s %-12s %s\n", "Style", "Prefixes", "Paths", "GenTime", "Runtime", "Exclusions")
+func table2(rep *reporter, quick bool) {
+	rep.printf("== Table 2: core-router analysis ==\n")
+	rep.printf("%-9s %-10s %-8s %-12s %-12s %s\n", "Style", "Prefixes", "Paths", "GenTime", "Runtime", "Exclusions")
 	ports := 16
 	if quick {
 		ports = 8
@@ -115,16 +181,30 @@ func table2(quick bool) {
 	}
 	for _, r := range rows {
 		if r.DNF {
-			fmt.Printf("%-9v %-10d DNF\n", r.Style, r.Prefixes)
+			rep.printf("%-9v %-10d DNF\n", r.Style, r.Prefixes)
+			rep.add(jsonRow{
+				Experiment: "table2",
+				Name:       fmt.Sprintf("%v-%d", r.Style, r.Prefixes),
+				Extra:      map[string]any{"prefixes": r.Prefixes, "dnf": true},
+			})
 			continue
 		}
-		fmt.Printf("%-9v %-10d %-8d %-12v %-12v %d\n", r.Style, r.Prefixes, r.Paths, r.GenTime, r.Time, r.Exclusions)
+		rep.printf("%-9v %-10d %-8d %-12v %-12v %d\n", r.Style, r.Prefixes, r.Paths, r.GenTime, r.Time, r.Exclusions)
+		rep.add(jsonRow{
+			Experiment: "table2",
+			Name:       fmt.Sprintf("%v-%d", r.Style, r.Prefixes),
+			Paths:      r.Paths,
+			NsPerOp:    r.Time.Nanoseconds(),
+			Extra: map[string]any{
+				"prefixes": r.Prefixes, "gen_ns": r.GenTime.Nanoseconds(), "exclusions": r.Exclusions,
+			},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func table3(quick bool) {
-	fmt.Println("== Table 3: HSA vs SymNet (Stanford-like backbone) ==")
+func table3(rep *reporter, quick bool) {
+	rep.printf("== Table 3: HSA vs SymNet (Stanford-like backbone) ==\n")
 	zones, perZone := 14, 1000
 	if quick {
 		zones, perZone = 8, 100
@@ -133,37 +213,53 @@ func table3(quick bool) {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("%-8s %-14s %-14s %s\n", "Tool", "Generation", "Runtime", "Endpoints")
+	rep.printf("%-8s %-14s %-14s %s\n", "Tool", "Generation", "Runtime", "Endpoints")
 	for _, r := range rows {
-		fmt.Printf("%-8s %-14v %-14v %d\n", r.Tool, r.GenTime, r.RunTime, r.Reached)
+		rep.printf("%-8s %-14v %-14v %d\n", r.Tool, r.GenTime, r.RunTime, r.Reached)
+		rep.add(jsonRow{
+			Experiment: "table3",
+			Name:       r.Tool,
+			NsPerOp:    r.RunTime.Nanoseconds(),
+			Extra:      map[string]any{"gen_ns": r.GenTime.Nanoseconds(), "endpoints": r.Reached},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func table4() {
-	fmt.Println("== Table 4: Klee vs SymNet on TCP-options firewall code ==")
+func table4(rep *reporter) {
+	rep.printf("== Table 4: Klee vs SymNet on TCP-options firewall code ==\n")
 	rows, err := experiments.Table4()
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("%-34s %-32s %s\n", "Property", "Klee (naive executor)", "SymNet (SEFL model)")
+	rep.printf("%-34s %-32s %s\n", "Property", "Klee (naive executor)", "SymNet (SEFL model)")
 	for _, r := range rows {
-		fmt.Printf("%-34s %-32s %s\n", r.Property, r.Klee, r.SymNet)
+		rep.printf("%-34s %-32s %s\n", r.Property, r.Klee, r.SymNet)
+		rep.add(jsonRow{
+			Experiment: "table4",
+			Name:       r.Property,
+			Extra:      map[string]any{"klee": r.Klee, "symnet": r.SymNet},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func table5() {
-	fmt.Println("== Table 5: verification-tool capabilities (SymNet column verified by runnable scenarios) ==")
-	fmt.Printf("%-26s %-6s %-6s %s\n", "Capability", "HSA", "NOD", "SymNet")
+func table5(rep *reporter) {
+	rep.printf("== Table 5: verification-tool capabilities (SymNet column verified by runnable scenarios) ==\n")
+	rep.printf("%-26s %-6s %-6s %s\n", "Capability", "HSA", "NOD", "SymNet")
 	for _, r := range experiments.Table5() {
-		fmt.Printf("%-26s %-6s %-6s %s\n", r.Capability, r.HSA, r.NOD, r.SymNet)
+		rep.printf("%-26s %-6s %-6s %s\n", r.Capability, r.HSA, r.NOD, r.SymNet)
+		rep.add(jsonRow{
+			Experiment: "table5",
+			Name:       r.Capability,
+			Extra:      map[string]any{"hsa": r.HSA, "nod": r.NOD, "symnet": r.SymNet},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func splittcp() {
-	fmt.Println("== §8.4: Split-TCP middlebox scenarios (Fig. 10) ==")
+func splittcp(rep *reporter) {
+	rep.printf("== §8.4: Split-TCP middlebox scenarios (Fig. 10) ==\n")
 	fs, err := experiments.SplitTCP()
 	if err != nil {
 		fail(err)
@@ -173,13 +269,18 @@ func splittcp() {
 		if !f.OK {
 			status = "FAILED"
 		}
-		fmt.Printf("%-28s %-56s %s\n", f.Scenario, f.Detail, status)
+		rep.printf("%-28s %-56s %s\n", f.Scenario, f.Detail, status)
+		rep.add(jsonRow{
+			Experiment: "splittcp",
+			Name:       f.Scenario,
+			Extra:      map[string]any{"ok": f.OK, "detail": f.Detail},
+		})
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func dept(quick bool) {
-	fmt.Println("== §8.5: CS department network (Fig. 11) ==")
+func dept(rep *reporter, quick bool) {
+	rep.printf("== §8.5: CS department network (Fig. 11) ==\n")
 	cfg := datasets.DefaultDepartment()
 	if quick {
 		cfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 5}
@@ -194,23 +295,42 @@ func dept(quick bool) {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("-- %s (MACs=%d routes=%d paths=%d) --\n", label, cfg.HostsPerSwitch*cfg.NumAccessSwitches, cfg.Routes, res.Stats.Paths)
+		rep.printf("-- %s (MACs=%d routes=%d paths=%d) --\n", label, cfg.HostsPerSwitch*cfg.NumAccessSwitches, cfg.Routes, res.Stats.Paths)
+		solverStats := res.Stats.Solver
+		rep.add(jsonRow{
+			Experiment: "dept",
+			Name:       label,
+			Paths:      res.Stats.Paths,
+			Hops:       res.Stats.Hops,
+			Solver:     &solverStats,
+			Extra: map[string]any{
+				"macs": cfg.HostsPerSwitch * cfg.NumAccessSwitches, "routes": cfg.Routes,
+			},
+		})
 		for _, f := range fs {
 			status := "OK"
 			if !f.OK {
 				status = "FAILED"
 			}
-			fmt.Printf("%-46s %-52s %s\n", f.Name, f.Detail, status)
+			rep.printf("%-46s %-52s %s\n", f.Name, f.Detail, status)
+			rep.add(jsonRow{
+				Experiment: "dept",
+				Name:       label + "/" + f.Name,
+				Extra:      map[string]any{"ok": f.OK, "detail": f.Detail},
+			})
 		}
 	}
-	fmt.Println()
+	rep.printf("\n")
 }
 
 // allpairs measures batch all-pairs reachability — the workload shape of
-// repair-and-verify tools — sequentially and on the worker pool.
-func allpairs(quick bool, workers int) {
-	fmt.Println("== All-pairs reachability: sequential vs parallel batch ==")
-	fmt.Printf("%-22s %-8s %-8s %-12s %-12s %s\n", "Dataset", "Sources", "Pairs", "Seq", fmt.Sprintf("Par(%d)", workers), "Speedup")
+// repair-and-verify tools — sequentially and on the worker pool. Each pass
+// uses its own satisfiability memo cache (so the speedup column measures
+// parallelism, not cache warmth); the reported memo_hits/memo_misses are
+// the sequential pass's intra-batch hit rate.
+func allpairs(rep *reporter, quick bool, workers int) {
+	rep.printf("== All-pairs reachability: sequential vs parallel batch ==\n")
+	rep.printf("%-22s %-8s %-8s %-12s %-12s %s\n", "Dataset", "Sources", "Pairs", "Seq", fmt.Sprintf("Par(%d)", workers), "Speedup")
 
 	deptCfg := datasets.DefaultDepartment()
 	if quick {
@@ -218,7 +338,7 @@ func allpairs(quick bool, workers int) {
 	}
 	d := datasets.NewDepartment(deptCfg)
 	deptSrcs, deptTargets := d.AllPairs()
-	allpairsRow("department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
+	allpairsRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
 		core.Options{MaxHops: 64}, workers)
 
 	zones, perZone := 14, 300
@@ -227,20 +347,28 @@ func allpairs(quick bool, workers int) {
 	}
 	bb := datasets.StanfordBackbone(zones, perZone)
 	bbSrcs, bbTargets := bb.AllPairs()
-	allpairsRow("stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
+	allpairsRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
 		core.Options{}, workers)
-	fmt.Println()
+	rep.printf("\n")
 }
 
-func allpairsRow(name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int) {
+func allpairsRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int) {
+	// Each pass gets its own stats collector and memo cache: a cache
+	// warmed by the sequential pass would inflate the parallel pass (and
+	// the speedup column would conflate memoization with parallelism).
+	var seqStats, parStats solver.Stats
+	seqMemo, parMemo := solver.NewSatCache(), solver.NewSatCache()
+	seqOpts, parOpts := opts, opts
+	seqOpts.Stats, seqOpts.SatMemo = &seqStats, seqMemo
+	parOpts.Stats, parOpts.SatMemo = &parStats, parMemo
 	t0 := time.Now()
-	seqRep, err := verify.AllPairsReachability(net, srcs, packet, targets, opts, 1)
+	seqRep, err := verify.AllPairsReachability(net, srcs, packet, targets, seqOpts, 1)
 	if err != nil {
 		fail(err)
 	}
 	seq := time.Since(t0)
 	t0 = time.Now()
-	parRep, err := verify.AllPairsReachability(net, srcs, packet, targets, opts, workers)
+	parRep, err := verify.AllPairsReachability(net, srcs, packet, targets, parOpts, workers)
 	if err != nil {
 		fail(err)
 	}
@@ -252,7 +380,18 @@ func allpairsRow(name string, net *core.Network, srcs []core.PortRef, packet sef
 			}
 		}
 	}
-	fmt.Printf("%-22s %-8d %-8d %-12v %-12v %.2fx\n",
+	rep.printf("%-22s %-8d %-8d %-12v %-12v %.2fx\n",
 		name, len(srcs), seqRep.Pairs(), seq.Round(time.Millisecond), par.Round(time.Millisecond),
 		float64(seq)/float64(par))
+	rep.add(jsonRow{
+		Experiment: "allpairs",
+		Name:       name,
+		Solver:     &seqStats,
+		Extra: map[string]any{
+			"sources": len(srcs), "pairs": seqRep.Pairs(),
+			"seq_ns": seq.Nanoseconds(), "par_ns": par.Nanoseconds(),
+			"workers": workers, "speedup": float64(seq) / float64(par),
+			"memo_hits": seqMemo.Hits(), "memo_misses": seqMemo.Misses(),
+		},
+	})
 }

@@ -1,29 +1,64 @@
 // Command symgen generates SEFL models from forwarding-state snapshots and
 // reports their structure — the paper's "parsers that take configuration
-// parameters ... and output corresponding SEFL models" (§7.1).
+// parameters ... and output corresponding SEFL models" (§7.1). It also
+// generates the snapshots themselves: -gen emits a synthetic MAC table or
+// FIB in the snapshot format the parsers read, deterministically from
+// -seed, so benchmark topologies are reproducible inputs.
 //
-//	symgen -mac table.txt  -style egress   # switch model from a MAC table
-//	symgen -fib routes.txt -style egress   # router model from a FIB
-//	symgen -asa config.txt                 # ASA pipeline from a config
+//	symgen -mac table.txt  -style egress       # switch model from a MAC table
+//	symgen -fib routes.txt -style egress       # router model from a FIB
+//	symgen -asa config.txt                     # ASA pipeline from a config
+//	symgen -gen mac -entries 1000 -seed 42     # deterministic MAC-table snapshot
+//	symgen -gen fib -entries 5000 -seed 7      # deterministic FIB snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"symnet/internal/asa"
 	"symnet/internal/core"
+	"symnet/internal/datasets"
 	"symnet/internal/models"
 	"symnet/internal/tables"
 )
+
+// generate writes a deterministic synthetic snapshot: the same kind,
+// entries, ports and seed always produce byte-identical output.
+func generate(w io.Writer, kind string, entries, ports int, seed int64) error {
+	if entries <= 0 || ports <= 0 {
+		return fmt.Errorf("need -entries > 0 and -ports > 0 (got %d, %d)", entries, ports)
+	}
+	switch kind {
+	case "mac":
+		_, err := datasets.SwitchTable(entries, ports, seed).WriteTo(w)
+		return err
+	case "fib":
+		_, err := datasets.CoreFIB(entries, ports, seed).WriteTo(w)
+		return err
+	}
+	return fmt.Errorf("unknown -gen kind %q (want mac|fib)", kind)
+}
 
 func main() {
 	macPath := flag.String("mac", "", "switch MAC-table snapshot")
 	fibPath := flag.String("fib", "", "router forwarding-table snapshot")
 	asaPath := flag.String("asa", "", "ASA configuration")
 	styleName := flag.String("style", "egress", "model style: basic|ingress|egress")
+	gen := flag.String("gen", "", "generate a synthetic snapshot to stdout: mac|fib")
+	entries := flag.Int("entries", 1000, "entries to generate with -gen")
+	ports := flag.Int("ports", 16, "output ports to spread -gen entries over")
+	seed := flag.Int64("seed", 1, "deterministic seed for -gen (same seed, same bytes)")
 	flag.Parse()
+
+	if *gen != "" {
+		if err := generate(os.Stdout, *gen, *entries, *ports, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var style models.Style
 	switch *styleName {

@@ -35,6 +35,12 @@ type Options struct {
 	Trace bool
 	// Stats receives solver statistics; a fresh collector is used when nil.
 	Stats *solver.Stats
+	// SatMemo is the satisfiability memo cache shared by every path of the
+	// run. Nil selects a fresh per-run cache; passing one in shares memoized
+	// verdicts across runs (batch verification, repair-and-verify loops).
+	// Results and statistics are identical either way — cache hits replay
+	// the original computation's counters (see solver.SatCache).
+	SatMemo *solver.SatCache
 	// Workers requests parallel exploration when > 1; 0 and 1 mean
 	// sequential, so the zero Options value never spawns goroutines.
 	// (symnet.RunParallel is the parallel-by-default entry point: there,
@@ -63,6 +69,7 @@ type run struct {
 	opts     Options
 	alloc    *expr.Alloc
 	stats    *solver.Stats
+	memo     *solver.SatCache
 	finished []*State
 	pruned   int
 }
@@ -110,7 +117,7 @@ func (r *run) step(st *State) ([]*State, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: element %q vanished", st.Here.Elem)
 	}
-	st.History = append(st.History, st.Here)
+	st.pushHistory(st.Here)
 	st.hops++
 	if st.hops > r.opts.MaxHops {
 		r.finish(failWith(st, fmt.Sprintf("hop budget exceeded (%d)", r.opts.MaxHops)))
@@ -169,7 +176,7 @@ func (r *run) depart(st *State, elem *Element) ([]*State, error) {
 		}
 		outRef := PortRef{Elem: elem.Name, Port: p, Out: true}
 		s.Here = outRef
-		s.History = append(s.History, outRef)
+		s.pushHistory(outRef)
 		if code, ok := elem.outCodeFor(p); ok {
 			states := r.exec(s, elem, code)
 			for _, os := range states {
@@ -228,9 +235,9 @@ func (r *run) exec(st *State, elem *Element, ins sefl.Instr) []*State {
 	if st.Status == Failed || st.forwarding() {
 		return []*State{st}
 	}
-	if st.Trace != nil {
+	if st.traceOn {
 		if _, isBlock := ins.(sefl.Block); !isBlock {
-			st.Trace = append(st.Trace, fmt.Sprintf("%s: %s", elem.Name, ins))
+			st.pushTrace(fmt.Sprintf("%s: %s", elem.Name, ins))
 		}
 	}
 	switch v := ins.(type) {
@@ -409,16 +416,17 @@ func (r *run) exec(st *State, elem *Element, ins sefl.Instr) []*State {
 // the old state").
 func (r *run) loopCheck(st *State) bool {
 	snap := r.takeSnapshot(st)
-	old := st.seen[st.Here]
+	old, _ := st.seen.Get(st.Here)
 	for _, o := range old {
 		if snapshotSubsumed(o, snap) {
 			return true
 		}
 	}
-	// Copy-on-append keeps snapshot slices shareable across clones.
+	// Copy-on-append keeps snapshot slices shareable across clones; the
+	// seen store itself is persistent, so forks share it lazily.
 	updated := make([]snapshot, len(old), len(old)+1)
 	copy(updated, old)
-	st.seen[st.Here] = append(updated, snap)
+	st.seen = st.seen.Set(st.Here, append(updated, snap))
 	return false
 }
 

@@ -77,6 +77,7 @@ type Exploration struct {
 	net     *Network
 	opts    Options
 	inject  *Element
+	satMemo *solver.SatCache
 	queue   []*Task // pending tasks; waves are cut from the tail
 	nextSeq int64
 	paths   []*Path
@@ -96,19 +97,22 @@ func NewExploration(net *Network, inject PortRef, init sefl.Instr, opts Options)
 	if inject.Out || inject.Port < 0 || inject.Port >= elem.NumIn {
 		return nil, fmt.Errorf("core: inject port %s invalid", inject)
 	}
+	memo := opts.SatMemo
+	if memo == nil {
+		memo = solver.NewSatCache()
+	}
 	e := &Exploration{
-		net:    net,
-		opts:   opts,
-		inject: elem,
-		names:  &expr.Alloc{},
+		net:     net,
+		opts:    opts,
+		inject:  elem,
+		satMemo: memo,
+		names:   &expr.Alloc{},
 	}
 	st := &State{
-		Mem:  memory.New(),
-		Here: PortRef{Elem: inject.Elem, Port: inject.Port},
-		seen: make(map[PortRef][]snapshot),
-	}
-	if opts.Trace {
-		st.Trace = []string{}
+		Mem:     memory.New(),
+		Here:    PortRef{Elem: inject.Elem, Port: inject.Port},
+		seen:    newSeen(),
+		traceOn: opts.Trace,
 	}
 	e.queue = []*Task{{seq: 0, st: st, init: init}}
 	e.nextSeq = 1
@@ -140,6 +144,7 @@ func (e *Exploration) RunTask(t *Task) TaskResult {
 		opts:  e.opts,
 		alloc: expr.NewAllocBand(t.seq),
 		stats: stats,
+		memo:  e.satMemo,
 	}
 	var res TaskResult
 	if t.init != nil {
@@ -161,6 +166,7 @@ func (e *Exploration) RunTask(t *Task) TaskResult {
 // sensibly) before the packet enters the port.
 func (r *run) runInjection(st *State, elem *Element, init sefl.Instr) []*State {
 	st.Ctx = solver.NewContext(r.stats)
+	st.Ctx.SetCache(r.memo)
 	var next []*State
 	for _, s := range r.exec(st, elem, init) {
 		if s.Status == Failed {
@@ -223,8 +229,8 @@ func (e *Exploration) appendPath(st *State) {
 		ID:      len(e.paths),
 		Status:  st.Status,
 		FailMsg: st.FailMsg,
-		History: st.History,
-		Trace:   st.Trace,
+		History: st.hist.slice(),
+		Trace:   st.trace.slice(),
 		Mem:     st.Mem,
 		Ctx:     st.Ctx,
 	}
@@ -241,7 +247,18 @@ func (e *Exploration) appendPath(st *State) {
 }
 
 // Finish assembles the Result. Call only after Done with no error.
+//
+// When the caller supplied a Stats collector, every finished path's context
+// is rebound to it, so post-run follow-up queries (verify domain reads,
+// conformance Model calls) keep counting toward the caller's "time spent in
+// and calls to the solver" totals, as in the original engine. Result.Stats
+// itself is already final and unaffected.
 func (e *Exploration) Finish() *Result {
+	if e.opts.Stats != nil {
+		for _, p := range e.paths {
+			p.Ctx.SetStats(e.opts.Stats)
+		}
+	}
 	// The result allocator starts past every band the run handed out, so
 	// callers minting follow-up symbols (extra query constraints) cannot
 	// collide with the run's own, and its Count tracks only those follow-up

@@ -3,6 +3,7 @@ package core
 import (
 	"symnet/internal/expr"
 	"symnet/internal/memory"
+	"symnet/internal/persist"
 	"symnet/internal/solver"
 )
 
@@ -48,55 +49,100 @@ type fieldKey struct {
 // domain of every tracked variable at the moment the port was visited.
 type snapshot map[fieldKey]*solver.IntervalSet
 
+// trail is an immutable singly-linked list holding an append-only sequence
+// newest-first. Appending is O(1) and clones share the whole prefix, so
+// per-path histories and traces cost nothing to fork; slices are
+// materialized once, when a finished path is turned into a Path.
+type trail[T any] struct {
+	v    T
+	prev *trail[T]
+	n    int // length including v
+}
+
+func (t *trail[T]) push(v T) *trail[T] {
+	n := 1
+	if t != nil {
+		n += t.n
+	}
+	return &trail[T]{v: v, prev: t, n: n}
+}
+
+// slice materializes the sequence oldest-first; nil stays nil.
+func (t *trail[T]) slice() []T {
+	if t == nil {
+		return nil
+	}
+	out := make([]T, t.n)
+	for i := t.n - 1; t != nil; t = t.prev {
+		out[i] = t.v
+		i--
+	}
+	return out
+}
+
+func hashPortRef(p PortRef) uint64 {
+	h := persist.HashString(p.Elem) ^ persist.Mix64(uint64(p.Port)<<1)
+	if p.Out {
+		h ^= 0x9e3779b97f4a7c15
+	}
+	return persist.Mix64(h)
+}
+
+// newSeen returns an empty loop-detection store.
+func newSeen() persist.Map[PortRef, []snapshot] {
+	return persist.NewMap[PortRef, []snapshot](hashPortRef)
+}
+
 // State is one execution path: a symbolic packet plus its constraint
 // context, location and history. The engine clones states on If and Fork;
-// memory and solver context use copy-on-write/cheap-copy structures.
+// every component — packet memory, solver context, history, trace,
+// loop-detection snapshots — is a persistent structure, so clone is O(1)
+// no matter how much state the path has accumulated.
 type State struct {
 	Mem  *memory.Mem
 	Ctx  *solver.Context
 	Here PortRef
 
-	History []PortRef
-	Trace   []string
-
 	Status  Status
 	FailMsg string
+
+	// hist is the port-visit history, shared-prefix across forks.
+	hist *trail[PortRef]
+	// trace records executed instructions when tracing is on.
+	trace   *trail[string]
+	traceOn bool
 
 	// outPorts is set when input-port code executed Forward/Fork; it lists
 	// the output ports the packet leaves through.
 	outPorts []int
 
-	// seen maps input-port keys to prior snapshots along this path.
-	seen map[PortRef][]snapshot
+	// seen maps input-port keys to prior snapshots along this path
+	// (persistent: snapshots are lazily shared across forks).
+	seen persist.Map[PortRef, []snapshot]
 
 	hops int
 }
 
-// clone duplicates the path state (copy-on-write underneath).
+// pushHistory appends a port visit in O(1).
+func (st *State) pushHistory(p PortRef) { st.hist = st.hist.push(p) }
+
+// pushTrace appends a trace line in O(1) (no-op unless tracing).
+func (st *State) pushTrace(line string) {
+	if st.traceOn {
+		st.trace = st.trace.push(line)
+	}
+}
+
+// clone duplicates the path state: a constant-size header copy, since every
+// component is persistent or copy-on-write.
 func (st *State) clone() *State {
-	n := &State{
-		Mem:     st.Mem.Clone(),
-		Ctx:     st.Ctx.Clone(),
-		Here:    st.Here,
-		Status:  st.Status,
-		FailMsg: st.FailMsg,
-		hops:    st.hops,
-	}
-	// History and trace are append-only; copy to decouple growth.
-	n.History = append([]PortRef(nil), st.History...)
-	if st.Trace != nil {
-		n.Trace = append([]string(nil), st.Trace...)
-	}
+	n := *st
+	n.Mem = st.Mem.Clone()
+	n.Ctx = st.Ctx.Clone()
 	if st.outPorts != nil {
 		n.outPorts = append([]int(nil), st.outPorts...)
 	}
-	if st.seen != nil {
-		n.seen = make(map[PortRef][]snapshot, len(st.seen))
-		for k, v := range st.seen {
-			n.seen[k] = v // snapshot slices are append-copied, safe to share
-		}
-	}
-	return n
+	return &n
 }
 
 func (st *State) fail(msg string) {

@@ -1,0 +1,73 @@
+package expr
+
+import "sync"
+
+// Interning deduplicates structurally-equal conditions to one canonical
+// instance. The engine asserts the same guard conditions along thousands of
+// paths (every path through a switch re-asserts the same port predicates),
+// so canonicalizing on Add collapses the per-path pending/constraint storage
+// to shared instances and makes later equality checks hit the
+// shared-backing fast path in EqualCond. Hash-consing with structural
+// fingerprints, as in classic symbolic-execution engines.
+
+const (
+	internShards   = 64
+	internShardCap = 1 << 14 // per-shard entry bound; beyond it, stop inserting
+	// internMaxWords bounds the structural size of retained conditions.
+	// Very large trees (egress-model disjunctions over hundreds of
+	// thousands of table entries) are built once per network and shared by
+	// the model already; retaining them in a process-global table would
+	// pin gigabytes for no dedup benefit, so they are fingerprinted but
+	// never stored.
+	internMaxWords = 256
+)
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[Fp][]Cond
+}
+
+// Interner is a sharded, concurrency-safe hash-consing table. The zero
+// value is ready to use.
+type Interner struct {
+	shards [internShards]internShard
+}
+
+// Intern returns a canonical instance structurally equal to c, plus c's
+// structural fingerprint. Identical conditions interned from any goroutine
+// resolve to one shared instance (conditions are immutable, so sharing is
+// safe). A full table degrades gracefully: the fingerprint is still
+// returned and c itself becomes the result.
+func (in *Interner) Intern(c Cond) (Cond, Fp) {
+	fp, words := hashCondSized(c)
+	// Atoms are small value types: canonicalizing them saves nothing, and
+	// skipping the table keeps the hot Add path lock-free. Oversized trees
+	// are deliberately not retained (see internMaxWords).
+	if words > internMaxWords {
+		return c, fp
+	}
+	switch c.(type) {
+	case Bool, Cmp, Match:
+		return c, fp
+	}
+	sh := &in.shards[fp.Lo&(internShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[Fp][]Cond)
+	}
+	for _, cand := range sh.m[fp] {
+		if EqualCond(cand, c) {
+			return cand, fp
+		}
+	}
+	if len(sh.m) < internShardCap {
+		sh.m[fp] = append(sh.m[fp], c)
+	}
+	return c, fp
+}
+
+var defaultInterner Interner
+
+// Intern canonicalizes c in the process-wide default interner.
+func Intern(c Cond) (Cond, Fp) { return defaultInterner.Intern(c) }

@@ -9,10 +9,11 @@
 // path. All failure modes return *AccessError so the engine can turn them
 // into failed paths with precise messages.
 //
-// Mem values are persistent-ish: mutating operations copy the (small) field
-// maps while sharing the immutable per-field layer chains, so the engine's
-// If/Fork path duplication is cheap copy-on-write, as in the paper ("all the
-// state of packet 1 is replicated ... shared with a copy-on-write
+// Mem values are persistent: the field, metadata and tag stores are
+// structure-sharing maps (internal/persist) over immutable per-field layer
+// chains, so the engine's If/Fork path duplication is a constant-size header
+// copy and mutation copies only the touched trie spine, as in the paper
+// ("all the state of packet 1 is replicated ... shared with a copy-on-write
 // mechanism").
 package memory
 
@@ -22,6 +23,7 @@ import (
 	"sort"
 
 	"symnet/internal/expr"
+	"symnet/internal/persist"
 )
 
 // GlobalScope marks metadata visible to every element in the network.
@@ -84,10 +86,21 @@ func (h *histNode) values() []expr.Lin {
 }
 
 // Mem is the symbolic packet state. The zero value is not usable; call New.
+//
+// All three stores are persistent structure-sharing maps, so Clone is a
+// constant-size header copy regardless of how many fields, metadata entries
+// and tags have accumulated — the true copy-on-write packet replication the
+// paper describes.
 type Mem struct {
-	hdr  map[int64]*layer
-	meta map[MetaKey]*layer
-	tags map[string]*tagNode
+	hdr  persist.Map[int64, *layer]
+	meta persist.Map[MetaKey, *layer]
+	tags persist.Map[string, *tagNode]
+}
+
+func hashOff(o int64) uint64 { return persist.Mix64(uint64(o)) }
+
+func hashMetaKey(k MetaKey) uint64 {
+	return persist.Mix64(persist.HashString(k.Name) ^ persist.Mix64(uint64(int64(k.Instance))))
 }
 
 type tagNode struct {
@@ -99,29 +112,18 @@ type tagNode struct {
 // header fields or metadata" the engine starts from).
 func New() *Mem {
 	return &Mem{
-		hdr:  make(map[int64]*layer),
-		meta: make(map[MetaKey]*layer),
-		tags: make(map[string]*tagNode),
+		hdr:  persist.NewMap[int64, *layer](hashOff),
+		meta: persist.NewMap[MetaKey, *layer](hashMetaKey),
+		tags: persist.NewMap[string, *tagNode](persist.HashString),
 	}
 }
 
-// Clone returns an independent copy sharing immutable layer chains.
+// Clone returns an independent copy in O(1): the persistent stores are
+// shared wholesale and diverge by path copying on the first mutation of
+// either side.
 func (m *Mem) Clone() *Mem {
-	n := &Mem{
-		hdr:  make(map[int64]*layer, len(m.hdr)),
-		meta: make(map[MetaKey]*layer, len(m.meta)),
-		tags: make(map[string]*tagNode, len(m.tags)),
-	}
-	for k, v := range m.hdr {
-		n.hdr[k] = v
-	}
-	for k, v := range m.meta {
-		n.meta[k] = v
-	}
-	for k, v := range m.tags {
-		n.tags[k] = v
-	}
-	return n
+	n := *m
+	return &n
 }
 
 // --- Header fields ---
@@ -133,17 +135,17 @@ func (m *Mem) AllocateHdr(off int64, size int) error {
 	if size <= 0 || size > 64 {
 		return accessErr("allocate", "invalid field size %d at offset %d", size, off)
 	}
-	if l, ok := m.hdr[off]; ok {
+	if l, ok := m.hdr.Get(off); ok {
 		if l.size != size {
 			return accessErr("allocate", "field at offset %d re-allocated with size %d, existing size %d", off, size, l.size)
 		}
-		m.hdr[off] = &layer{size: size, prev: l}
+		m.hdr = m.hdr.Set(off, &layer{size: size, prev: l})
 		return nil
 	}
 	if err := m.checkOverlap(off, size); err != nil {
 		return err
 	}
-	m.hdr[off] = &layer{size: size}
+	m.hdr = m.hdr.Set(off, &layer{size: size})
 	return nil
 }
 
@@ -151,22 +153,25 @@ func (m *Mem) AllocateHdr(off int64, size int) error {
 // existing field at a different offset.
 func (m *Mem) checkOverlap(off int64, size int) error {
 	end := off + int64(size)
-	for o, l := range m.hdr {
+	var err error
+	m.hdr.Range(func(o int64, l *layer) bool {
 		if o == off {
-			continue
+			return true
 		}
 		oEnd := o + int64(l.size)
 		if off < oEnd && o < end {
-			return accessErr("allocate", "field [%d,%d) overlaps existing field [%d,%d)", off, end, o, oEnd)
+			err = accessErr("allocate", "field [%d,%d) overlaps existing field [%d,%d)", off, end, o, oEnd)
+			return false
 		}
-	}
-	return nil
+		return true
+	})
+	return err
 }
 
 // DeallocateHdr pops the top allocation at off. When size >= 0 it is checked
 // against the allocated size (the paper's Deallocate(v, s) semantics).
 func (m *Mem) DeallocateHdr(off int64, size int) error {
-	l, ok := m.hdr[off]
+	l, ok := m.hdr.Get(off)
 	if !ok {
 		return accessErr("deallocate", "no field allocated at offset %d", off)
 	}
@@ -174,23 +179,29 @@ func (m *Mem) DeallocateHdr(off int64, size int) error {
 		return accessErr("deallocate", "field at offset %d has size %d, deallocation declared %d", off, l.size, size)
 	}
 	if l.prev == nil {
-		delete(m.hdr, off)
+		m.hdr = m.hdr.Delete(off)
 	} else {
-		m.hdr[off] = l.prev
+		m.hdr = m.hdr.Set(off, l.prev)
 	}
 	return nil
 }
 
 // lookupHdr finds the field at (off, size) enforcing exact alignment.
 func (m *Mem) lookupHdr(op string, off int64, size int) (*layer, error) {
-	l, ok := m.hdr[off]
+	l, ok := m.hdr.Get(off)
 	if !ok {
 		// Distinguish "nothing there" from "unaligned" for better messages.
-		for o, f := range m.hdr {
+		var uerr error
+		m.hdr.Range(func(o int64, f *layer) bool {
 			oEnd := o + int64(f.size)
 			if off >= o && off < oEnd {
-				return nil, accessErr(op, "unaligned access at offset %d (field starts at %d)", off, o)
+				uerr = accessErr(op, "unaligned access at offset %d (field starts at %d)", off, o)
+				return false
 			}
+			return true
+		})
+		if uerr != nil {
+			return nil, uerr
 		}
 		return nil, accessErr(op, "access to unallocated offset %d", off)
 	}
@@ -218,13 +229,13 @@ func (m *Mem) AssignHdr(off int64, size int, v expr.Lin) error {
 	if err != nil {
 		return err
 	}
-	m.hdr[off] = &layer{size: l.size, val: v, set: true, hist: &histNode{val: v, prev: l.hist}, prev: l.prev}
+	m.hdr = m.hdr.Set(off, &layer{size: l.size, val: v, set: true, hist: &histNode{val: v, prev: l.hist}, prev: l.prev})
 	return nil
 }
 
 // HdrAllocated reports whether a field is allocated exactly at (off, size).
 func (m *Mem) HdrAllocated(off int64, size int) bool {
-	l, ok := m.hdr[off]
+	l, ok := m.hdr.Get(off)
 	return ok && l.size == size
 }
 
@@ -241,7 +252,8 @@ func (m *Mem) HdrHistory(off int64, size int) ([]expr.Lin, error) {
 // HdrStackDepth returns how many allocations are stacked at off (0 if none).
 func (m *Mem) HdrStackDepth(off int64) int {
 	n := 0
-	for l := m.hdr[off]; l != nil; l = l.prev {
+	l, _ := m.hdr.Get(off)
+	for ; l != nil; l = l.prev {
 		n++
 	}
 	return n
@@ -257,10 +269,11 @@ type HdrField struct {
 
 // Fields returns all live header fields sorted by offset.
 func (m *Mem) Fields() []HdrField {
-	out := make([]HdrField, 0, len(m.hdr))
-	for off, l := range m.hdr {
+	out := make([]HdrField, 0, m.hdr.Len())
+	m.hdr.Range(func(off int64, l *layer) bool {
 		out = append(out, HdrField{Off: off, Size: l.size, Val: l.val, Set: l.set})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
 	return out
 }
@@ -270,26 +283,27 @@ func (m *Mem) Fields() []HdrField {
 // CreateTag pushes a tag value; tags are stacked so encapsulation can
 // temporarily override (e.g. an inner L3 masked by an outer L3).
 func (m *Mem) CreateTag(name string, val int64) {
-	m.tags[name] = &tagNode{val: val, prev: m.tags[name]}
+	prev, _ := m.tags.Get(name)
+	m.tags = m.tags.Set(name, &tagNode{val: val, prev: prev})
 }
 
 // DestroyTag pops the top value of a tag.
 func (m *Mem) DestroyTag(name string) error {
-	t, ok := m.tags[name]
+	t, ok := m.tags.Get(name)
 	if !ok {
 		return accessErr("destroy-tag", "tag %q does not exist", name)
 	}
 	if t.prev == nil {
-		delete(m.tags, name)
+		m.tags = m.tags.Delete(name)
 	} else {
-		m.tags[name] = t.prev
+		m.tags = m.tags.Set(name, t.prev)
 	}
 	return nil
 }
 
 // Tag returns the current value of a tag.
 func (m *Mem) Tag(name string) (int64, bool) {
-	t, ok := m.tags[name]
+	t, ok := m.tags.Get(name)
 	if !ok {
 		return 0, false
 	}
@@ -298,10 +312,11 @@ func (m *Mem) Tag(name string) (int64, bool) {
 
 // Tags returns the current value of every tag, sorted by name.
 func (m *Mem) Tags() map[string]int64 {
-	out := make(map[string]int64, len(m.tags))
-	for k, v := range m.tags {
+	out := make(map[string]int64, m.tags.Len())
+	m.tags.Range(func(k string, v *tagNode) bool {
 		out[k] = v.val
-	}
+		return true
+	})
 	return out
 }
 
@@ -312,14 +327,15 @@ func (m *Mem) AllocateMeta(key MetaKey, width int) error {
 	if width <= 0 || width > 64 {
 		return accessErr("allocate", "invalid metadata width %d for %s", width, key)
 	}
-	m.meta[key] = &layer{size: width, prev: m.meta[key]}
+	prev, _ := m.meta.Get(key)
+	m.meta = m.meta.Set(key, &layer{size: width, prev: prev})
 	return nil
 }
 
 // DeallocateMeta pops the top entry for key. A negative size skips the size
 // check.
 func (m *Mem) DeallocateMeta(key MetaKey, width int) error {
-	l, ok := m.meta[key]
+	l, ok := m.meta.Get(key)
 	if !ok {
 		return accessErr("deallocate", "no metadata %s", key)
 	}
@@ -327,16 +343,16 @@ func (m *Mem) DeallocateMeta(key MetaKey, width int) error {
 		return accessErr("deallocate", "metadata %s has width %d, deallocation declared %d", key, l.size, width)
 	}
 	if l.prev == nil {
-		delete(m.meta, key)
+		m.meta = m.meta.Delete(key)
 	} else {
-		m.meta[key] = l.prev
+		m.meta = m.meta.Set(key, l.prev)
 	}
 	return nil
 }
 
 // ReadMeta returns the value of a metadata entry.
 func (m *Mem) ReadMeta(key MetaKey) (expr.Lin, error) {
-	l, ok := m.meta[key]
+	l, ok := m.meta.Get(key)
 	if !ok {
 		return expr.Lin{}, accessErr("read", "no metadata %s", key)
 	}
@@ -348,23 +364,23 @@ func (m *Mem) ReadMeta(key MetaKey) (expr.Lin, error) {
 
 // AssignMeta sets the value of a metadata entry, recording history.
 func (m *Mem) AssignMeta(key MetaKey, v expr.Lin) error {
-	l, ok := m.meta[key]
+	l, ok := m.meta.Get(key)
 	if !ok {
 		return accessErr("assign", "no metadata %s", key)
 	}
-	m.meta[key] = &layer{size: l.size, val: v, set: true, hist: &histNode{val: v, prev: l.hist}, prev: l.prev}
+	m.meta = m.meta.Set(key, &layer{size: l.size, val: v, set: true, hist: &histNode{val: v, prev: l.hist}, prev: l.prev})
 	return nil
 }
 
 // MetaExists reports whether key currently has an entry.
 func (m *Mem) MetaExists(key MetaKey) bool {
-	_, ok := m.meta[key]
+	_, ok := m.meta.Get(key)
 	return ok
 }
 
 // MetaWidth returns the declared width of a metadata entry.
 func (m *Mem) MetaWidth(key MetaKey) (int, bool) {
-	l, ok := m.meta[key]
+	l, ok := m.meta.Get(key)
 	if !ok {
 		return 0, false
 	}
@@ -376,14 +392,15 @@ func (m *Mem) MetaWidth(key MetaKey) (int, bool) {
 // This is the bounded iteration space of SEFL's For instruction.
 func (m *Mem) MetaKeysMatching(re *regexp.Regexp, instance int) []MetaKey {
 	var out []MetaKey
-	for k := range m.meta {
+	m.meta.Range(func(k MetaKey, _ *layer) bool {
 		if k.Instance != GlobalScope && k.Instance != instance {
-			continue
+			return true
 		}
 		if re.MatchString(k.Name) {
 			out = append(out, k)
 		}
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
@@ -402,10 +419,11 @@ type MetaEntry struct {
 
 // MetaEntries returns all live metadata entries, sorted by key.
 func (m *Mem) MetaEntries() []MetaEntry {
-	out := make([]MetaEntry, 0, len(m.meta))
-	for k, l := range m.meta {
+	out := make([]MetaEntry, 0, m.meta.Len())
+	m.meta.Range(func(k MetaKey, l *layer) bool {
 		out = append(out, MetaEntry{Key: k, Val: l.val, Set: l.set})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Name != out[j].Key.Name {
 			return out[i].Key.Name < out[j].Key.Name
@@ -417,7 +435,7 @@ func (m *Mem) MetaEntries() []MetaEntry {
 
 // MetaHistory returns the assignment history (oldest first) for key.
 func (m *Mem) MetaHistory(key MetaKey) ([]expr.Lin, error) {
-	l, ok := m.meta[key]
+	l, ok := m.meta.Get(key)
 	if !ok {
 		return nil, accessErr("history", "no metadata %s", key)
 	}

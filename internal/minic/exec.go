@@ -128,6 +128,9 @@ type executor struct {
 }
 
 // Run symbolically executes a program with the naive forking strategy.
+// All paths of the run share a satisfiability memo cache: the naive
+// executor re-decides near-identical constraint prefixes on every fork,
+// which is exactly the redundancy the cache collapses.
 func Run(prog *Program, limits Limits, stats *solver.Stats) *Result {
 	limits = limits.withDefaults()
 	if stats == nil {
@@ -139,6 +142,7 @@ func Run(prog *Program, limits Limits, stats *solver.Stats) *Result {
 		arrays: make(map[string][]expr.Lin),
 		ctx:    solver.NewContext(stats),
 	}
+	st.ctx.SetCache(solver.NewSatCache())
 	for name, v := range prog.Vars {
 		st.vars[name] = expr.Const(v, 64)
 	}

@@ -1,0 +1,302 @@
+// Package persist provides the immutable, structure-sharing containers the
+// engine's copy-on-write state representation is built on. The central type
+// is Map, a hash-array-mapped trie (HAMT): cloning a Map is a constant-size
+// header copy, and an insert or delete copies only the O(log n) spine of
+// nodes from the root to the touched slot, sharing everything else with the
+// original. This is what makes forking a symbolic-execution path O(1) in the
+// size of accumulated state.
+//
+// Hash functions are supplied by the caller and must be deterministic across
+// processes (no per-process seeding): trie shape — and with it iteration
+// order — is a pure function of the key set, which the engine's determinism
+// contract (byte-identical results at any worker count) relies on.
+package persist
+
+import "math/bits"
+
+const (
+	bitsPerLevel = 5
+	levelMask    = 1<<bitsPerLevel - 1
+	// maxShift is the deepest level that still consumes fresh hash bits;
+	// keys colliding through all 64 bits fall into a collision bucket.
+	maxShift = 60
+)
+
+// kv is one key/value pair.
+type kv[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// entry is one occupied slot of a node: either a leaf (child == nil) or a
+// pointer to a subtree.
+type entry[K comparable, V any] struct {
+	child *node[K, V]
+	hash  uint64
+	kv    kv[K, V]
+}
+
+// node is one trie node: a bitmap of occupied slots and the dense slice of
+// entries for the set bits, ordered by slot index. A node with coll != nil
+// is a collision bucket holding keys whose full 64-bit hashes are equal.
+type node[K comparable, V any] struct {
+	bitmap  uint32
+	entries []entry[K, V]
+	coll    []kv[K, V]
+}
+
+// Map is an immutable hash map. The zero value is NOT usable; construct with
+// NewMap. Map values are freely copyable headers: Set and Delete return new
+// Maps sharing structure with the receiver, which remains valid and
+// unchanged.
+type Map[K comparable, V any] struct {
+	root *node[K, V]
+	size int
+	hash func(K) uint64
+}
+
+// NewMap returns an empty map using the given deterministic hash function.
+func NewMap[K comparable, V any](hash func(K) uint64) Map[K, V] {
+	return Map[K, V]{hash: hash}
+}
+
+// Len reports the number of keys.
+func (m Map[K, V]) Len() int { return m.size }
+
+// Get returns the value for k.
+func (m Map[K, V]) Get(k K) (V, bool) {
+	var zero V
+	n := m.root
+	if n == nil {
+		return zero, false
+	}
+	h := m.hash(k)
+	shift := uint(0)
+	for {
+		if n.coll != nil {
+			for i := range n.coll {
+				if n.coll[i].key == k {
+					return n.coll[i].val, true
+				}
+			}
+			return zero, false
+		}
+		bit := uint32(1) << (uint32(h>>shift) & levelMask)
+		if n.bitmap&bit == 0 {
+			return zero, false
+		}
+		e := &n.entries[bits.OnesCount32(n.bitmap&(bit-1))]
+		if e.child != nil {
+			n = e.child
+			shift += bitsPerLevel
+			continue
+		}
+		if e.hash == h && e.kv.key == k {
+			return e.kv.val, true
+		}
+		return zero, false
+	}
+}
+
+// Set returns a map with k bound to v; the receiver is unchanged.
+func (m Map[K, V]) Set(k K, v V) Map[K, V] {
+	h := m.hash(k)
+	added := false
+	root := setNode(m.root, 0, h, kv[K, V]{key: k, val: v}, &added)
+	size := m.size
+	if added {
+		size++
+	}
+	return Map[K, V]{root: root, size: size, hash: m.hash}
+}
+
+func setNode[K comparable, V any](n *node[K, V], shift uint, h uint64, p kv[K, V], added *bool) *node[K, V] {
+	if n == nil {
+		*added = true
+		bit := uint32(1) << (uint32(h>>shift) & levelMask)
+		return &node[K, V]{bitmap: bit, entries: []entry[K, V]{{hash: h, kv: p}}}
+	}
+	if n.coll != nil {
+		out := make([]kv[K, V], len(n.coll), len(n.coll)+1)
+		copy(out, n.coll)
+		for i := range out {
+			if out[i].key == p.key {
+				out[i].val = p.val
+				return &node[K, V]{coll: out}
+			}
+		}
+		*added = true
+		return &node[K, V]{coll: append(out, p)}
+	}
+	bit := uint32(1) << (uint32(h>>shift) & levelMask)
+	pos := bits.OnesCount32(n.bitmap & (bit - 1))
+	if n.bitmap&bit == 0 {
+		*added = true
+		out := make([]entry[K, V], len(n.entries)+1)
+		copy(out, n.entries[:pos])
+		out[pos] = entry[K, V]{hash: h, kv: p}
+		copy(out[pos+1:], n.entries[pos:])
+		return &node[K, V]{bitmap: n.bitmap | bit, entries: out}
+	}
+	out := make([]entry[K, V], len(n.entries))
+	copy(out, n.entries)
+	e := &out[pos]
+	switch {
+	case e.child != nil:
+		e.child = setNode(e.child, shift+bitsPerLevel, h, p, added)
+	case e.hash == h && e.kv.key == p.key:
+		e.kv.val = p.val
+	default:
+		e.child = mergeLeaves(shift+bitsPerLevel, *e, entry[K, V]{hash: h, kv: p})
+		e.kv = kv[K, V]{}
+		e.hash = 0
+		*added = true
+	}
+	return &node[K, V]{bitmap: n.bitmap, entries: out}
+}
+
+// mergeLeaves builds the minimal subtree holding two distinct leaves.
+func mergeLeaves[K comparable, V any](shift uint, a, b entry[K, V]) *node[K, V] {
+	if shift > maxShift {
+		return &node[K, V]{coll: []kv[K, V]{a.kv, b.kv}}
+	}
+	ia := uint32(a.hash>>shift) & levelMask
+	ib := uint32(b.hash>>shift) & levelMask
+	if ia == ib {
+		return &node[K, V]{
+			bitmap:  1 << ia,
+			entries: []entry[K, V]{{child: mergeLeaves(shift+bitsPerLevel, a, b)}},
+		}
+	}
+	if ia > ib {
+		a, b = b, a
+		ia, ib = ib, ia
+	}
+	return &node[K, V]{bitmap: 1<<ia | 1<<ib, entries: []entry[K, V]{a, b}}
+}
+
+// Delete returns a map without k; the receiver is unchanged.
+func (m Map[K, V]) Delete(k K) Map[K, V] {
+	if m.root == nil {
+		return m
+	}
+	removed := false
+	root := delNode(m.root, 0, m.hash(k), k, &removed)
+	if !removed {
+		return m
+	}
+	return Map[K, V]{root: root, size: m.size - 1, hash: m.hash}
+}
+
+func delNode[K comparable, V any](n *node[K, V], shift uint, h uint64, k K, removed *bool) *node[K, V] {
+	if n.coll != nil {
+		for i := range n.coll {
+			if n.coll[i].key == k {
+				*removed = true
+				if len(n.coll) == 1 {
+					return nil
+				}
+				out := make([]kv[K, V], 0, len(n.coll)-1)
+				out = append(out, n.coll[:i]...)
+				out = append(out, n.coll[i+1:]...)
+				return &node[K, V]{coll: out}
+			}
+		}
+		return n
+	}
+	bit := uint32(1) << (uint32(h>>shift) & levelMask)
+	if n.bitmap&bit == 0 {
+		return n
+	}
+	pos := bits.OnesCount32(n.bitmap & (bit - 1))
+	e := &n.entries[pos]
+	if e.child != nil {
+		nc := delNode(e.child, shift+bitsPerLevel, h, k, removed)
+		if !*removed {
+			return n
+		}
+		if nc == nil {
+			return removeSlot(n, bit, pos)
+		}
+		out := make([]entry[K, V], len(n.entries))
+		copy(out, n.entries)
+		if nc.coll == nil && len(nc.entries) == 1 && nc.entries[0].child == nil {
+			// Collapse a single-leaf subtree back into this level.
+			out[pos] = nc.entries[0]
+		} else {
+			out[pos].child = nc
+		}
+		return &node[K, V]{bitmap: n.bitmap, entries: out}
+	}
+	if e.hash != h || e.kv.key != k {
+		return n
+	}
+	*removed = true
+	if len(n.entries) == 1 {
+		return nil
+	}
+	return removeSlot(n, bit, pos)
+}
+
+func removeSlot[K comparable, V any](n *node[K, V], bit uint32, pos int) *node[K, V] {
+	out := make([]entry[K, V], 0, len(n.entries)-1)
+	out = append(out, n.entries[:pos]...)
+	out = append(out, n.entries[pos+1:]...)
+	return &node[K, V]{bitmap: n.bitmap &^ bit, entries: out}
+}
+
+// Range calls f for every key/value pair until f returns false. Iteration
+// order is trie order — deterministic for a given key set and hash function,
+// but not sorted; callers needing a specific order must sort.
+func (m Map[K, V]) Range(f func(K, V) bool) {
+	if m.root != nil {
+		rangeNode(m.root, f)
+	}
+}
+
+func rangeNode[K comparable, V any](n *node[K, V], f func(K, V) bool) bool {
+	if n.coll != nil {
+		for i := range n.coll {
+			if !f(n.coll[i].key, n.coll[i].val) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if e.child != nil {
+			if !rangeNode(e.child, f) {
+				return false
+			}
+			continue
+		}
+		if !f(e.kv.key, e.kv.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Deterministic hash helpers ---
+
+// Mix64 finalizes an integer key with the splitmix64 mixer: adjacent inputs
+// (sequential symbol IDs, small offsets) land in unrelated trie slots.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashString is 64-bit FNV-1a, fixed-seeded and process-independent.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,126 @@
+package persist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMapMatchesReference drives random Set/Delete/Get sequences against a
+// built-in map and checks full agreement, including under forking: every few
+// operations the map value is copied and both copies evolve independently.
+func TestMapMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMap[uint64, int](Mix64)
+		ref := map[uint64]int{}
+		type forkPair struct {
+			m   Map[uint64, int]
+			ref map[uint64]int
+		}
+		var forks []forkPair
+		for op := 0; op < 2000; op++ {
+			k := uint64(rng.Intn(300))
+			switch rng.Intn(4) {
+			case 0, 1:
+				v := rng.Int()
+				m = m.Set(k, v)
+				ref[k] = v
+			case 2:
+				m = m.Delete(k)
+				delete(ref, k)
+			case 3:
+				if rng.Intn(10) == 0 && len(forks) < 8 {
+					refCopy := make(map[uint64]int, len(ref))
+					for k, v := range ref {
+						refCopy[k] = v
+					}
+					forks = append(forks, forkPair{m: m, ref: refCopy})
+				}
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len=%d want %d", seed, op, m.Len(), len(ref))
+			}
+		}
+		check := func(m Map[uint64, int], ref map[uint64]int) {
+			t.Helper()
+			for k := uint64(0); k < 300; k++ {
+				got, ok := m.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("seed %d: Get(%d) = %d,%v want %d,%v", seed, k, got, ok, want, wantOK)
+				}
+			}
+			n := 0
+			m.Range(func(k uint64, v int) bool {
+				if ref[k] != v {
+					t.Fatalf("seed %d: Range yielded %d=%d, want %d", seed, k, v, ref[k])
+				}
+				n++
+				return true
+			})
+			if n != len(ref) {
+				t.Fatalf("seed %d: Range yielded %d pairs, want %d", seed, n, len(ref))
+			}
+		}
+		check(m, ref)
+		// Forked snapshots must be unaffected by later mutations.
+		for _, f := range forks {
+			check(f.m, f.ref)
+		}
+	}
+}
+
+// collideHash forces every key into one 64-bit hash bucket, exercising the
+// collision-bucket path end to end.
+func collideHash(uint64) uint64 { return 42 }
+
+func TestMapCollisionBuckets(t *testing.T) {
+	m := NewMap[uint64, string](collideHash)
+	for i := uint64(0); i < 20; i++ {
+		m = m.Set(i, "v")
+	}
+	if m.Len() != 20 {
+		t.Fatalf("Len=%d want 20", m.Len())
+	}
+	snap := m
+	for i := uint64(0); i < 20; i += 2 {
+		m = m.Delete(i)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("after deletes Len=%d want 10", m.Len())
+	}
+	for i := uint64(0); i < 20; i++ {
+		_, ok := m.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d)=%v want %v", i, ok, want)
+		}
+		if _, ok := snap.Get(i); !ok {
+			t.Fatalf("snapshot lost key %d", i)
+		}
+	}
+}
+
+// TestMapIterationDeterministic: same key set, different insertion orders,
+// identical Range order (trie shape is a pure function of the key set).
+func TestMapIterationDeterministic(t *testing.T) {
+	keys := rand.New(rand.NewSource(7)).Perm(500)
+	a := NewMap[uint64, int](Mix64)
+	for _, k := range keys {
+		a = a.Set(uint64(k), k)
+	}
+	b := NewMap[uint64, int](Mix64)
+	for i := len(keys) - 1; i >= 0; i-- {
+		b = b.Set(uint64(keys[i]), keys[i])
+	}
+	var orderA, orderB []uint64
+	a.Range(func(k uint64, _ int) bool { orderA = append(orderA, k); return true })
+	b.Range(func(k uint64, _ int) bool { orderB = append(orderB, k); return true })
+	if len(orderA) != len(orderB) {
+		t.Fatalf("lengths differ: %d vs %d", len(orderA), len(orderB))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("iteration order differs at %d: %d vs %d", i, orderA[i], orderB[i])
+		}
+	}
+}

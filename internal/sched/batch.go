@@ -3,6 +3,7 @@ package sched
 import (
 	"symnet/internal/core"
 	"symnet/internal/sefl"
+	"symnet/internal/solver"
 )
 
 // Job is one independent verification query: inject a packet, explore, keep
@@ -32,14 +33,24 @@ type JobResult struct {
 // bounded work-stealing pool (workers <= 0 selects GOMAXPROCS). Results are
 // returned in job order regardless of scheduling, and each job's Result is
 // identical to a standalone core.Run: jobs share the immutable network but
-// nothing else — every run has its own solver contexts, symbol namespace,
-// and statistics.
+// no mutable state — every run has its own solver contexts, symbol
+// namespace, and statistics.
+//
+// All jobs share one satisfiability memo cache (unless a job brings its
+// own via Opts.SatMemo): batch queries re-issue near-identical constraint
+// sequences, so later jobs answer most Sat checks from earlier jobs' work.
+// Sharing is safe across workers and does not perturb results — cache hits
+// replay the original computation's statistics (see solver.SatCache).
 func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
 	out := make([]JobResult, len(jobs))
+	memo := solver.NewSatCache()
 	NewPool(workers).Map(len(jobs), func(_, i int) {
 		j := jobs[i]
 		opts := j.Opts
 		opts.Workers = 0
+		if opts.SatMemo == nil {
+			opts.SatMemo = memo
+		}
 		// Jobs routinely share one Options value, so a caller-supplied
 		// stats collector would be hammered from every worker; collect
 		// per-job and fold into the caller's collector below, after the
@@ -51,6 +62,12 @@ func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
 	for i, j := range jobs {
 		if j.Opts.Stats != nil && out[i].Result != nil {
 			j.Opts.Stats.Add(out[i].Result.Stats.Solver)
+			// Rebind finished paths to the caller's collector so post-batch
+			// follow-up queries keep counting, exactly as a standalone
+			// core.Run with the same Options would (see Exploration.Finish).
+			for _, p := range out[i].Result.Paths {
+				p.Ctx.SetStats(j.Opts.Stats)
+			}
 		}
 	}
 	return out

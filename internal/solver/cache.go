@@ -1,0 +1,92 @@
+package solver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"symnet/internal/expr"
+)
+
+// SatCache memoizes satisfiability decisions across paths, workers, and
+// whole queries. Keys are chained structural fingerprints of a Context's
+// Add sequence (see Context.Fingerprint): equal keys identify identical
+// assertion sequences, which the deterministic solver maps to identical
+// verdicts. Forked paths share their common prefix of assertions, and batch
+// workloads (all-pairs reachability, repair-and-verify loops) re-issue
+// near-identical queries, so hit rates climb quickly.
+//
+// Determinism: a hit must leave the same statistics trail as a recompute,
+// or parallel runs would diverge from sequential ones in their (compared)
+// counters depending on which worker warmed the cache first. Entries
+// therefore record the DPLL branch count of the original computation and
+// Sat replays it on hit — counters end up identical whether a given check
+// hit or missed. Hit/miss telemetry lives on the cache itself, outside the
+// per-run deterministic statistics.
+//
+// SatCache is safe for concurrent use; a nil *SatCache disables memoization.
+type SatCache struct {
+	shards [satShards]satShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const satShards = 64
+
+type satKey struct {
+	fp expr.Fp
+	n  int32 // number of chained conditions: cheap extra discrimination
+}
+
+type satEntry struct {
+	sat      bool
+	branches int // DPLL branches the original computation performed
+}
+
+type satShard struct {
+	mu sync.RWMutex
+	m  map[satKey]satEntry
+}
+
+// NewSatCache returns an empty cache.
+func NewSatCache() *SatCache { return &SatCache{} }
+
+func (c *SatCache) lookup(key satKey) (satEntry, bool) {
+	sh := &c.shards[key.fp.Hi&(satShards-1)]
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+func (c *SatCache) store(key satKey, e satEntry) {
+	sh := &c.shards[key.fp.Hi&(satShards-1)]
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[satKey]satEntry)
+	}
+	sh.m[key] = e
+	sh.mu.Unlock()
+}
+
+// Hits reports how many lookups were answered from the cache.
+func (c *SatCache) Hits() int64 { return c.hits.Load() }
+
+// Misses reports how many lookups fell through to the solver.
+func (c *SatCache) Misses() int64 { return c.misses.Load() }
+
+// Len reports the number of memoized decisions.
+func (c *SatCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}

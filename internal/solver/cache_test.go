@@ -1,0 +1,111 @@
+package solver
+
+import (
+	"sync"
+	"testing"
+
+	"symnet/internal/expr"
+)
+
+// pendingCtx builds a context with a branching (pending-Or) workload so Sat
+// actually exercises the DPLL path. cache may be nil.
+func pendingCtx(stats *Stats, cache *SatCache) *Context {
+	c := NewContext(stats)
+	c.SetCache(cache)
+	x := expr.Lin{Sym: 0, Width: 8}
+	y := expr.Lin{Sym: 1, Width: 8}
+	c.Add(expr.NewCmp(expr.Le, x, expr.Const(20, 8)))
+	c.Add(expr.NewOr(
+		expr.NewCmp(expr.Eq, x, y),
+		expr.NewCmp(expr.Eq, x, expr.Lin{Sym: 1, Add: 3, Width: 8}),
+	))
+	c.Add(expr.NewCmp(expr.Ne, x, y))
+	return c
+}
+
+// TestSatCacheDeterministicStats: a cached Sat decision must leave exactly
+// the statistics trail the original computation left, so cache warmth can
+// never make parallel runs diverge from sequential ones.
+func TestSatCacheDeterministicStats(t *testing.T) {
+	var cold Stats
+	cc := pendingCtx(&cold, nil)
+	want := cc.Sat()
+
+	cache := NewSatCache()
+	var first, second Stats
+	c1 := pendingCtx(&first, cache)
+	if got := c1.Sat(); got != want {
+		t.Fatalf("miss path Sat=%v want %v", got, want)
+	}
+	c2 := pendingCtx(&second, cache)
+	if got := c2.Sat(); got != want {
+		t.Fatalf("hit path Sat=%v want %v", got, want)
+	}
+	if first != cold {
+		t.Fatalf("miss stats %+v differ from cache-off stats %+v", first, cold)
+	}
+	if second != cold {
+		t.Fatalf("hit stats %+v differ from cache-off stats %+v (branch replay broken)", second, cold)
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", cache.Hits(), cache.Misses())
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("Len=%d want 1", cache.Len())
+	}
+}
+
+// TestSatCacheKeysOnSequence: contexts with different assertion sequences
+// must not collide in the cache.
+func TestSatCacheKeysOnSequence(t *testing.T) {
+	cache := NewSatCache()
+	x := expr.Lin{Sym: 0, Width: 8}
+	a := NewContext(nil)
+	a.SetCache(cache)
+	a.Add(expr.NewCmp(expr.Eq, x, expr.Const(1, 8)))
+	if !a.Sat() {
+		t.Fatal("a must be sat")
+	}
+	b := NewContext(nil)
+	b.SetCache(cache)
+	b.Add(expr.NewCmp(expr.Eq, x, expr.Const(1, 8)))
+	b.Add(expr.NewCmp(expr.Eq, x, expr.Const(2, 8)))
+	if b.Sat() {
+		t.Fatal("b must be unsat")
+	}
+	// Re-issuing a's exact sequence hits and stays sat.
+	c := NewContext(nil)
+	c.SetCache(cache)
+	c.Add(expr.NewCmp(expr.Eq, x, expr.Const(1, 8)))
+	if !c.Sat() {
+		t.Fatal("c must be sat (cache must key on the full sequence)")
+	}
+}
+
+// TestSatCacheConcurrent hammers one cache from many goroutines issuing a
+// mix of distinct and repeated queries (run under -race).
+func TestSatCacheConcurrent(t *testing.T) {
+	cache := NewSatCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := expr.Lin{Sym: 0, Width: 8}
+			for i := 0; i < 200; i++ {
+				c := NewContext(nil)
+				c.SetCache(cache)
+				c.Add(expr.NewCmp(expr.Le, x, expr.Const(uint64(i%10)+5, 8)))
+				c.Add(expr.NewCmp(expr.Ge, x, expr.Const(uint64(i%3), 8)))
+				if !c.Sat() {
+					t.Error("query must be satisfiable")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if cache.Hits() == 0 {
+		t.Fatal("expected cache hits across goroutines")
+	}
+}

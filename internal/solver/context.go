@@ -5,11 +5,16 @@ import (
 	"sort"
 
 	"symnet/internal/expr"
+	"symnet/internal/persist"
 )
 
 // Stats accumulates solver activity across a run; the evaluation section of
 // the paper reports "time spent in and number of calls to the constraint
 // solver", which these counters feed.
+//
+// Counters are deterministic for a given query regardless of worker count
+// or satisfiability-cache warmth: cached Sat decisions replay the branch
+// count of the original computation (see SatCache).
 type Stats struct {
 	Adds      int // conditions asserted
 	SatChecks int // full satisfiability decisions
@@ -56,20 +61,45 @@ type classInfo struct {
 	diseqs []diseq // canonicalized on roots
 }
 
+// ownership bits for the context's slice-backed stores. The owns bit for a
+// store means this context is the only context that will ever append to the
+// backing array in place. Clones are created without ownership, so their
+// first append copies (copy-on-append); the parent keeps its bit and may
+// keep appending in place, which is safe because every clone's slice length
+// was fixed at clone time and in-place appends only write past it. Forking
+// stays O(1) and clones never observe each other's writes.
+const (
+	ownDiseqs uint8 = 1 << iota
+	ownRels
+	ownPending
+)
+
+func symHash(s expr.SymID) uint64 { return persist.Mix64(uint64(s)) }
+
 // Context is an incrementally-built conjunction of conditions. Add asserts a
 // condition and eagerly propagates everything deterministic; residual
 // disjunctions are kept pending and resolved by Sat via DPLL branching.
 //
-// Context is not safe for concurrent use. Clone is O(state) and is how the
-// engine forks paths cheaply.
+// The representation is persistent: the union-find and domain stores are
+// structure-sharing tries and the slice stores are copy-on-append, so Clone
+// copies a constant-size header no matter how much constraint state has
+// accumulated — the engine forks paths in O(1). Mutating operations copy
+// only the touched spine.
+//
+// Context is not safe for concurrent use, but distinct clones may be used
+// from distinct goroutines: mutation never writes through shared structure.
 type Context struct {
-	uf      map[expr.SymID]ufEntry
-	domains map[expr.SymID]*IntervalSet // keyed by union-find root
+	uf      persist.Map[expr.SymID, ufEntry]
+	domains persist.Map[expr.SymID, *IntervalSet] // keyed by union-find root
 	diseqs  []diseq
 	rels    []relCmp
 	pending []expr.Cond // unresolved Or conditions
+	owns    uint8
 	unsat   bool
+	fp      expr.Fp // chained fingerprint of the Add sequence
+	nAdds   int32   // conditions chained into fp
 	stats   *Stats
+	cache   *SatCache
 }
 
 // NewContext returns an empty, satisfiable context sharing the given stats
@@ -79,8 +109,8 @@ func NewContext(stats *Stats) *Context {
 		stats = &Stats{}
 	}
 	return &Context{
-		uf:      make(map[expr.SymID]ufEntry),
-		domains: make(map[expr.SymID]*IntervalSet),
+		uf:      persist.NewMap[expr.SymID, ufEntry](symHash),
+		domains: persist.NewMap[expr.SymID, *IntervalSet](symHash),
 		stats:   stats,
 	}
 }
@@ -98,6 +128,18 @@ func (c *Context) SetStats(s *Stats) {
 	c.stats = s
 }
 
+// SetCache attaches a satisfiability memo cache (nil disables memoization).
+// Clones inherit the cache, so attaching it once after NewContext covers
+// every path forked from this context.
+func (c *Context) SetCache(sc *SatCache) { c.cache = sc }
+
+// Cache returns the attached memo cache (nil when memoization is off).
+func (c *Context) Cache() *SatCache { return c.cache }
+
+// Fingerprint returns the chained structural fingerprint of the conditions
+// asserted so far; equal fingerprints identify identical Add sequences.
+func (c *Context) Fingerprint() expr.Fp { return c.fp }
+
 // Unsat reports whether the context has been refuted by propagation alone.
 func (c *Context) Unsat() bool { return c.unsat }
 
@@ -105,51 +147,103 @@ func (c *Context) Unsat() bool { return c.unsat }
 // diagnostics).
 func (c *Context) PendingOrs() int { return len(c.pending) }
 
-// Clone returns an independent copy; the stats collector stays shared.
+// Clone returns an independent copy in O(1); the stats collector and memo
+// cache stay shared. Clone is a pure read of the receiver (concurrent
+// clones of a frozen context are safe); the clone starts without backing
+// ownership, so its first append to any slice-backed store copies.
 func (c *Context) Clone() *Context {
-	n := &Context{
-		uf:      make(map[expr.SymID]ufEntry, len(c.uf)),
-		domains: make(map[expr.SymID]*IntervalSet, len(c.domains)),
-		unsat:   c.unsat,
-		stats:   c.stats,
+	n := *c
+	n.owns = 0
+	return &n
+}
+
+// appendDiseq appends with copy-on-append semantics (see owns).
+func (c *Context) appendDiseq(d diseq) {
+	if c.owns&ownDiseqs == 0 {
+		nd := make([]diseq, len(c.diseqs), len(c.diseqs)+4)
+		copy(nd, c.diseqs)
+		c.diseqs = nd
+		c.owns |= ownDiseqs
 	}
-	for k, v := range c.uf {
-		n.uf[k] = v
+	c.diseqs = append(c.diseqs, d)
+}
+
+func (c *Context) appendRel(r relCmp) {
+	if c.owns&ownRels == 0 {
+		nr := make([]relCmp, len(c.rels), len(c.rels)+4)
+		copy(nr, c.rels)
+		c.rels = nr
+		c.owns |= ownRels
 	}
-	for k, v := range c.domains {
-		n.domains[k] = v // IntervalSets are immutable
+	c.rels = append(c.rels, r)
+}
+
+func (c *Context) appendPending(cond expr.Cond) {
+	if c.owns&ownPending == 0 {
+		np := make([]expr.Cond, len(c.pending), len(c.pending)+4)
+		copy(np, c.pending)
+		c.pending = np
+		c.owns |= ownPending
 	}
-	n.diseqs = append([]diseq(nil), c.diseqs...)
-	n.rels = append([]relCmp(nil), c.rels...)
-	n.pending = append([]expr.Cond(nil), c.pending...)
-	return n
+	c.pending = append(c.pending, cond)
 }
 
 // find returns the root of s and the offset such that
 // value(s) = value(root) + off. Unseen symbols become their own root with
-// the given width.
+// the given width. find is iterative and performs full path compression:
+// after a lookup every symbol on the walked chain points directly at the
+// root, so long union chains are paid for once, not per lookup, and no
+// chain length can overflow the stack.
 func (c *Context) find(s expr.SymID, width int) (expr.SymID, uint64) {
-	e, ok := c.uf[s]
+	e, ok := c.uf.Get(s)
 	if !ok {
-		c.uf[s] = ufEntry{parent: s, off: 0, width: width}
+		c.uf = c.uf.Set(s, ufEntry{parent: s, off: 0, width: width})
 		return s, 0
 	}
 	if e.parent == s {
 		return s, 0
 	}
-	root, rootOff := c.find(e.parent, e.width)
-	// Path compression, preserving offsets.
-	e.off = (e.off + rootOff) & expr.Mask(e.width)
-	e.parent = root
-	c.uf[s] = e
-	return root, e.off
+	// Fast path: parent is already the root (the common post-compression
+	// shape) — no writes needed.
+	pe, _ := c.uf.Get(e.parent)
+	if pe.parent == e.parent {
+		return e.parent, e.off
+	}
+	// General case: collect the chain from s up to (excluding) the root...
+	type hop struct {
+		sym expr.SymID
+		e   ufEntry
+	}
+	path := make([]hop, 0, 16)
+	cur, ce := s, e
+	for ce.parent != cur {
+		path = append(path, hop{cur, ce})
+		next := ce.parent
+		ce, _ = c.uf.Get(next)
+		cur = next
+	}
+	root := cur
+	// ...then walk it backwards accumulating offsets-to-root and write the
+	// compressed entries back.
+	var total uint64
+	for i := len(path) - 1; i >= 0; i-- {
+		h := path[i]
+		total = (total + h.e.off) & expr.Mask(h.e.width)
+		if h.e.parent != root {
+			c.uf = c.uf.Set(h.sym, ufEntry{parent: root, off: total, width: h.e.width})
+		}
+	}
+	return root, total
 }
 
-func (c *Context) widthOf(s expr.SymID) int { return c.uf[s].width }
+func (c *Context) widthOf(s expr.SymID) int {
+	e, _ := c.uf.Get(s)
+	return e.width
+}
 
 // domainOf returns the current domain of a root (Full if untracked).
 func (c *Context) domainOf(root expr.SymID, width int) *IntervalSet {
-	if d, ok := c.domains[root]; ok {
+	if d, ok := c.domains.Get(root); ok {
 		return d
 	}
 	return Full(width)
@@ -158,7 +252,7 @@ func (c *Context) domainOf(root expr.SymID, width int) *IntervalSet {
 // constrainRoot intersects the root's domain with set; flags unsat on empty.
 func (c *Context) constrainRoot(root expr.SymID, width int, set *IntervalSet) {
 	d := c.domainOf(root, width).Intersect(set)
-	c.domains[root] = d
+	c.domains = c.domains.Set(root, d)
 	if d.IsEmpty() {
 		c.unsat = true
 	}
@@ -179,11 +273,18 @@ func (c *Context) Domain(l expr.Lin) *IntervalSet {
 // Add asserts cond. It returns false when the context became definitely
 // unsatisfiable. A true return means "not yet refuted": if disjunctions are
 // pending, call Sat for the authoritative answer.
+//
+// The condition is interned (hash-consed) and its structural fingerprint is
+// chained into the context's fingerprint, which keys the satisfiability
+// memo cache.
 func (c *Context) Add(cond expr.Cond) bool {
 	if c.unsat {
 		return false
 	}
 	c.stats.Adds++
+	cond, h := expr.Intern(cond)
+	c.fp = c.fp.Chain(h)
+	c.nAdds++
 	c.assert(cond, false)
 	return !c.unsat
 }
@@ -307,9 +408,9 @@ func (c *Context) assertSymSym(op expr.CmpOp, l, r expr.Lin) {
 			}
 			return // offsets differ: always distinct
 		}
-		c.diseqs = append(c.diseqs, diseq{a: lr, b: rr, off: (rAdd - lAdd) & m})
+		c.appendDiseq(diseq{a: lr, b: rr, off: (rAdd - lAdd) & m})
 	default:
-		c.rels = append(c.rels, relCmp{op: op, a: lr, b: rr, aAdd: lAdd, bAdd: rAdd, width: w})
+		c.appendRel(relCmp{op: op, a: lr, b: rr, aAdd: lAdd, bAdd: rAdd, width: w})
 	}
 }
 
@@ -323,10 +424,10 @@ func (c *Context) union(a, b expr.SymID, off uint64, width int) {
 	}
 	// Attach a under b: value(a) = value(b) + off.
 	domA := c.domainOf(a, width)
-	c.uf[a] = ufEntry{parent: b, off: off, width: width}
-	delete(c.domains, a)
-	if _, ok := c.uf[b]; !ok {
-		c.uf[b] = ufEntry{parent: b, width: width}
+	c.uf = c.uf.Set(a, ufEntry{parent: b, off: off, width: width})
+	c.domains = c.domains.Delete(a)
+	if _, ok := c.uf.Get(b); !ok {
+		c.uf = c.uf.Set(b, ufEntry{parent: b, width: width})
 	}
 	// value(a) ∈ domA  =>  value(b) ∈ domA - off.
 	c.constrainRoot(b, width, domA.Shift(-off))
@@ -374,7 +475,7 @@ func (c *Context) assertOr(cs []expr.Cond) {
 		c.assertTermInSet(l, set)
 		return
 	}
-	c.pending = append(c.pending, expr.Or{Cs: live})
+	c.appendPending(expr.Or{Cs: live})
 }
 
 // atomSet expresses a condition as "symbol ∈ set" when it constrains a
@@ -462,10 +563,27 @@ func (c *Context) compressOr(cs []expr.Cond) (*IntervalSet, expr.Lin, bool) {
 }
 
 // Sat decides satisfiability of the full context, branching over pending
-// disjunctions and deciding residual symbolic comparisons.
+// disjunctions and deciding residual symbolic comparisons. When a memo
+// cache is attached, previously decided Add sequences are answered from the
+// cache with their original branch count replayed into the stats, so the
+// statistics trail is identical whether a check hit or missed.
 func (c *Context) Sat() bool {
 	c.stats.SatChecks++
+	if c.unsat {
+		return false
+	}
+	if c.cache == nil {
+		_, ok := c.solve(false, 0)
+		return ok
+	}
+	key := satKey{fp: c.fp, n: c.nAdds}
+	if e, ok := c.cache.lookup(key); ok {
+		c.stats.Branches += e.branches
+		return e.sat
+	}
+	before := c.stats.Branches
 	_, ok := c.solve(false, 0)
+	c.cache.store(key, satEntry{sat: ok, branches: c.stats.Branches - before})
 	return ok
 }
 
@@ -529,10 +647,11 @@ func (c *Context) solve(wantModel bool, salt uint64) (map[expr.SymID]uint64, boo
 func (c *Context) solveGround(wantModel bool, salt uint64) (map[expr.SymID]uint64, bool) {
 	roots := make(map[expr.SymID]*classInfo)
 	// Materialize all classes (iterate deterministic order for stable models).
-	syms := make([]expr.SymID, 0, len(c.uf))
-	for s := range c.uf {
+	syms := make([]expr.SymID, 0, c.uf.Len())
+	c.uf.Range(func(s expr.SymID, _ ufEntry) bool {
 		syms = append(syms, s)
-	}
+		return true
+	})
 	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
 	for _, s := range syms {
 		w := c.widthOf(s)
@@ -590,7 +709,7 @@ func (c *Context) solveGround(wantModel bool, salt uint64) (map[expr.SymID]uint6
 	if !wantModel {
 		return nil, true
 	}
-	model := make(map[expr.SymID]uint64, len(c.uf))
+	model := make(map[expr.SymID]uint64, len(syms))
 	for _, s := range syms {
 		w := c.widthOf(s)
 		r, off := c.find(s, w)

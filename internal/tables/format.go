@@ -1,0 +1,38 @@
+package tables
+
+import (
+	"fmt"
+	"io"
+
+	"symnet/internal/sefl"
+)
+
+// WriteTo serializes the MAC table in the snapshot format ParseMACTable
+// reads ("<vlan> <mac> <port>" per line), so generated tables round-trip
+// through the parser byte-identically.
+func (t MACTable) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range t {
+		n, err := fmt.Fprintf(w, "%d %s %d\n", e.VLAN, sefl.NumberToMAC(e.MAC), e.Port)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// WriteTo serializes the FIB in the snapshot format ParseFIB reads
+// ("<prefix>/<len> <port>" per line), so generated FIBs round-trip through
+// the parser byte-identically.
+func (f FIB) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, r := range f {
+		n, err := fmt.Fprintf(w, "%s/%d %d\n", sefl.NumberToIP(r.Prefix), r.Len, r.Port)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

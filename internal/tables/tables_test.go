@@ -146,3 +146,50 @@ func TestCompileLPMDeduplicates(t *testing.T) {
 		t.Fatalf("dedup: %+v", cs)
 	}
 }
+
+func TestMACTableRoundTrip(t *testing.T) {
+	in := MACTable{
+		{MAC: 0x001a2b3c4d5e, VLAN: 302, Port: 7},
+		{MAC: 0xaabbccddeeff, VLAN: 1, Port: 0},
+	}
+	var buf strings.Builder
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseMACTable(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d: %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestFIBRoundTrip(t *testing.T) {
+	in := FIB{
+		{Prefix: 0x0a000000, Len: 8, Port: 0},
+		{Prefix: 0xc0a80100, Len: 24, Port: 3},
+		{Prefix: 0xc0a80101, Len: 32, Port: 5},
+	}
+	var buf strings.Builder
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseFIB(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip length %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("route %d: %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"symnet/internal/core"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
+	"symnet/internal/solver"
 )
 
 // Re-exported core types. See internal/core for full documentation.
@@ -72,7 +73,16 @@ type (
 	BatchJob = sched.Job
 	// BatchResult pairs a BatchJob with its outcome.
 	BatchResult = sched.JobResult
+	// SatMemo is a satisfiability memo cache shared across runs. Every run
+	// uses a fresh one by default; set Options.SatMemo to one value across
+	// runs (repair-and-verify loops, repeated batches) to reuse memoized
+	// solver verdicts. Results are identical with or without sharing.
+	SatMemo = solver.SatCache
 )
+
+// NewSatMemo returns an empty cross-run satisfiability memo cache for
+// Options.SatMemo.
+func NewSatMemo() *SatMemo { return solver.NewSatCache() }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network { return core.NewNetwork() }
