@@ -1,0 +1,155 @@
+// Command benchdiff compares two perf snapshots produced by
+// `symbench -json` and prints per-experiment deltas, so perf trajectories
+// across PRs are a one-command diff of committed BENCH_*.json files:
+//
+//	benchdiff BENCH_3_baseline.json BENCH_3.json
+//	symbench -run table1 -json > now.json && benchdiff BENCH_3.json now.json
+//
+// Rows are matched by (experiment, name). For matched rows with timing data
+// the delta and speedup are printed; rows present in only one snapshot are
+// listed as added/removed. With -threshold P the exit status is 1 when any
+// matched row regressed by more than P percent, so CI can gate on it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// row mirrors the jsonRow shape cmd/symbench emits. Unknown fields are
+// ignored, so the two tools can evolve independently.
+type row struct {
+	Experiment string         `json:"experiment"`
+	Name       string         `json:"name"`
+	Paths      int            `json:"paths"`
+	Hops       int            `json:"hops"`
+	NsPerOp    int64          `json:"ns_per_op"`
+	Extra      map[string]any `json:"extra"`
+}
+
+type key struct{ experiment, name string }
+
+// ns extracts a row's timing: ns_per_op, falling back to the extra columns
+// batch experiments use (seq_ns). 0 means the row carries no timing.
+func (r row) ns() int64 {
+	if r.NsPerOp != 0 {
+		return r.NsPerOp
+	}
+	if v, ok := r.Extra["seq_ns"]; ok {
+		if f, ok := v.(float64); ok {
+			return int64(f)
+		}
+	}
+	return 0
+}
+
+func load(path string) (map[key]row, []key, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[key]row, len(rows))
+	var order []key
+	for _, r := range rows {
+		k := key{r.Experiment, r.Name}
+		if _, dup := m[k]; !dup {
+			order = append(order, k)
+		}
+		m[k] = r
+	}
+	return m, order, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any matched row regresses by more than this percent (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRows, oldOrder, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRows, newOrder, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%-12s %-24s %14s %14s %9s\n", "experiment", "name", "old", "new", "speedup")
+	var matched, timed, improved, regressed, failed int
+	for _, k := range oldOrder {
+		o := oldRows[k]
+		n, ok := newRows[k]
+		if !ok {
+			fmt.Printf("%-12s %-24s %14s %14s %9s\n", k.experiment, k.name, fmtNs(o.ns()), "removed", "")
+			continue
+		}
+		matched++
+		ons, nns := o.ns(), n.ns()
+		if ons == 0 || nns == 0 {
+			// Rows without timing (capability tables, scenario checks) are
+			// matched for presence only.
+			continue
+		}
+		timed++
+		speedup := float64(ons) / float64(nns)
+		mark := ""
+		switch {
+		case speedup >= 1.02:
+			improved++
+			mark = " +"
+		case speedup <= 0.98:
+			regressed++
+			mark = " -"
+		}
+		if *threshold > 0 && float64(nns) > float64(ons)*(1+*threshold/100) {
+			failed++
+			mark = " REGRESSION"
+		}
+		fmt.Printf("%-12s %-24s %14s %14s %8.2fx%s\n",
+			k.experiment, k.name, fmtNs(ons), fmtNs(nns), speedup, mark)
+	}
+	var added []key
+	for _, k := range newOrder {
+		if _, ok := oldRows[k]; !ok {
+			added = append(added, k)
+		}
+	}
+	sort.Slice(added, func(i, j int) bool {
+		if added[i].experiment != added[j].experiment {
+			return added[i].experiment < added[j].experiment
+		}
+		return added[i].name < added[j].name
+	})
+	for _, k := range added {
+		fmt.Printf("%-12s %-24s %14s %14s %9s\n", k.experiment, k.name, "added", fmtNs(newRows[k].ns()), "")
+	}
+	fmt.Printf("\n%d rows matched (%d timed): %d faster, %d slower, %d within noise\n",
+		matched, timed, improved, regressed, timed-improved-regressed)
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.1f%%\n", failed, *threshold)
+		os.Exit(1)
+	}
+}
+
+// fmtNs renders a nanosecond count in a human unit (empty when zero).
+func fmtNs(ns int64) string {
+	if ns == 0 {
+		return ""
+	}
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

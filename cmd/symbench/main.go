@@ -13,6 +13,7 @@
 //	symbench -run splittcp    # §8.4 middlebox scenarios
 //	symbench -run dept        # §8.5 department network
 //	symbench -run allpairs    # batch all-pairs reachability, sequential vs -workers
+//	symbench -run forkheavy   # fork-heavy state replication (engine microbench)
 //	symbench -run all
 package main
 
@@ -77,7 +78,7 @@ func (r *reporter) flush() error {
 }
 
 func main() {
-	run := flag.String("run", "all", "experiment to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|all)")
+	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|forkheavy|all)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of paper-shaped tables")
@@ -86,8 +87,11 @@ func main() {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	rep := &reporter{jsonMode: *jsonOut}
-	sel := strings.ToLower(*run)
-	want := func(name string) bool { return sel == "all" || sel == name }
+	sel := make(map[string]bool)
+	for _, name := range strings.Split(strings.ToLower(*run), ",") {
+		sel[strings.TrimSpace(name)] = true
+	}
+	want := func(name string) bool { return sel["all"] || sel[name] }
 	if want("table1") {
 		table1(rep, *quick)
 	}
@@ -114,6 +118,9 @@ func main() {
 	}
 	if want("allpairs") {
 		allpairs(rep, *quick, *workers)
+	}
+	if want("forkheavy") {
+		forkheavy(rep, *quick)
 	}
 	if err := rep.flush(); err != nil {
 		fail(err)
@@ -349,6 +356,52 @@ func allpairs(rep *reporter, quick bool, workers int) {
 	bbSrcs, bbTargets := bb.AllPairs()
 	allpairsRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
 		core.Options{}, workers)
+	rep.printf("\n")
+}
+
+// forkheavy measures the engine's per-instruction and per-fork overhead on
+// the BenchmarkForkHeavy* workloads (a state-growing prefix chain into a
+// cascade of 8-way forks); it is the symbench face of the Go benchmarks so
+// perf snapshots (BENCH_*.json) track the raw engine hot path across PRs.
+func forkheavy(rep *reporter, quick bool) {
+	rep.printf("== Fork-heavy state replication (engine microbench) ==\n")
+	rep.printf("%-8s %-22s %-8s %s\n", "Case", "prefix/depth/fan", "Paths", "Time")
+	reps := 5
+	if quick {
+		reps = 2
+	}
+	cases := []struct {
+		name               string
+		prefix, depth, fan int
+	}{
+		{"wide", 64, 3, 8},
+		{"deep", 16, 4, 8},
+	}
+	for _, tc := range cases {
+		net, inject := datasets.ForkHeavy(tc.prefix, tc.depth, tc.fan)
+		var paths int
+		best := time.Duration(0)
+		for i := 0; i < reps; i++ {
+			t0 := time.Now()
+			res, err := core.Run(net, inject, sefl.NewTCPPacket(), core.Options{MaxHops: 1 << 12})
+			if err != nil {
+				fail(err)
+			}
+			d := time.Since(t0)
+			if best == 0 || d < best {
+				best = d
+			}
+			paths = res.Stats.Paths
+		}
+		rep.printf("%-8s %d/%d/%-16d %-8d %v\n", tc.name, tc.prefix, tc.depth, tc.fan, paths, best)
+		rep.add(jsonRow{
+			Experiment: "forkheavy",
+			Name:       tc.name,
+			Paths:      paths,
+			NsPerOp:    best.Nanoseconds(),
+			Extra:      map[string]any{"prefix": tc.prefix, "depth": tc.depth, "fan": tc.fan},
+		})
+	}
 	rep.printf("\n")
 }
 

@@ -5,6 +5,7 @@
 // ports visited).
 //
 //	symnet -config pipeline.click -inject dut:0 [-loop addr|full|off] [-workers N]
+//	symnet -config pipeline.click -dump-ir        # compiled programs, no run
 package main
 
 import (
@@ -38,9 +39,10 @@ func main() {
 	trace := flag.Bool("trace", false, "record executed instructions per path")
 	packet := flag.String("packet", "tcp", "packet template: tcp|udp|ip|ether")
 	workers := flag.Int("workers", 1, "exploration workers (0 = all cores); results are identical for any count")
+	dumpIR := flag.Bool("dump-ir", false, "print the compiled IR of every element-port program and exit")
 	flag.Parse()
-	if *cfgPath == "" || *inject == "" {
-		fmt.Fprintln(os.Stderr, "usage: symnet -config FILE -inject element:port")
+	if *cfgPath == "" || (*inject == "" && !*dumpIR) {
+		fmt.Fprintln(os.Stderr, "usage: symnet -config FILE (-inject element:port | -dump-ir)")
 		os.Exit(2)
 	}
 	f, err := os.Open(*cfgPath)
@@ -51,6 +53,14 @@ func main() {
 	f.Close()
 	if err != nil {
 		fatal(err)
+	}
+	if *dumpIR {
+		for _, e := range cfg.Net.Elements() {
+			for _, p := range e.Programs() {
+				fmt.Println(p)
+			}
+		}
+		return
 	}
 	elem, port, err := parseInject(*inject)
 	if err != nil {
@@ -88,7 +98,7 @@ func main() {
 	fields := []sefl.Hdr{sefl.EtherDst, sefl.EtherSrc, sefl.IPSrc, sefl.IPDst, sefl.IPTTL, sefl.TcpSrc, sefl.TcpDst}
 	for _, p := range res.Paths {
 		pj := pathJSON{ID: p.ID, Status: p.Status.String(), FailMessage: p.FailMsg, Trace: p.Trace}
-		for _, h := range p.History {
+		for _, h := range p.History() {
 			pj.Ports = append(pj.Ports, h.String())
 		}
 		if p.Status == core.Delivered {

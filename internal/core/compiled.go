@@ -1,0 +1,297 @@
+package core
+
+import (
+	"fmt"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/prog"
+	"symnet/internal/sefl"
+)
+
+// This file is the compiled-program executor: a small dispatch loop over the
+// flat IR of internal/prog that replaces the recursive AST walk of exec
+// (kept behind Options.ASTInterp as the reference interpreter). The loop
+// reproduces the AST interpreter's observable behavior exactly — same
+// results, statistics, trace lines, failure messages, and the same global
+// fresh-symbol allocation order — which the differential property tests in
+// internal/prog pin down.
+//
+// The execution discipline mirrors the AST recursion: a segment applies
+// each op to every live state before moving to the next op
+// (instruction-major), and control ops (branch, for, sub-segment) run their
+// nested segments to completion per state (state-major across the nesting
+// boundary), exactly like exec's Block loop and If/For recursion. Linear
+// ops mutate states in place, so the hot path allocates nothing — the AST
+// walker allocated a successor slice per instruction per state.
+
+// progEnv adapts one path state to the evaluator's Env interface. A single
+// instance per program run is re-pointed at the current state, so
+// evaluation costs no allocation.
+type progEnv struct {
+	st *State
+	r  *run
+}
+
+func (e *progEnv) ReadHdr(off int64, size int) (expr.Lin, error) { return e.st.Mem.ReadHdr(off, size) }
+func (e *progEnv) ReadMeta(key memory.MetaKey) (expr.Lin, error) { return e.st.Mem.ReadMeta(key) }
+func (e *progEnv) Tag(name string) (int64, bool)                 { return e.st.Mem.Tag(name) }
+func (e *progEnv) MetaExists(key memory.MetaKey) bool            { return e.st.Mem.MetaExists(key) }
+func (e *progEnv) Fresh(width int, name string) expr.Lin         { return e.r.alloc.Fresh(width, name) }
+
+// execPort runs the code attached to a port on one state: the compiled-IR
+// dispatch loop by default, the AST interpreter behind Options.ASTInterp.
+// ok is false when the port has no code (neither specific nor wildcard).
+func (r *run) execPort(st *State, elem *Element, port int, out bool) ([]*State, bool) {
+	if r.opts.ASTInterp {
+		var code sefl.Instr
+		var ok bool
+		if out {
+			code, ok = elem.outCodeFor(port)
+		} else {
+			code, ok = elem.inCodeFor(port)
+		}
+		if !ok {
+			return nil, false
+		}
+		return r.exec(st, elem, code), true
+	}
+	p, ok := elem.progFor(port, out)
+	if !ok {
+		return nil, false
+	}
+	return r.runProgram(st, p), true
+}
+
+// runProgram executes a compiled program on one state, returning successor
+// states in the same canonical order as the AST interpreter.
+func (r *run) runProgram(st *State, p *prog.Program) []*State {
+	env := &progEnv{r: r}
+	return r.runSeg(p, p.Entry, []*State{st}, env)
+}
+
+// runSeg applies a segment's ops instruction-major over the live states.
+func (r *run) runSeg(p *prog.Program, id prog.SegID, states []*State, env *progEnv) []*State {
+	seg := p.Seg(id)
+	for i := seg.Lo; i < seg.Hi; i++ {
+		op := &p.Ops[i]
+		switch op.Kind {
+		case prog.OpIf, prog.OpFor, prog.OpSub:
+			var out []*State
+			for _, s := range states {
+				if s.Status == Failed || s.forwarding() {
+					out = append(out, s)
+					continue
+				}
+				out = append(out, r.applyControl(p, op, s, env)...)
+			}
+			states = out
+		default:
+			for _, s := range states {
+				if s.Status == Failed || s.forwarding() {
+					continue
+				}
+				r.applyLinear(p, op, s, env)
+			}
+		}
+	}
+	return states
+}
+
+// applyLinear executes one non-forking op, mutating the state in place.
+func (r *run) applyLinear(p *prog.Program, op *prog.Op, s *State, env *progEnv) {
+	if s.traceOn {
+		s.pushTrace(fmt.Sprintf("%s: %s", p.Elem, op.Ins))
+	}
+	env.st = s
+	switch op.Kind {
+	case prog.OpNoOp:
+
+	case prog.OpAllocate:
+		if op.LV.Err != "" {
+			s.fail(op.LV.Err)
+			return
+		}
+		if op.LV.IsHdr {
+			off, err := prog.ResolveOff(env, op.LV)
+			if err != nil {
+				s.fail(err.Error())
+				return
+			}
+			if err := s.Mem.AllocateHdr(off, op.Size); err != nil {
+				s.fail(err.Error())
+			}
+		} else if err := s.Mem.AllocateMeta(op.LV.Key, op.Size); err != nil {
+			s.fail(err.Error())
+		}
+
+	case prog.OpDeallocate:
+		if op.LV.Err != "" {
+			s.fail(op.LV.Err)
+			return
+		}
+		if op.LV.IsHdr {
+			off, err := prog.ResolveOff(env, op.LV)
+			if err != nil {
+				s.fail(err.Error())
+				return
+			}
+			if err := s.Mem.DeallocateHdr(off, op.Size); err != nil {
+				s.fail(err.Error())
+			}
+		} else if err := s.Mem.DeallocateMeta(op.LV.Key, op.Size); err != nil {
+			s.fail(err.Error())
+		}
+
+	case prog.OpAssign:
+		r.applyAssign(op, s, env)
+
+	case prog.OpCreateTag:
+		val, err := prog.EvalExpr(env, op.E, 64)
+		if err != nil {
+			s.fail(err.Error())
+			return
+		}
+		cv, ok := val.ConstVal()
+		if !ok {
+			s.fail(op.Msg)
+			return
+		}
+		s.Mem.CreateTag(op.Tag, int64(cv))
+
+	case prog.OpDestroyTag:
+		if err := s.Mem.DestroyTag(op.Tag); err != nil {
+			s.fail(err.Error())
+		}
+
+	case prog.OpConstrain:
+		cond, err := prog.EvalCond(env, op.C)
+		if err != nil {
+			s.fail(err.Error())
+			return
+		}
+		if !s.Ctx.Add(cond) || (s.Ctx.PendingOrs() > 0 && !s.Ctx.Sat()) {
+			// The failure message renders the original SEFL condition, like
+			// the AST interpreter — lazily, since guards can be enormous.
+			s.fail(fmt.Sprintf("constraint unsatisfiable: %s", op.Ins.(sefl.Constrain).C))
+		}
+
+	case prog.OpFail:
+		s.fail(op.Msg)
+
+	case prog.OpForward:
+		s.outPorts = []int{op.Port}
+
+	case prog.OpFork:
+		if len(op.Ports) == 0 {
+			s.fail("Fork with no ports")
+			return
+		}
+		s.outPorts = append([]int(nil), op.Ports...)
+
+	case prog.OpUnknown:
+		s.fail(op.Msg)
+
+	default:
+		s.fail(fmt.Sprintf("unknown op kind %d", op.Kind))
+	}
+}
+
+// applyAssign mirrors the AST interpreter's Assign: resolve the l-value,
+// evaluate under the width hint, adapt constant widths, store.
+func (r *run) applyAssign(op *prog.Op, s *State, env *progEnv) {
+	if op.LV.Err != "" {
+		s.fail(op.LV.Err)
+		return
+	}
+	var off int64
+	hint := 0
+	if op.LV.IsHdr {
+		var err error
+		off, err = prog.ResolveOff(env, op.LV)
+		if err != nil {
+			s.fail(err.Error())
+			return
+		}
+		hint = op.LV.Size
+	} else if w, ok := s.Mem.MetaWidth(op.LV.Key); ok {
+		hint = w
+	}
+	val, err := prog.EvalExpr(env, op.E, hint)
+	if err != nil {
+		s.fail(err.Error())
+		return
+	}
+	if hint != 0 && val.Width != hint {
+		if cv, isConst := val.ConstVal(); isConst {
+			val = expr.Const(cv, hint)
+		} else {
+			s.fail(fmt.Sprintf("assign width mismatch: %d-bit value into %d-bit field", val.Width, hint))
+			return
+		}
+	}
+	if op.LV.IsHdr {
+		if err := s.Mem.AssignHdr(off, op.LV.Size, val); err != nil {
+			s.fail(err.Error())
+		}
+	} else if err := s.Mem.AssignMeta(op.LV.Key, val); err != nil {
+		s.fail(err.Error())
+	}
+}
+
+// applyControl executes one forking op for one state, running nested
+// segments to completion (the AST recursion's order).
+func (r *run) applyControl(p *prog.Program, op *prog.Op, s *State, env *progEnv) []*State {
+	if s.traceOn && op.Ins != nil {
+		s.pushTrace(fmt.Sprintf("%s: %s", p.Elem, op.Ins))
+	}
+	switch op.Kind {
+	case prog.OpIf:
+		env.st = s
+		cond, err := prog.EvalCond(env, op.C)
+		if err != nil {
+			s.fail(err.Error())
+			return []*State{s}
+		}
+		thenSt := s.clone()
+		elseSt := s
+		var out []*State
+		if thenSt.Ctx.Add(cond) && (thenSt.Ctx.PendingOrs() == 0 || thenSt.Ctx.Sat()) {
+			out = append(out, r.runSeg(p, op.Then, []*State{thenSt}, env)...)
+		} else {
+			r.pruned++
+		}
+		if elseSt.Ctx.Add(expr.NewNot(cond)) && (elseSt.Ctx.PendingOrs() == 0 || elseSt.Ctx.Sat()) {
+			out = append(out, r.runSeg(p, op.Else, []*State{elseSt}, env)...)
+		} else {
+			r.pruned++
+		}
+		return out
+
+	case prog.OpFor:
+		if op.For.Re == nil {
+			s.fail(op.For.Err)
+			return []*State{s}
+		}
+		keys := s.Mem.MetaKeysMatching(op.For.Re, p.Instance)
+		states := []*State{s}
+		for _, k := range keys {
+			bp := p.ForBody(op.For, k)
+			var out []*State
+			for _, s2 := range states {
+				if s2.Status == Failed || s2.forwarding() {
+					out = append(out, s2)
+					continue
+				}
+				out = append(out, r.runSeg(bp, bp.Entry, []*State{s2}, env)...)
+			}
+			states = out
+		}
+		return states
+
+	case prog.OpSub:
+		return r.runSeg(p, op.Sub, []*State{s}, env)
+	}
+	s.fail(fmt.Sprintf("unknown control op kind %d", op.Kind))
+	return []*State{s}
+}

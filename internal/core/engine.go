@@ -48,6 +48,12 @@ type Options struct {
 	// the calling goroutine; internal/sched and the symnet facade honor
 	// this field. Results are identical for any worker count.
 	Workers int
+	// ASTInterp selects the tree-walking AST interpreter instead of the
+	// compiled-IR dispatch loop. The two engines produce byte-identical
+	// Results (pinned by the differential property tests in internal/prog);
+	// the AST walker is kept as the executable reference semantics and for
+	// debugging suspected compiler bugs.
+	ASTInterp bool
 }
 
 func (o Options) withDefaults() Options {
@@ -131,7 +137,7 @@ func (r *run) step(st *State) ([]*State, error) {
 		}
 	}
 
-	code, ok := elem.inCodeFor(st.Here.Port)
+	states, ok := r.execPort(st, elem, st.Here.Port, false)
 	if !ok {
 		// No code: the packet stops here.
 		st.Status = Delivered
@@ -140,7 +146,7 @@ func (r *run) step(st *State) ([]*State, error) {
 	}
 
 	var next []*State
-	for _, s := range r.exec(st, elem, code) {
+	for _, s := range states {
 		if s.Status == Failed {
 			r.finish(s)
 			continue
@@ -177,8 +183,7 @@ func (r *run) depart(st *State, elem *Element) ([]*State, error) {
 		outRef := PortRef{Elem: elem.Name, Port: p, Out: true}
 		s.Here = outRef
 		s.pushHistory(outRef)
-		if code, ok := elem.outCodeFor(p); ok {
-			states := r.exec(s, elem, code)
+		if states, ok := r.execPort(s, elem, p, true); ok {
 			for _, os := range states {
 				if os.Status == Failed {
 					r.finish(os)
@@ -225,12 +230,17 @@ func (r *run) finish(st *State) {
 	r.finished = append(r.finished, st)
 }
 
-// --- Instruction interpreter ---
+// --- AST instruction interpreter (reference semantics) ---
 
 // exec runs one instruction on a state, returning successor states. States
 // that failed or that set pending output ports are returned as-is; callers
 // decide what happens next. The slice is never empty unless the state was
 // pruned as infeasible.
+//
+// This recursive tree walk is the engine's reference interpreter, selected
+// by Options.ASTInterp; the default execution path compiles port programs
+// to the flat IR of internal/prog and dispatches over it (compiled.go),
+// with byte-identical observable behavior.
 func (r *run) exec(st *State, elem *Element, ins sefl.Instr) []*State {
 	if st.Status == Failed || st.forwarding() {
 		return []*State{st}

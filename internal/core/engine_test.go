@@ -404,12 +404,13 @@ func TestHistoryRecordsPorts(t *testing.T) {
 		{Elem: "A", Port: 0, Out: true},
 		{Elem: "B", Port: 0},
 	}
-	if len(p.History) != len(want) {
-		t.Fatalf("history %v", p.History)
+	hist := p.History()
+	if len(hist) != len(want) {
+		t.Fatalf("history %v", hist)
 	}
 	for i := range want {
-		if p.History[i] != want[i] {
-			t.Fatalf("history[%d] = %v, want %v", i, p.History[i], want[i])
+		if hist[i] != want[i] {
+			t.Fatalf("history[%d] = %v, want %v", i, hist[i], want[i])
 		}
 	}
 	if len(p.Trace) == 0 {

@@ -5,6 +5,7 @@ import (
 
 	"symnet/internal/expr"
 	"symnet/internal/memory"
+	"symnet/internal/prog"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
 )
@@ -77,6 +78,7 @@ type Exploration struct {
 	net     *Network
 	opts    Options
 	inject  *Element
+	injProg *prog.Program // compiled injection code (nil under ASTInterp)
 	satMemo *solver.SatCache
 	queue   []*Task // pending tasks; waves are cut from the tail
 	nextSeq int64
@@ -107,6 +109,12 @@ func NewExploration(net *Network, inject PortRef, init sefl.Instr, opts Options)
 		inject:  elem,
 		satMemo: memo,
 		names:   &expr.Alloc{},
+	}
+	if !opts.ASTInterp && init != nil {
+		// Injection code runs once per exploration but compiles in
+		// microseconds; compiling keeps every instruction on the one
+		// (compiled) execution path.
+		e.injProg = prog.Compile(init, elem.Name, elem.Instance, elem.Name+".inject")
 	}
 	st := &State{
 		Mem:     memory.New(),
@@ -148,7 +156,7 @@ func (e *Exploration) RunTask(t *Task) TaskResult {
 	}
 	var res TaskResult
 	if t.init != nil {
-		res.next = r.runInjection(t.st, e.inject, t.init)
+		res.next = r.runInjection(t.st, e.inject, t.init, e.injProg)
 	} else {
 		t.st.Ctx.SetStats(stats)
 		res.next, res.err = r.step(t.st)
@@ -164,11 +172,17 @@ func (e *Exploration) RunTask(t *Task) TaskResult {
 // runInjection builds the symbolic packet: injection code runs in the
 // context of the target element (so local metadata in templates scopes
 // sensibly) before the packet enters the port.
-func (r *run) runInjection(st *State, elem *Element, init sefl.Instr) []*State {
+func (r *run) runInjection(st *State, elem *Element, init sefl.Instr, injProg *prog.Program) []*State {
 	st.Ctx = solver.NewContext(r.stats)
 	st.Ctx.SetCache(r.memo)
+	var states []*State
+	if injProg != nil {
+		states = r.runProgram(st, injProg)
+	} else {
+		states = r.exec(st, elem, init)
+	}
 	var next []*State
-	for _, s := range r.exec(st, elem, init) {
+	for _, s := range states {
 		if s.Status == Failed {
 			r.finish(s)
 			continue
@@ -229,7 +243,7 @@ func (e *Exploration) appendPath(st *State) {
 		ID:      len(e.paths),
 		Status:  st.Status,
 		FailMsg: st.FailMsg,
-		History: st.hist.slice(),
+		hist:    st.hist,
 		Trace:   st.trace.slice(),
 		Mem:     st.Mem,
 		Ctx:     st.Ctx,

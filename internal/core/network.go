@@ -8,7 +8,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"symnet/internal/prog"
 	"symnet/internal/sefl"
 )
 
@@ -19,6 +21,12 @@ const WildcardPort = -1
 // Element is a network box: a number of input and output ports, each with
 // optional SEFL code. Connections are unidirectional from output ports to
 // input ports, so bidirectional connectivity needs two port pairs (§5).
+//
+// Port code is authored as a SEFL AST and compiled lazily to the flat IR of
+// internal/prog on first execution; the compiled program is cached per
+// (direction, port key) and shared read-only across scheduler workers and
+// batch jobs. SetInCode/SetOutCode invalidate the affected cache entry, so
+// models may be regenerated between runs.
 type Element struct {
 	Name     string
 	Kind     string // descriptive: "switch", "router", "nat", ...
@@ -27,6 +35,17 @@ type Element struct {
 	NumOut   int
 	InCode   map[int]sefl.Instr
 	OutCode  map[int]sefl.Instr
+
+	// progs caches compiled programs keyed by progKey. The key's port is
+	// the resolved code-map key (a specific port or WildcardPort), so all
+	// ports sharing wildcard code share one compiled program.
+	progs sync.Map // progKey -> *prog.Program
+}
+
+// progKey identifies one cached compiled program of an element.
+type progKey struct {
+	out  bool
+	port int
 }
 
 // SetInCode attaches code to an input port (WildcardPort for all).
@@ -35,6 +54,7 @@ func (e *Element) SetInCode(port int, code sefl.Instr) *Element {
 		e.InCode = make(map[int]sefl.Instr)
 	}
 	e.InCode[port] = code
+	e.progs.Delete(progKey{out: false, port: port})
 	return e
 }
 
@@ -44,6 +64,7 @@ func (e *Element) SetOutCode(port int, code sefl.Instr) *Element {
 		e.OutCode = make(map[int]sefl.Instr)
 	}
 	e.OutCode[port] = code
+	e.progs.Delete(progKey{out: true, port: port})
 	return e
 }
 
@@ -61,6 +82,60 @@ func (e *Element) outCodeFor(port int) (sefl.Instr, bool) {
 	}
 	c, ok := e.OutCode[WildcardPort]
 	return c, ok
+}
+
+// progFor returns the compiled program for a port's code, compiling and
+// caching on first use. Concurrent first uses may compile twice; LoadOrStore
+// keeps one winner and the loser is equivalent (programs are pure
+// compilations of the same AST), so results do not depend on the race.
+func (e *Element) progFor(port int, out bool) (*prog.Program, bool) {
+	codes := e.InCode
+	if out {
+		codes = e.OutCode
+	}
+	key := port
+	if _, ok := codes[key]; !ok {
+		if _, ok := codes[WildcardPort]; !ok {
+			return nil, false
+		}
+		key = WildcardPort
+	}
+	ck := progKey{out: out, port: key}
+	if v, ok := e.progs.Load(ck); ok {
+		return v.(*prog.Program), true
+	}
+	dir := "in"
+	if out {
+		dir = "out"
+	}
+	portLabel := fmt.Sprintf("%d", key)
+	if key == WildcardPort {
+		portLabel = "*"
+	}
+	p := prog.Compile(codes[key], e.Name, e.Instance, fmt.Sprintf("%s.%s[%s]", e.Name, dir, portLabel))
+	actual, _ := e.progs.LoadOrStore(ck, p)
+	return actual.(*prog.Program), true
+}
+
+// Programs returns the compiled program of every port that has code,
+// compiling as needed — input ports first, then output ports, specific
+// ports before wildcards resolved per port. It powers cmd/symnet -dump-ir.
+func (e *Element) Programs() []*prog.Program {
+	var out []*prog.Program
+	seen := make(map[*prog.Program]bool)
+	add := func(port int, dir bool) {
+		if p, ok := e.progFor(port, dir); ok && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for port := 0; port < e.NumIn; port++ {
+		add(port, false)
+	}
+	for port := 0; port < e.NumOut; port++ {
+		add(port, true)
+	}
+	return out
 }
 
 // PortRef names a port of an element. Out distinguishes output ports.

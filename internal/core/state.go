@@ -157,18 +157,36 @@ type Path struct {
 	ID      int
 	Status  Status
 	FailMsg string
-	History []PortRef
 	Trace   []string
 	Mem     *memory.Mem
 	Ctx     *solver.Context
+
+	// hist is the port-visit trail, newest-first and shared-prefix with
+	// sibling paths. It is materialized on demand: most callers (batch
+	// reachability, benchmarks) never read full histories, and eager
+	// materialization was ~25% of fork-heavy runtime.
+	hist *trail[PortRef]
 }
 
-// Last returns the final port the path visited.
+// History returns the port-visit history, oldest first. The slice is built
+// per call (callers that iterate repeatedly should hold on to it); Last and
+// HistoryLen answer the common questions without materializing.
+func (p *Path) History() []PortRef { return p.hist.slice() }
+
+// HistoryLen returns the number of port visits in O(1).
+func (p *Path) HistoryLen() int {
+	if p.hist == nil {
+		return 0
+	}
+	return p.hist.n
+}
+
+// Last returns the final port the path visited, in O(1).
 func (p *Path) Last() PortRef {
-	if len(p.History) == 0 {
+	if p.hist == nil {
 		return PortRef{}
 	}
-	return p.History[len(p.History)-1]
+	return p.hist.v
 }
 
 // RunStats summarizes a run.

@@ -263,7 +263,7 @@ func SplitTCP() ([]SplitTCPFinding, error) {
 	paths := res.DeliveredAt("client", 0)
 	for _, p := range paths {
 		crossings := 0
-		for _, h := range p.History {
+		for _, h := range p.History() {
 			if h.Elem == "proxy" && !h.Out {
 				crossings++
 			}
@@ -363,7 +363,7 @@ func Department(cfg datasets.DepartmentConfig) ([]DeptFinding, *core.Result, err
 	viaASA := len(toInternet) > 0
 	for _, p := range toInternet {
 		through := false
-		for _, h := range p.History {
+		for _, h := range p.History() {
 			if h.Elem == "asa" {
 				through = true
 			}

@@ -20,6 +20,15 @@ const (
 	// maxShift is the deepest level that still consumes fresh hash bits;
 	// keys colliding through all 64 bits fall into a collision bucket.
 	maxShift = 60
+	// smallMax is the inline-representation bound: maps of at most this many
+	// entries are stored as a flat hash-sorted slice scanned linearly, which
+	// beats the trie on both lookup (no node walk) and update (one small
+	// slice copy beats a spine copy) for the tiny maps that dominate short
+	// queries — a fresh packet's handful of header fields, two or three
+	// tags, a near-empty union-find. A map that grows past the bound is
+	// promoted to a trie and stays one (shrinking back would only add
+	// branches to the hot paths).
+	smallMax = 8
 )
 
 // kv is one key/value pair.
@@ -49,10 +58,18 @@ type node[K comparable, V any] struct {
 // NewMap. Map values are freely copyable headers: Set and Delete return new
 // Maps sharing structure with the receiver, which remains valid and
 // unchanged.
+//
+// Maps holding at most smallMax entries use an inline hash-sorted slice
+// (linear scan, no trie walk); larger maps are HAMTs. Iteration order is
+// deterministic either way: hash order for the inline form, trie order for
+// the HAMT — both pure functions of the key set for a map that has stayed in
+// one representation (keys whose full 64-bit hashes collide tie-break by
+// insertion order in the inline form, as in a trie collision bucket).
 type Map[K comparable, V any] struct {
-	root *node[K, V]
-	size int
-	hash func(K) uint64
+	root  *node[K, V]
+	small []entry[K, V] // inline form: hash-sorted, child fields unused
+	size  int
+	hash  func(K) uint64
 }
 
 // NewMap returns an empty map using the given deterministic hash function.
@@ -68,6 +85,12 @@ func (m Map[K, V]) Get(k K) (V, bool) {
 	var zero V
 	n := m.root
 	if n == nil {
+		h := m.hash(k)
+		for i := range m.small {
+			if m.small[i].hash == h && m.small[i].kv.key == k {
+				return m.small[i].kv.val, true
+			}
+		}
 		return zero, false
 	}
 	h := m.hash(k)
@@ -101,6 +124,9 @@ func (m Map[K, V]) Get(k K) (V, bool) {
 // Set returns a map with k bound to v; the receiver is unchanged.
 func (m Map[K, V]) Set(k K, v V) Map[K, V] {
 	h := m.hash(k)
+	if m.root == nil {
+		return m.setSmall(h, kv[K, V]{key: k, val: v})
+	}
 	added := false
 	root := setNode(m.root, 0, h, kv[K, V]{key: k, val: v}, &added)
 	size := m.size
@@ -108,6 +134,86 @@ func (m Map[K, V]) Set(k K, v V) Map[K, V] {
 		size++
 	}
 	return Map[K, V]{root: root, size: size, hash: m.hash}
+}
+
+// setSmall is Set on the inline form: replace in place (copied), insert in
+// hash order, or promote to a trie when the bound is exceeded.
+func (m Map[K, V]) setSmall(h uint64, p kv[K, V]) Map[K, V] {
+	for i := range m.small {
+		if m.small[i].hash == h && m.small[i].kv.key == p.key {
+			out := make([]entry[K, V], len(m.small))
+			copy(out, m.small)
+			out[i].kv = p
+			return Map[K, V]{small: out, size: m.size, hash: m.hash}
+		}
+	}
+	if m.size < smallMax {
+		// Insert after any entries with the same or smaller hash, so the
+		// slice stays hash-sorted and equal hashes keep insertion order.
+		pos := len(m.small)
+		for i := range m.small {
+			if m.small[i].hash > h {
+				pos = i
+				break
+			}
+		}
+		out := make([]entry[K, V], len(m.small)+1)
+		copy(out, m.small[:pos])
+		out[pos] = entry[K, V]{hash: h, kv: p}
+		copy(out[pos+1:], m.small[pos:])
+		return Map[K, V]{small: out, size: m.size + 1, hash: m.hash}
+	}
+	// Promote: build the canonical trie from the inline entries plus the
+	// new pair in one pass (grouping by hash chunk), so crossing the
+	// boundary costs about as much as one more inline copy — important
+	// because under forking many path-local copies of a map can each cross
+	// the boundary themselves. Trie shape is a pure function of the key
+	// hashes, so the build order is irrelevant (except inside collision
+	// buckets, which preserve the inline form's order).
+	all := make([]entry[K, V], len(m.small)+1)
+	copy(all, m.small)
+	all[len(m.small)] = entry[K, V]{hash: h, kv: p}
+	return Map[K, V]{root: buildNode(all, 0), size: m.size + 1, hash: m.hash}
+}
+
+// buildNode builds the canonical trie node for a set of entries in one
+// pass. Entries are regrouped by the hash chunk at shift; groups of one
+// become leaves, larger groups recurse. The result is identical to
+// inserting the entries one by one.
+func buildNode[K comparable, V any](entries []entry[K, V], shift uint) *node[K, V] {
+	if shift > maxShift {
+		coll := make([]kv[K, V], len(entries))
+		for i := range entries {
+			coll[i] = entries[i].kv
+		}
+		return &node[K, V]{coll: coll}
+	}
+	// Stable insertion sort by slot index: n is tiny (promotion passes
+	// smallMax+1 entries) and equal full hashes must keep their order.
+	idx := func(e *entry[K, V]) uint32 { return uint32(e.hash>>shift) & levelMask }
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && idx(&entries[j-1]) > idx(&entries[j]); j-- {
+			entries[j-1], entries[j] = entries[j], entries[j-1]
+		}
+	}
+	var bitmap uint32
+	out := make([]entry[K, V], 0, len(entries))
+	for i := 0; i < len(entries); {
+		j := i + 1
+		for j < len(entries) && idx(&entries[j]) == idx(&entries[i]) {
+			j++
+		}
+		bitmap |= 1 << idx(&entries[i])
+		if j == i+1 {
+			out = append(out, entries[i])
+		} else {
+			group := make([]entry[K, V], j-i)
+			copy(group, entries[i:j])
+			out = append(out, entry[K, V]{child: buildNode(group, shift+bitsPerLevel)})
+		}
+		i = j
+	}
+	return &node[K, V]{bitmap: bitmap, entries: out}
 }
 
 func setNode[K comparable, V any](n *node[K, V], shift uint, h uint64, p kv[K, V], added *bool) *node[K, V] {
@@ -178,6 +284,18 @@ func mergeLeaves[K comparable, V any](shift uint, a, b entry[K, V]) *node[K, V] 
 // Delete returns a map without k; the receiver is unchanged.
 func (m Map[K, V]) Delete(k K) Map[K, V] {
 	if m.root == nil {
+		h := m.hash(k)
+		for i := range m.small {
+			if m.small[i].hash == h && m.small[i].kv.key == k {
+				out := make([]entry[K, V], 0, len(m.small)-1)
+				out = append(out, m.small[:i]...)
+				out = append(out, m.small[i+1:]...)
+				if len(out) == 0 {
+					out = nil
+				}
+				return Map[K, V]{small: out, size: m.size - 1, hash: m.hash}
+			}
+		}
 		return m
 	}
 	removed := false
@@ -246,11 +364,18 @@ func removeSlot[K comparable, V any](n *node[K, V], bit uint32, pos int) *node[K
 }
 
 // Range calls f for every key/value pair until f returns false. Iteration
-// order is trie order — deterministic for a given key set and hash function,
-// but not sorted; callers needing a specific order must sort.
+// order is hash order (inline form) or trie order (HAMT) — deterministic for
+// a given key set and hash function, but not sorted; callers needing a
+// specific order must sort.
 func (m Map[K, V]) Range(f func(K, V) bool) {
 	if m.root != nil {
 		rangeNode(m.root, f)
+		return
+	}
+	for i := range m.small {
+		if !f(m.small[i].kv.key, m.small[i].kv.val) {
+			return
+		}
 	}
 }
 

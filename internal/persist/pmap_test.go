@@ -70,6 +70,125 @@ func TestMapMatchesReference(t *testing.T) {
 	}
 }
 
+// TestMapSmallBoundary drives random operation sequences whose sizes hover
+// around the inline-representation bound, so every Set/Delete/Get/Range path
+// of the small form — and the small→trie promotion — is crossed repeatedly,
+// with forks pinned on both sides of the boundary.
+func TestMapSmallBoundary(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		m := NewMap[uint64, int](Mix64)
+		ref := map[uint64]int{}
+		type forkPair struct {
+			m   Map[uint64, int]
+			ref map[uint64]int
+		}
+		var forks []forkPair
+		// Keys drawn from a tiny space keep Len oscillating across smallMax.
+		keySpace := uint64(smallMax + 4)
+		for op := 0; op < 400; op++ {
+			k := uint64(rng.Intn(int(keySpace)))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				v := rng.Int()
+				m = m.Set(k, v)
+				ref[k] = v
+			case 3:
+				m = m.Delete(k)
+				delete(ref, k)
+			case 4:
+				refCopy := make(map[uint64]int, len(ref))
+				for k, v := range ref {
+					refCopy[k] = v
+				}
+				forks = append(forks, forkPair{m: m, ref: refCopy})
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len=%d want %d", seed, op, m.Len(), len(ref))
+			}
+			for k := uint64(0); k < keySpace; k++ {
+				got, ok := m.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && got != want) {
+					t.Fatalf("seed %d op %d: Get(%d)=%d,%v want %d,%v", seed, op, k, got, ok, want, wantOK)
+				}
+			}
+		}
+		// Forked snapshots — some inline, some promoted — must have been
+		// unaffected by every later mutation.
+		for _, f := range forks {
+			n := 0
+			f.m.Range(func(k uint64, v int) bool {
+				if f.ref[k] != v {
+					t.Fatalf("seed %d: fork Range yielded %d=%d, want %d", seed, k, v, f.ref[k])
+				}
+				n++
+				return true
+			})
+			if n != len(f.ref) {
+				t.Fatalf("seed %d: fork Range yielded %d pairs, want %d", seed, n, len(f.ref))
+			}
+		}
+	}
+}
+
+// TestMapSmallIterationDeterministic: below the inline bound, the same key
+// set inserted in different orders must still Range identically (entries are
+// kept in hash order, not insertion order).
+func TestMapSmallIterationDeterministic(t *testing.T) {
+	keys := []uint64{9, 3, 250, 17, 42, 1, 77}
+	a := NewMap[uint64, int](Mix64)
+	for _, k := range keys {
+		a = a.Set(k, int(k))
+	}
+	b := NewMap[uint64, int](Mix64)
+	for i := len(keys) - 1; i >= 0; i-- {
+		b = b.Set(keys[i], int(keys[i]))
+	}
+	var orderA, orderB []uint64
+	a.Range(func(k uint64, _ int) bool { orderA = append(orderA, k); return true })
+	b.Range(func(k uint64, _ int) bool { orderB = append(orderB, k); return true })
+	if len(orderA) != len(keys) || len(orderB) != len(keys) {
+		t.Fatalf("lengths: %d, %d, want %d", len(orderA), len(orderB), len(keys))
+	}
+	for i := range orderA {
+		if orderA[i] != orderB[i] {
+			t.Fatalf("iteration order differs at %d: %d vs %d", i, orderA[i], orderB[i])
+		}
+		if i > 0 && Mix64(orderA[i-1]) >= Mix64(orderA[i]) {
+			t.Fatalf("inline entries not hash-sorted at %d", i)
+		}
+	}
+}
+
+// TestMapPromotionKeepsSnapshots pins a snapshot at exactly smallMax
+// entries, grows the map through the promotion, and checks both forms.
+func TestMapPromotionKeepsSnapshots(t *testing.T) {
+	m := NewMap[uint64, int](Mix64)
+	for i := uint64(0); i < smallMax; i++ {
+		m = m.Set(i, int(i))
+	}
+	snap := m
+	for i := uint64(smallMax); i < 4*smallMax; i++ {
+		m = m.Set(i, int(i))
+	}
+	if snap.Len() != smallMax {
+		t.Fatalf("snapshot Len=%d want %d", snap.Len(), smallMax)
+	}
+	if m.Len() != 4*smallMax {
+		t.Fatalf("promoted Len=%d want %d", m.Len(), 4*smallMax)
+	}
+	for i := uint64(0); i < 4*smallMax; i++ {
+		if v, ok := m.Get(i); !ok || v != int(i) {
+			t.Fatalf("promoted Get(%d)=%d,%v", i, v, ok)
+		}
+		_, ok := snap.Get(i)
+		if want := i < smallMax; ok != want {
+			t.Fatalf("snapshot Get(%d)=%v want %v", i, ok, want)
+		}
+	}
+}
+
 // collideHash forces every key into one 64-bit hash bucket, exercising the
 // collision-bucket path end to end.
 func collideHash(uint64) uint64 { return 42 }

@@ -1,0 +1,659 @@
+package prog
+
+import (
+	"fmt"
+	"regexp"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/persist"
+	"symnet/internal/sefl"
+)
+
+// Compile lowers one element-port SEFL program to a flat IR Program for the
+// given element (name and instance scope local metadata and trace lines).
+// Compilation never fails: constructs the compiler cannot lower statically
+// (unknown instruction types, bad For patterns) become ops that reproduce
+// the AST interpreter's runtime failure exactly.
+func Compile(code sefl.Instr, elem string, instance int, label string) *Program {
+	c := &compiler{
+		p:     &Program{Elem: elem, Instance: instance, Label: label},
+		conds: make(map[expr.Fp][]*CCond),
+	}
+	c.p.Entry = c.compileSeg([]sefl.Instr{code})
+	return c.p
+}
+
+type compiler struct {
+	p     *Program
+	conds map[expr.Fp][]*CCond // hash-consing table for guard dedup
+}
+
+// compileSeg compiles an instruction sequence into a new segment. Child
+// segments (If branches, unspliced blocks) are emitted first, so a
+// segment's ops are contiguous in the program's op array.
+func (c *compiler) compileSeg(is []sefl.Instr) SegID {
+	var buf []Op
+	forked := false     // an If/For op was emitted into this segment
+	terminated := false // every state reaching this point has terminated
+	c.emitList(&buf, is, &forked, &terminated)
+	lo := int32(len(c.p.Ops))
+	c.p.Ops = append(c.p.Ops, buf...)
+	id := SegID(len(c.p.Segs))
+	c.p.Segs = append(c.p.Segs, Seg{Lo: lo, Hi: int32(len(c.p.Ops)), Terminates: terminated})
+	return id
+}
+
+// emitList emits ops for an instruction sequence into buf. Ops after the
+// point where every state has terminated are dead code and dropped (the AST
+// interpreter's status guard would skip them unexecuted and untraced, so
+// dropping is observationally identical).
+func (c *compiler) emitList(buf *[]Op, is []sefl.Instr, forked, terminated *bool) {
+	for _, ins := range is {
+		if *terminated {
+			return
+		}
+		c.emit(buf, ins, forked, terminated)
+	}
+}
+
+func (c *compiler) emit(buf *[]Op, ins sefl.Instr, forked, terminated *bool) {
+	switch v := ins.(type) {
+	case sefl.Block:
+		// Splice the block's instructions into this segment when that
+		// cannot reorder fresh-symbol allocation: with a single live state
+		// (no prior fork in this segment) instruction-major and state-major
+		// execution coincide, and without Symbolic expressions there is no
+		// allocation to reorder. Otherwise the block stays a sub-segment
+		// executed per state, exactly like the AST recursion.
+		if !*forked || !containsSymbolic(v) {
+			c.emitList(buf, v.Is, forked, terminated)
+			return
+		}
+		// Only reached with *forked already set: a spliced fork precedes
+		// this block in the segment, so it stays a per-state sub-segment.
+		sub := c.compileSeg(v.Is)
+		*buf = append(*buf, Op{Kind: OpSub, Sub: sub})
+		if c.p.Segs[sub].Terminates {
+			*terminated = true
+		}
+
+	case sefl.NoOp:
+		*buf = append(*buf, Op{Kind: OpNoOp, Ins: ins})
+
+	case sefl.Allocate:
+		*buf = append(*buf, Op{Kind: OpAllocate, Ins: ins, LV: c.compileLV(v.LV), Size: allocSize(v.LV, v.Size)})
+
+	case sefl.Deallocate:
+		*buf = append(*buf, Op{Kind: OpDeallocate, Ins: ins, LV: c.compileLV(v.LV), Size: allocSize(v.LV, v.Size)})
+
+	case sefl.Assign:
+		lv := c.compileLV(v.LV)
+		e := c.compileExpr(v.E)
+		if lv.IsHdr {
+			// The width hint of a header assignment is the declared field
+			// size — statically known, so hint-dependent expressions fold
+			// here too (a metadata assignment's hint is the runtime width).
+			c.foldWithHint(e, lv.Size)
+		}
+		*buf = append(*buf, Op{Kind: OpAssign, Ins: ins, LV: lv, E: e})
+
+	case sefl.CreateTag:
+		e := c.compileExpr(v.E)
+		c.foldWithHint(e, 64)
+		*buf = append(*buf, Op{
+			Kind: OpCreateTag, Ins: ins, Tag: v.Name, E: e,
+			Msg: fmt.Sprintf("CreateTag(%q): tag value must be concrete", v.Name),
+		})
+
+	case sefl.DestroyTag:
+		*buf = append(*buf, Op{Kind: OpDestroyTag, Ins: ins, Tag: v.Name})
+
+	case sefl.Constrain:
+		*buf = append(*buf, Op{Kind: OpConstrain, Ins: ins, C: c.compileCond(v.C)})
+
+	case sefl.Fail:
+		*buf = append(*buf, Op{Kind: OpFail, Ins: ins, Msg: v.Msg})
+		*terminated = true
+
+	case sefl.If:
+		cond := c.compileCond(v.C)
+		thenSeg := c.compileSeg([]sefl.Instr{v.Then})
+		elseSeg := c.compileSeg([]sefl.Instr{v.Else})
+		*buf = append(*buf, Op{Kind: OpIf, Ins: ins, C: cond, Then: thenSeg, Else: elseSeg})
+		*forked = true
+		if c.p.Segs[thenSeg].Terminates && c.p.Segs[elseSeg].Terminates {
+			*terminated = true
+		}
+
+	case sefl.For:
+		f := &ForOp{Pattern: v.Pattern, Body: v.Body}
+		re, err := regexp.Compile(v.Pattern)
+		if err != nil {
+			f.Err = fmt.Sprintf("For: bad pattern %q: %v", v.Pattern, err)
+		} else {
+			f.Re = re
+		}
+		*buf = append(*buf, Op{Kind: OpFor, Ins: ins, For: f})
+		*forked = true
+
+	case sefl.Forward:
+		*buf = append(*buf, Op{Kind: OpForward, Ins: ins, Port: v.Port})
+		*terminated = true
+
+	case sefl.Fork:
+		*buf = append(*buf, Op{Kind: OpFork, Ins: ins, Ports: v.Ports})
+		*terminated = true
+
+	default:
+		*buf = append(*buf, Op{Kind: OpUnknown, Ins: ins, Msg: fmt.Sprintf("unknown instruction %T", ins)})
+	}
+}
+
+// allocSize applies the AST interpreter's size defaulting: a zero
+// Allocate/Deallocate size borrows the header l-value's declared size.
+func allocSize(lv sefl.LValue, size int) int {
+	if size == 0 {
+		if h, ok := lv.(sefl.Hdr); ok {
+			size = h.Size
+		}
+	}
+	return size
+}
+
+// compileLV pre-resolves an l-value: metadata binds its full key (the
+// element instance is a compile input), tag-free header offsets are already
+// absolute.
+func (c *compiler) compileLV(lv sefl.LValue) LV {
+	switch v := lv.(type) {
+	case sefl.Hdr:
+		return LV{IsHdr: true, Tag: v.Off.Tag, Rel: v.Off.Rel, Size: v.Size}
+	case sefl.Meta:
+		inst := memory.GlobalScope
+		if v.Pinned {
+			inst = v.Instance
+		} else if v.Local {
+			inst = c.p.Instance
+		}
+		return LV{Key: memory.MetaKey{Name: v.Name, Instance: inst}}
+	}
+	return LV{Err: fmt.Sprintf("unknown l-value %T", lv)}
+}
+
+// compileExpr lowers an expression, folding subtrees whose value is
+// independent of the evaluation hint (fixed-width literals and arithmetic
+// over them) to their exact runtime value.
+func (c *compiler) compileExpr(e sefl.Expr) *CExpr {
+	switch v := e.(type) {
+	case sefl.Num:
+		ce := &CExpr{Kind: ENum, V: v.V, W: v.W}
+		if v.W != 0 {
+			l := expr.Const(v.V, v.W)
+			ce.Folded = &l
+		}
+		return ce
+	case sefl.Symbolic:
+		return &CExpr{Kind: ESym, W: v.W, Name: v.Name}
+	case sefl.Ref:
+		return &CExpr{Kind: ERef, LV: c.compileLV(v.LV)}
+	case sefl.TagVal:
+		return &CExpr{Kind: ETagVal, Tag: v.Tag, Rel: v.Rel}
+	case sefl.Add:
+		return c.compileArith(v.A, v.B, false)
+	case sefl.Sub:
+		return c.compileArith(v.A, v.B, true)
+	}
+	return &CExpr{Err: fmt.Sprintf("unknown expression %T", e)}
+}
+
+func (c *compiler) compileArith(a, b sefl.Expr, minus bool) *CExpr {
+	ce := &CExpr{Kind: EArith, A: c.compileExpr(a), B: c.compileExpr(b), Minus: minus}
+	// Fold constant arithmetic: when the left operand folded (so its width
+	// is fixed), the right operand's hint is that width, and a literal or
+	// folded right operand makes the whole node hint-independent. The
+	// computation below is evalArith's constant/constant case verbatim.
+	la := ce.A.Folded
+	if la == nil {
+		return ce
+	}
+	var lb expr.Lin
+	switch {
+	case ce.B.Folded != nil:
+		lb = *ce.B.Folded
+	case ce.B.Kind == ENum:
+		lb = expr.Const(ce.B.V, la.Width)
+	default:
+		return ce
+	}
+	va, aOK := la.ConstVal()
+	vb, bOK := lb.ConstVal()
+	if !aOK || !bOK {
+		return ce
+	}
+	w := la.Width
+	if lb.Width > w {
+		w = lb.Width
+	}
+	var l expr.Lin
+	if minus {
+		l = expr.Const(va-vb, w)
+	} else {
+		l = expr.Const(va+vb, w)
+	}
+	ce.Folded = &l
+	return ce
+}
+
+// foldWithHint folds a hint-dependent static expression once the context's
+// width hint is statically known (header assignments, tag creation). Only
+// the root node is annotated: it is private to its op, while subtrees could
+// in principle be shared.
+func (c *compiler) foldWithHint(e *CExpr, hint int) {
+	if e.Folded != nil || !exprStatic(e) {
+		return
+	}
+	if l, err := EvalExpr(nil, e, hint); err == nil {
+		e.Folded = &l
+	}
+}
+
+// exprStatic reports whether evaluating e touches neither the packet nor
+// the symbol allocator, i.e. the evaluation is a pure function of the hint.
+func exprStatic(e *CExpr) bool {
+	switch e.Kind {
+	case ENum:
+		return e.Err == ""
+	case EArith:
+		return e.Err == "" && exprStatic(e.A) && exprStatic(e.B)
+	}
+	return false
+}
+
+// compileCond lowers a condition bottom-up, hash-consing structurally equal
+// nodes (guard dedup) and precomputing the value — or the exact evaluation
+// error — of nodes whose evaluation is static.
+func (c *compiler) compileCond(sc sefl.Cond) *CCond {
+	var cc *CCond
+	switch v := sc.(type) {
+	case sefl.CBool:
+		cc = &CCond{Kind: CBool, B: bool(v)}
+	case sefl.Cmp:
+		cc = &CCond{Kind: CCmp, Op: v.Op, L: c.compileExpr(v.L), R: c.compileExpr(v.R)}
+	case sefl.Prefix:
+		w := v.Width
+		if w == 0 {
+			w = 32
+		}
+		cc = &CCond{Kind: CPrefix, L: c.compileExpr(v.E), Val: v.Value, PLen: v.Len, PW: w}
+	case sefl.Masked:
+		cc = &CCond{Kind: CMasked, L: c.compileExpr(v.E), Mask: v.Mask, Val: v.Val}
+	case sefl.MetaPresent:
+		lv := c.compileLV(v.M)
+		cc = &CCond{Kind: CMetaPresent, Key: lv.Key}
+	case sefl.CAnd:
+		cs := make([]*CCond, len(v.Cs))
+		for i, sub := range v.Cs {
+			cs[i] = c.compileCond(sub)
+		}
+		cc = &CCond{Kind: CAnd, Cs: cs}
+	case sefl.COr:
+		cs := make([]*CCond, len(v.Cs))
+		for i, sub := range v.Cs {
+			cs[i] = c.compileCond(sub)
+		}
+		cc = &CCond{Kind: COr, Cs: cs}
+	case sefl.CNot:
+		cc = &CCond{Kind: CNot, C: c.compileCond(v.C)}
+	default:
+		// Unknown condition types fail at evaluation like the AST
+		// interpreter's default case.
+		cc = &CCond{
+			Kind: CBool, HasStatic: true,
+			StaticErr: fmt.Sprintf("unknown condition %T", sc),
+		}
+		cc.FP = fpString(cc.StaticErr)
+		return cc
+	}
+	cc.FP = fpCond(cc)
+	c.p.CondsSeen++
+	for _, cand := range c.conds[cc.FP] {
+		if equalCCond(cand, cc) {
+			return cand
+		}
+	}
+	if !cc.HasStatic && condStatic(cc) {
+		cond, err := evalCondDynamic(nil, cc)
+		cc.HasStatic = true
+		if err != nil {
+			cc.StaticErr = err.Error()
+		} else {
+			cc.Static = cond
+		}
+	}
+	cc.Words, cc.HasSym = condSize(cc)
+	cc.Memoizable = !cc.HasStatic && !cc.HasSym && cc.Words >= memoMinWords
+	if cc.Memoizable {
+		seen := make(map[CondInput]bool)
+		collectInputs(cc, seen, &cc.Inputs)
+	}
+	c.conds[cc.FP] = append(c.conds[cc.FP], cc)
+	c.p.Conds++
+	return cc
+}
+
+// memoMinWords gates the evaluation memo: small guards rebuild faster than
+// they hash, large ones (table-wide disjunctions) amortize enormously.
+const memoMinWords = 32
+
+// condSize returns the structural node count and whether the condition can
+// allocate fresh symbols.
+func condSize(cc *CCond) (int, bool) {
+	words, sym := 1, false
+	switch cc.Kind {
+	case CCmp:
+		w, s := exprSize(cc.L)
+		words += w
+		sym = sym || s
+		w, s = exprSize(cc.R)
+		words += w
+		sym = sym || s
+	case CPrefix, CMasked:
+		w, s := exprSize(cc.L)
+		words += w
+		sym = sym || s
+	case CAnd, COr:
+		for _, sub := range cc.Cs {
+			words += sub.Words
+			sym = sym || sub.HasSym
+		}
+	case CNot:
+		words += cc.C.Words
+		sym = cc.C.HasSym
+	}
+	return words, sym
+}
+
+func exprSize(e *CExpr) (int, bool) {
+	switch e.Kind {
+	case ESym:
+		return 1, true
+	case EArith:
+		wa, sa := exprSize(e.A)
+		wb, sb := exprSize(e.B)
+		return 1 + wa + wb, sa || sb
+	}
+	return 1, false
+}
+
+// collectInputs walks a memoizable condition in evaluation order and
+// records each distinct dynamic read once. Static subtrees read nothing.
+func collectInputs(cc *CCond, seen map[CondInput]bool, out *[]CondInput) {
+	if cc.HasStatic {
+		return
+	}
+	add := func(in CondInput) {
+		if !seen[in] {
+			seen[in] = true
+			*out = append(*out, in)
+		}
+	}
+	switch cc.Kind {
+	case CCmp:
+		collectExprInputs(cc.L, seen, out)
+		collectExprInputs(cc.R, seen, out)
+	case CPrefix, CMasked:
+		collectExprInputs(cc.L, seen, out)
+	case CMetaPresent:
+		add(CondInput{Kind: InMetaPresent, Key: cc.Key})
+	case CAnd, COr:
+		for _, sub := range cc.Cs {
+			collectInputs(sub, seen, out)
+		}
+	case CNot:
+		collectInputs(cc.C, seen, out)
+	}
+}
+
+func collectExprInputs(e *CExpr, seen map[CondInput]bool, out *[]CondInput) {
+	if e.Folded != nil {
+		return
+	}
+	switch e.Kind {
+	case ERef:
+		in := CondInput{Kind: InRef, LV: e.LV}
+		if !seen[in] {
+			seen[in] = true
+			*out = append(*out, in)
+		}
+	case ETagVal:
+		in := CondInput{Kind: InTag, Tag: e.Tag}
+		if !seen[in] {
+			seen[in] = true
+			*out = append(*out, in)
+		}
+	case EArith:
+		collectExprInputs(e.A, seen, out)
+		collectExprInputs(e.B, seen, out)
+	}
+}
+
+// condStatic reports whether evaluating the condition is a pure function:
+// no packet reads, no symbol allocation. Children are already compiled, so
+// composite nodes just consult their children's HasStatic.
+func condStatic(cc *CCond) bool {
+	switch cc.Kind {
+	case CBool:
+		return true
+	case CCmp:
+		return exprStatic(cc.L) && exprStatic(cc.R)
+	case CPrefix, CMasked:
+		return exprStatic(cc.L)
+	case CMetaPresent:
+		return false
+	case CAnd, COr:
+		for _, sub := range cc.Cs {
+			if !sub.HasStatic {
+				return false
+			}
+		}
+		return true
+	case CNot:
+		return cc.C.HasStatic
+	}
+	return false
+}
+
+// --- Structural fingerprints (guard dedup) ---
+
+// The dedup table is keyed by 128-bit structural fingerprints built with
+// the expr package's chained-fingerprint combinator, with a structural
+// equality check on collisions (equality is cheap: children are already
+// hash-consed, so deep comparison bottoms out in pointer equality).
+
+func fpWord(x uint64) expr.Fp {
+	return expr.Fp{Hi: x, Lo: x * 0x9e3779b97f4a7c15}
+}
+
+func fpString(s string) expr.Fp {
+	h := persist.HashString(s)
+	return expr.Fp{Hi: h, Lo: persist.Mix64(h)}
+}
+
+func fpExpr(e *CExpr) expr.Fp {
+	f := fpWord(uint64(e.Kind) + 0x11)
+	switch e.Kind {
+	case ENum:
+		f = f.Chain(fpWord(e.V)).Chain(fpWord(uint64(e.W)))
+	case ESym:
+		f = f.Chain(fpWord(uint64(e.W))).Chain(fpString(e.Name))
+	case ERef:
+		f = f.Chain(fpLV(e.LV))
+	case ETagVal:
+		f = f.Chain(fpString(e.Tag)).Chain(fpWord(uint64(e.Rel)))
+	case EArith:
+		if e.Minus {
+			f = f.Chain(fpWord(1))
+		}
+		f = f.Chain(fpExpr(e.A)).Chain(fpExpr(e.B))
+	}
+	if e.Err != "" {
+		f = f.Chain(fpString(e.Err))
+	}
+	return f
+}
+
+func fpLV(lv LV) expr.Fp {
+	f := fpWord(uint64(lv.Rel))
+	if lv.IsHdr {
+		f = f.Chain(fpWord(uint64(lv.Size) + 1)).Chain(fpString(lv.Tag))
+	} else {
+		f = f.Chain(fpString(lv.Key.Name)).Chain(fpWord(uint64(int64(lv.Key.Instance))))
+	}
+	if lv.Err != "" {
+		f = f.Chain(fpString(lv.Err))
+	}
+	return f
+}
+
+func fpCond(cc *CCond) expr.Fp {
+	f := fpWord(uint64(cc.Kind) + 0x29)
+	switch cc.Kind {
+	case CBool:
+		if cc.B {
+			f = f.Chain(fpWord(1))
+		}
+	case CCmp:
+		f = f.Chain(fpWord(uint64(cc.Op))).Chain(fpExpr(cc.L)).Chain(fpExpr(cc.R))
+	case CPrefix:
+		f = f.Chain(fpExpr(cc.L)).Chain(fpWord(cc.Val)).
+			Chain(fpWord(uint64(cc.PLen))).Chain(fpWord(uint64(cc.PW)))
+	case CMasked:
+		f = f.Chain(fpExpr(cc.L)).Chain(fpWord(cc.Mask)).Chain(fpWord(cc.Val))
+	case CMetaPresent:
+		f = f.Chain(fpString(cc.Key.Name)).Chain(fpWord(uint64(int64(cc.Key.Instance))))
+	case CAnd, COr:
+		f = f.Chain(fpWord(uint64(len(cc.Cs))))
+		for _, sub := range cc.Cs {
+			f = f.Chain(sub.FP)
+		}
+	case CNot:
+		f = f.Chain(cc.C.FP)
+	}
+	return f
+}
+
+func equalCCond(a, b *CCond) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case CBool:
+		return a.B == b.B && a.StaticErr == b.StaticErr
+	case CCmp:
+		return a.Op == b.Op && equalCExpr(a.L, b.L) && equalCExpr(a.R, b.R)
+	case CPrefix:
+		return a.Val == b.Val && a.PLen == b.PLen && a.PW == b.PW && equalCExpr(a.L, b.L)
+	case CMasked:
+		return a.Mask == b.Mask && a.Val == b.Val && equalCExpr(a.L, b.L)
+	case CMetaPresent:
+		return a.Key == b.Key
+	case CAnd, COr:
+		if len(a.Cs) != len(b.Cs) {
+			return false
+		}
+		for i := range a.Cs {
+			// Children are hash-consed: identity is equality.
+			if a.Cs[i] != b.Cs[i] {
+				return false
+			}
+		}
+		return true
+	case CNot:
+		return a.C == b.C
+	}
+	return false
+}
+
+func equalCExpr(a, b *CExpr) bool {
+	if a.Kind != b.Kind || a.Err != b.Err {
+		return false
+	}
+	switch a.Kind {
+	case ENum:
+		return a.V == b.V && a.W == b.W
+	case ESym:
+		return a.W == b.W && a.Name == b.Name
+	case ERef:
+		return a.LV == b.LV
+	case ETagVal:
+		return a.Tag == b.Tag && a.Rel == b.Rel
+	case EArith:
+		return a.Minus == b.Minus && equalCExpr(a.A, b.A) && equalCExpr(a.B, b.B)
+	}
+	return true
+}
+
+// --- Splice analysis ---
+
+// containsSymbolic reports whether executing ins can allocate fresh
+// symbols. For bodies are unknown until runtime, so For is conservatively
+// symbolic.
+func containsSymbolic(ins sefl.Instr) bool {
+	switch v := ins.(type) {
+	case sefl.Block:
+		for _, sub := range v.Is {
+			if containsSymbolic(sub) {
+				return true
+			}
+		}
+	case sefl.Assign:
+		return exprHasSymbolic(v.E)
+	case sefl.CreateTag:
+		return exprHasSymbolic(v.E)
+	case sefl.Constrain:
+		return condHasSymbolic(v.C)
+	case sefl.If:
+		return condHasSymbolic(v.C) || containsSymbolic(v.Then) || containsSymbolic(v.Else)
+	case sefl.For:
+		return true
+	}
+	return false
+}
+
+func exprHasSymbolic(e sefl.Expr) bool {
+	switch v := e.(type) {
+	case sefl.Symbolic:
+		return true
+	case sefl.Add:
+		return exprHasSymbolic(v.A) || exprHasSymbolic(v.B)
+	case sefl.Sub:
+		return exprHasSymbolic(v.A) || exprHasSymbolic(v.B)
+	}
+	return false
+}
+
+func condHasSymbolic(c sefl.Cond) bool {
+	switch v := c.(type) {
+	case sefl.Cmp:
+		return exprHasSymbolic(v.L) || exprHasSymbolic(v.R)
+	case sefl.Prefix:
+		return exprHasSymbolic(v.E)
+	case sefl.Masked:
+		return exprHasSymbolic(v.E)
+	case sefl.CAnd:
+		for _, sub := range v.Cs {
+			if condHasSymbolic(sub) {
+				return true
+			}
+		}
+	case sefl.COr:
+		for _, sub := range v.Cs {
+			if condHasSymbolic(sub) {
+				return true
+			}
+		}
+	case sefl.CNot:
+		return condHasSymbolic(v.C)
+	}
+	return false
+}

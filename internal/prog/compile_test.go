@@ -1,0 +1,251 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/sefl"
+)
+
+func countOps(p *Program, kind OpKind) int {
+	n := 0
+	for i := range p.Ops {
+		if p.Ops[i].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDeadCodeAfterTerminators: ops after an unconditional Fail/Forward/Fork
+// are dropped, including across spliced nested blocks, and an If whose
+// branches all terminate ends its segment.
+func TestDeadCodeAfterTerminators(t *testing.T) {
+	p := Compile(sefl.Seq(
+		sefl.Assign{LV: sefl.Meta{Name: "a"}, E: sefl.C(1)},
+		sefl.Forward{Port: 0},
+		sefl.Assign{LV: sefl.Meta{Name: "dead"}, E: sefl.C(2)},
+		sefl.Fail{Msg: "dead"},
+	), "e", 0, "t")
+	if got := len(p.Ops); got != 2 {
+		t.Fatalf("ops after DCE = %d, want 2:\n%s", got, p)
+	}
+
+	p = Compile(sefl.Seq(
+		sefl.If{C: sefl.Eq(sefl.Ref{LV: sefl.Meta{Name: "k"}}, sefl.C(1)),
+			Then: sefl.Forward{Port: 0},
+			Else: sefl.Fail{Msg: "no"}},
+		sefl.Assign{LV: sefl.Meta{Name: "dead"}, E: sefl.C(2)},
+	), "e", 0, "t")
+	if n := countOps(p, OpAssign); n != 0 {
+		t.Fatalf("assign after always-terminating If survived DCE:\n%s", p)
+	}
+	if !p.Segs[p.Entry].Terminates {
+		t.Fatalf("entry segment should be marked terminating:\n%s", p)
+	}
+
+	// A nested block behind the terminator is dead too.
+	p = Compile(sefl.Seq(
+		sefl.Fail{Msg: "stop"},
+		sefl.Seq(sefl.NoOp{}, sefl.NoOp{}),
+	), "e", 0, "t")
+	if got := len(p.Ops); got != 1 {
+		t.Fatalf("ops after DCE = %d, want 1:\n%s", got, p)
+	}
+}
+
+// TestGuardDedup: structurally equal conditions compile to one shared node.
+func TestGuardDedup(t *testing.T) {
+	guard := func() sefl.Cond {
+		return sefl.AndC(
+			sefl.Eq(sefl.Ref{LV: sefl.Hdr{Off: sefl.At(0), Size: 32}}, sefl.C(5)),
+			sefl.Lt(sefl.Ref{LV: sefl.Meta{Name: "m"}}, sefl.C(9)),
+		)
+	}
+	p := Compile(sefl.Seq(
+		sefl.Constrain{C: guard()},
+		sefl.Constrain{C: guard()},
+		sefl.Constrain{C: sefl.NotC(guard())},
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	var consts []*CCond
+	for i := range p.Ops {
+		if p.Ops[i].Kind == OpConstrain {
+			consts = append(consts, p.Ops[i].C)
+		}
+	}
+	if len(consts) != 3 {
+		t.Fatalf("want 3 constrain ops, got %d", len(consts))
+	}
+	if consts[0] != consts[1] {
+		t.Fatal("equal guards were not deduplicated to one node")
+	}
+	if consts[2].Kind != CNot || consts[2].C != consts[0] {
+		t.Fatal("negated guard does not share the inner node")
+	}
+	// Dedup stats: 2 And roots seen, 1 kept (plus leaves and the Not).
+	if p.Conds >= p.CondsSeen {
+		t.Fatalf("dedup had no effect: %d/%d", p.Conds, p.CondsSeen)
+	}
+}
+
+// TestStaticFolding: conditions and expressions without packet reads fold
+// at compile time to exactly what runtime evaluation would produce.
+func TestStaticFolding(t *testing.T) {
+	p := Compile(sefl.Seq(
+		sefl.Constrain{C: sefl.Lt(sefl.CW(3, 16), sefl.CW(5, 16))},
+		sefl.Assign{LV: sefl.Hdr{Off: sefl.At(0), Size: 32}, E: sefl.Add{A: sefl.C(40), B: sefl.C(2)}},
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	c := p.Ops[0].C
+	if !c.HasStatic || c.StaticErr != "" {
+		t.Fatalf("static comparison not folded: %+v", c)
+	}
+	if b, ok := c.Static.(expr.Bool); !ok || !bool(b) {
+		t.Fatalf("folded value = %v, want true", c.Static)
+	}
+	e := p.Ops[1].E
+	if e.Folded == nil {
+		t.Fatalf("constant assign expression not folded:\n%s", p)
+	}
+	if v, ok := e.Folded.ConstVal(); !ok || v != 42 || e.Folded.Width != 32 {
+		t.Fatalf("folded = %v, want 42:w32", e.Folded)
+	}
+
+	// A static condition whose evaluation errors folds to that error.
+	p = Compile(sefl.Seq(
+		sefl.Constrain{C: sefl.Eq(sefl.CW(256, 16), sefl.CW(1, 8))},
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	c = p.Ops[0].C
+	if !c.HasStatic || !strings.Contains(c.StaticErr, "does not fit in") {
+		t.Fatalf("static error not folded: %+v", c)
+	}
+}
+
+// TestLValueResolution: metadata binds its instance at compile time and
+// tag-free offsets are absolute.
+func TestLValueResolution(t *testing.T) {
+	p := Compile(sefl.Seq(
+		sefl.Assign{LV: sefl.Meta{Name: "g"}, E: sefl.C(1)},
+		sefl.Assign{LV: sefl.Meta{Name: "l", Local: true}, E: sefl.C(2)},
+		sefl.Assign{LV: sefl.Meta{Name: "p", Instance: 9, Pinned: true}, E: sefl.C(3)},
+		sefl.Assign{LV: sefl.Hdr{Off: sefl.At(96), Size: 32}, E: sefl.C(4)},
+		sefl.Assign{LV: sefl.Hdr{Off: sefl.FromTag("L3", 16), Size: 16}, E: sefl.C(5)},
+		sefl.Forward{Port: 0},
+	), "e", 7, "t")
+	wantKeys := []memory.MetaKey{
+		{Name: "g", Instance: memory.GlobalScope},
+		{Name: "l", Instance: 7},
+		{Name: "p", Instance: 9},
+	}
+	for i, want := range wantKeys {
+		if got := p.Ops[i].LV.Key; got != want {
+			t.Fatalf("op %d key = %v, want %v", i, got, want)
+		}
+	}
+	if lv := p.Ops[3].LV; !lv.IsHdr || lv.Tag != "" || lv.Rel != 96 || lv.Size != 32 {
+		t.Fatalf("absolute header LV = %+v", lv)
+	}
+	if lv := p.Ops[4].LV; !lv.IsHdr || lv.Tag != "L3" || lv.Rel != 16 {
+		t.Fatalf("tagged header LV = %+v", lv)
+	}
+}
+
+// TestForkIsMultiSuccessorTerminator and bad For patterns compile to
+// runtime-failing ops rather than compile errors.
+func TestTerminatorsAndBadPattern(t *testing.T) {
+	p := Compile(sefl.Seq(
+		sefl.Fork{Ports: []int{0, 2, 4}},
+	), "e", 0, "t")
+	if p.Ops[0].Kind != OpFork || len(p.Ops[0].Ports) != 3 {
+		t.Fatalf("fork op = %+v", p.Ops[0])
+	}
+	if !p.Segs[p.Entry].Terminates {
+		t.Fatal("fork must terminate its segment")
+	}
+
+	p = Compile(sefl.For{Pattern: "(", Body: func(k sefl.Meta) sefl.Instr { return sefl.NoOp{} }},
+		"e", 0, "t")
+	if p.Ops[0].Kind != OpFor || p.Ops[0].For.Re != nil || p.Ops[0].For.Err == "" {
+		t.Fatalf("bad pattern op = %+v", p.Ops[0])
+	}
+}
+
+// TestSpliceAnalysis: blocks splice into their parent unless a preceding
+// fork and contained Symbolic would reorder allocation.
+func TestSpliceAnalysis(t *testing.T) {
+	// No fork before the nested block: spliced, one segment.
+	p := Compile(sefl.Seq(
+		sefl.Assign{LV: sefl.Meta{Name: "a"}, E: sefl.C(1)},
+		sefl.Seq(
+			sefl.Assign{LV: sefl.Meta{Name: "b"}, E: sefl.Symbolic{W: 8}},
+			sefl.Assign{LV: sefl.Meta{Name: "c"}, E: sefl.C(2)},
+		),
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	if n := countOps(p, OpSub); n != 0 {
+		t.Fatalf("block after straight-line code must splice:\n%s", p)
+	}
+
+	// Fork before a Symbolic-bearing block: must stay a sub-segment.
+	p = Compile(sefl.Seq(
+		sefl.If{C: sefl.CBool(true), Then: sefl.NoOp{}, Else: sefl.NoOp{}},
+		sefl.Seq(
+			sefl.Assign{LV: sefl.Meta{Name: "b"}, E: sefl.Symbolic{W: 8}},
+			sefl.Assign{LV: sefl.Meta{Name: "c"}, E: sefl.C(2)},
+		),
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	if n := countOps(p, OpSub); n != 1 {
+		t.Fatalf("symbolic block behind a fork must not splice:\n%s", p)
+	}
+
+	// Fork before a Symbolic-free block: splicing is safe.
+	p = Compile(sefl.Seq(
+		sefl.If{C: sefl.CBool(true), Then: sefl.NoOp{}, Else: sefl.NoOp{}},
+		sefl.Seq(
+			sefl.Assign{LV: sefl.Meta{Name: "b"}, E: sefl.C(3)},
+			sefl.Assign{LV: sefl.Meta{Name: "c"}, E: sefl.C(2)},
+		),
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	if n := countOps(p, OpSub); n != 0 {
+		t.Fatalf("symbol-free block may splice behind a fork:\n%s", p)
+	}
+}
+
+// TestMemoGating: only large, symbol-free, non-static guards get the
+// evaluation memo, and their distinct inputs are collected once.
+func TestMemoGating(t *testing.T) {
+	ref := sefl.Ref{LV: sefl.Hdr{Off: sefl.At(0), Size: 32}}
+	var big []sefl.Cond
+	for i := 0; i < 64; i++ {
+		big = append(big, sefl.Eq(ref, sefl.C(uint64(i))))
+	}
+	p := Compile(sefl.Seq(
+		sefl.Constrain{C: sefl.OrC(big...)},
+		sefl.Constrain{C: sefl.Eq(ref, sefl.C(1))},
+		sefl.Constrain{C: sefl.Eq(sefl.Symbolic{W: 32}, ref)},
+		sefl.Forward{Port: 0},
+	), "e", 0, "t")
+	bigC, smallC, symC := p.Ops[0].C, p.Ops[1].C, p.Ops[2].C
+	if !bigC.Memoizable {
+		t.Fatalf("table-wide guard not memoizable: words=%d", bigC.Words)
+	}
+	if len(bigC.Inputs) != 1 {
+		t.Fatalf("distinct inputs = %d, want 1 (one field read %d times)", len(bigC.Inputs), 64)
+	}
+	if smallC.Memoizable {
+		t.Fatal("small guard should not pay memo overhead")
+	}
+	if symC.HasSym || symC.Memoizable {
+		// The Eq's left side allocates a fresh symbol; HasSym is computed
+		// on the root Cmp node.
+		if symC.Memoizable {
+			t.Fatal("symbol-allocating guard must not be memoized")
+		}
+	}
+}

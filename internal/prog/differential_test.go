@@ -1,0 +1,387 @@
+package prog_test
+
+// Differential property tests: randomly generated SEFL programs executed by
+// the compiled-IR engine must produce Results byte-identical to the AST
+// reference interpreter, sequentially and at 1/2/8 workers. The generator
+// deliberately produces the constructs whose compilation is delicate —
+// Symbolic allocations after forks (global allocation order), nested blocks
+// behind Ifs (splice analysis), dead code behind terminators, error paths
+// (unset tags, unallocated reads, unsatisfiable constraints), For loops,
+// and tracing.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+)
+
+// fingerprint serializes everything observable about a Result: path IDs,
+// statuses, messages, histories, traces, final memory (fields, metadata,
+// tags), the constraint context's chained fingerprint, and run statistics.
+func fingerprint(res *core.Result) string {
+	var b strings.Builder
+	for _, p := range res.Paths {
+		fmt.Fprintf(&b, "#%d %s %q", p.ID, p.Status, p.FailMsg)
+		for _, h := range p.History() {
+			fmt.Fprintf(&b, " %s", h)
+		}
+		for _, line := range p.Trace {
+			fmt.Fprintf(&b, " T:%s", line)
+		}
+		for _, f := range p.Mem.Fields() {
+			fmt.Fprintf(&b, " @%d/%d=%v:%v", f.Off, f.Size, f.Val, f.Set)
+		}
+		for _, me := range p.Mem.MetaEntries() {
+			fmt.Fprintf(&b, " m[%s]=%v:%v", me.Key, me.Val, me.Set)
+		}
+		tags := p.Mem.Tags()
+		names := make([]string, 0, len(tags))
+		for tag := range tags {
+			names = append(names, tag)
+		}
+		sort.Strings(names)
+		for _, tag := range names {
+			fmt.Fprintf(&b, " t[%s]=%d", tag, tags[tag])
+		}
+		fp := p.Ctx.Fingerprint()
+		fmt.Fprintf(&b, " ctx=%x.%x pend=%d\n", fp.Hi, fp.Lo, p.Ctx.PendingOrs())
+	}
+	fmt.Fprintf(&b, "stats %+v\n", res.Stats)
+	return b.String()
+}
+
+// gen is a deterministic random SEFL generator.
+type gen struct {
+	rng  *rand.Rand
+	meta []sefl.Meta
+	hdrs []sefl.Hdr
+}
+
+func newGen(seed int64) *gen {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	// Header-field palette: allocated by the injection code. Distinct
+	// offsets; widths matter for fold/coerce paths.
+	g.hdrs = []sefl.Hdr{
+		{Off: sefl.At(0), Size: 32, Name: "F0"},
+		{Off: sefl.At(32), Size: 16, Name: "F1"},
+		{Off: sefl.At(48), Size: 16, Name: "F2"},
+		{Off: sefl.FromTag("T", 0), Size: 8, Name: "F3"}, // tag-relative
+	}
+	g.meta = []sefl.Meta{
+		{Name: "m0"}, {Name: "m1"}, {Name: "m2", Local: true},
+	}
+	return g
+}
+
+func (g *gen) intn(n int) int { return g.rng.Intn(n) }
+
+// inject builds the symbolic packet: fields allocated and assigned, the
+// "T" tag set, two metadata entries. F3 sits at tag T (=64) + 0 = bit 64.
+func (g *gen) inject() sefl.Instr {
+	is := []sefl.Instr{
+		sefl.CreateTag{Name: "T", E: sefl.C(64)},
+	}
+	for _, h := range g.hdrs {
+		is = append(is,
+			sefl.Allocate{LV: h, Size: h.Size},
+			sefl.Assign{LV: h, E: sefl.Symbolic{W: h.Size, Name: h.Name}},
+		)
+	}
+	is = append(is,
+		sefl.Allocate{LV: g.meta[0], Size: 32},
+		sefl.Assign{LV: g.meta[0], E: sefl.C(7)},
+		sefl.Allocate{LV: g.meta[1], Size: 16},
+		sefl.Assign{LV: g.meta[1], E: sefl.Symbolic{W: 16, Name: "m1"}},
+	)
+	return sefl.Seq(is...)
+}
+
+func (g *gen) lv() sefl.LValue {
+	if g.intn(3) == 0 {
+		return g.meta[g.intn(len(g.meta))]
+	}
+	return g.hdrs[g.intn(len(g.hdrs))]
+}
+
+func (g *gen) expr(depth int) sefl.Expr {
+	switch r := g.intn(10); {
+	case r < 3:
+		widths := []int{0, 8, 16, 32}
+		return sefl.CW(uint64(g.intn(200)), widths[g.intn(len(widths))])
+	case r < 6:
+		return sefl.Ref{LV: g.lv()}
+	case r == 6:
+		return sefl.Symbolic{W: 16, Name: fmt.Sprintf("s%d", g.intn(4))}
+	case r == 7:
+		return sefl.TagVal{Tag: "T", Rel: int64(g.intn(8))}
+	default:
+		if depth <= 0 {
+			return sefl.C(uint64(g.intn(50)))
+		}
+		a, b := g.expr(depth-1), g.expr(depth-1)
+		if g.intn(2) == 0 {
+			return sefl.Add{A: a, B: b}
+		}
+		return sefl.Sub{A: a, B: b}
+	}
+}
+
+func (g *gen) cond(depth int) sefl.Cond {
+	if depth <= 0 || g.intn(4) == 0 {
+		switch g.intn(5) {
+		case 0:
+			ops := []func(l, r sefl.Expr) sefl.Cond{sefl.Eq, sefl.Ne, sefl.Lt, sefl.Le, sefl.Gt, sefl.Ge}
+			return ops[g.intn(len(ops))](g.expr(1), g.expr(1))
+		case 1:
+			return sefl.Prefix{E: sefl.Ref{LV: g.hdrs[0]}, Value: uint64(g.intn(256)) << 24, Len: 8 + g.intn(8)}
+		case 2:
+			return sefl.Masked{E: sefl.Ref{LV: g.hdrs[g.intn(2)]}, Mask: uint64(0xff) << uint(g.intn(3)*4), Val: uint64(g.intn(256))}
+		case 3:
+			return sefl.MetaPresent{M: g.meta[g.intn(len(g.meta))]}
+		default:
+			return sefl.CBool(g.intn(4) != 0)
+		}
+	}
+	switch g.intn(3) {
+	case 0:
+		return sefl.AndC(g.cond(depth-1), g.cond(depth-1))
+	case 1:
+		return sefl.OrC(g.cond(depth-1), g.cond(depth-1))
+	default:
+		return sefl.NotC(g.cond(depth - 1))
+	}
+}
+
+func (g *gen) instr(depth int, numOut int) sefl.Instr {
+	switch r := g.intn(14); {
+	case r < 4:
+		return sefl.Assign{LV: g.lv(), E: g.expr(2)}
+	case r < 6:
+		return sefl.Constrain{C: g.cond(2)}
+	case r == 6 && depth > 0:
+		return sefl.If{C: g.cond(2), Then: g.instr(depth-1, numOut), Else: g.instr(depth-1, numOut)}
+	case r == 7 && depth > 0:
+		n := 2 + g.intn(2)
+		is := make([]sefl.Instr, n)
+		for i := range is {
+			is[i] = g.instr(depth-1, numOut)
+		}
+		return sefl.Block{Is: is}
+	case r == 8:
+		m := sefl.Meta{Name: fmt.Sprintf("x%d", g.intn(3))}
+		return sefl.Seq(
+			sefl.Allocate{LV: m, Size: 16},
+			sefl.Assign{LV: m, E: g.expr(1)},
+		)
+	case r == 9:
+		// For over the metadata palette: body is a pure function of its key.
+		return sefl.For{Pattern: "^m", Body: func(k sefl.Meta) sefl.Instr {
+			return sefl.Assign{LV: k, E: sefl.Add{A: sefl.Ref{LV: k}, B: sefl.C(1)}}
+		}}
+	case r == 10:
+		return sefl.CreateTag{Name: "U", E: g.expr(1)}
+	case r == 11:
+		return sefl.Fail{Msg: fmt.Sprintf("generated fail %d", g.intn(10))}
+	case r == 12:
+		// Error-path fodder: read through a possibly-unset tag.
+		return sefl.Assign{LV: sefl.Hdr{Off: sefl.FromTag("U", 0), Size: 8}, E: sefl.C(1)}
+	default:
+		return sefl.NoOp{}
+	}
+}
+
+// portCode generates input-port code ending in Forward or Fork.
+func (g *gen) portCode(numOut int) sefl.Instr {
+	n := 1 + g.intn(4)
+	is := make([]sefl.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		is = append(is, g.instr(2, numOut))
+	}
+	switch g.intn(4) {
+	case 0:
+		ports := make([]int, 0, numOut)
+		for p := 0; p < numOut; p++ {
+			if g.intn(2) == 0 || len(ports) == 0 {
+				ports = append(ports, p)
+			}
+		}
+		is = append(is, sefl.Fork{Ports: ports})
+	default:
+		is = append(is, sefl.Forward{Port: g.intn(numOut)})
+	}
+	return sefl.Seq(is...)
+}
+
+// network builds a random chain of elements with occasional out-port code
+// and cross links, ending in a sink.
+func (g *gen) network() (*core.Network, core.PortRef) {
+	net := core.NewNetwork()
+	n := 2 + g.intn(3)
+	fan := 2
+	for i := 0; i < n; i++ {
+		e := net.AddElement(fmt.Sprintf("e%d", i), "gen", fan, fan)
+		e.SetInCode(core.WildcardPort, g.portCode(fan))
+		if g.intn(3) == 0 {
+			// Out-port code must not forward; generate straight-line code.
+			e.SetOutCode(g.intn(fan), sefl.Seq(
+				g.instr(1, fan),
+				g.instr(1, fan),
+			))
+		}
+	}
+	sink := net.AddElement("sink", "sink", 1, 0)
+	sink.SetInCode(0, sefl.NoOp{})
+	for i := 0; i < n; i++ {
+		for p := 0; p < fan; p++ {
+			if i+1 < n {
+				net.MustLink(fmt.Sprintf("e%d", i), p, fmt.Sprintf("e%d", i+1), g.intn(fan))
+			} else {
+				net.MustLink(fmt.Sprintf("e%d", i), p, "sink", 0)
+			}
+		}
+	}
+	return net, core.PortRef{Elem: "e0", Port: 0}
+}
+
+// TestDifferentialCompiledVsAST is the core differential property: for many
+// random programs, the compiled engine's Result must be byte-identical to
+// the AST interpreter's, with tracing exercised on a subset of seeds.
+func TestDifferentialCompiledVsAST(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := 0; seed < seeds; seed++ {
+		g := newGen(int64(seed))
+		net, inj := g.network()
+		init := g.inject()
+		opts := core.Options{MaxHops: 48, MaxPaths: 1 << 14, Trace: seed%4 == 0}
+
+		astOpts := opts
+		astOpts.ASTInterp = true
+		ast, err := core.Run(net, inj, init, astOpts)
+		if err != nil {
+			t.Fatalf("seed %d: AST run: %v", seed, err)
+		}
+		want := fingerprint(ast)
+
+		ir, err := core.Run(net, inj, init, opts)
+		if err != nil {
+			t.Fatalf("seed %d: compiled run: %v", seed, err)
+		}
+		if got := fingerprint(ir); got != want {
+			t.Fatalf("seed %d: compiled result differs from AST:\n--- AST ---\n%s--- compiled ---\n%s",
+				seed, diffHead(want, fingerprint(ir)), diffHead(fingerprint(ir), want))
+		}
+		if ast.Stats.Paths == 0 {
+			t.Fatalf("seed %d: no paths explored", seed)
+		}
+	}
+}
+
+// TestDifferentialWorkers runs the same random programs across worker
+// counts: compiled results must stay byte-identical to the sequential AST
+// reference at 1, 2 and 8 workers.
+func TestDifferentialWorkers(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		g := newGen(int64(1000 + seed))
+		net, inj := g.network()
+		init := g.inject()
+		opts := core.Options{MaxHops: 48, MaxPaths: 1 << 14}
+
+		astOpts := opts
+		astOpts.ASTInterp = true
+		ast, err := core.Run(net, inj, init, astOpts)
+		if err != nil {
+			t.Fatalf("seed %d: AST run: %v", seed, err)
+		}
+		want := fingerprint(ast)
+		for _, workers := range []int{1, 2, 8} {
+			res, err := sched.Run(net, inj, init, opts, workers)
+			if err != nil {
+				t.Fatalf("seed %d: %d-worker run: %v", seed, workers, err)
+			}
+			if got := fingerprint(res); got != want {
+				t.Errorf("seed %d: %d-worker compiled result differs from sequential AST", seed, workers)
+			}
+		}
+	}
+}
+
+// TestDifferentialDatasets pins byte-identity of the two engines on the
+// real evaluation workloads (the paper's networks), not just generated
+// programs: department office/inbound, Stanford-like backbone, Split-TCP
+// scenarios, and the fork-heavy microbench topology.
+func TestDifferentialDatasets(t *testing.T) {
+	type workload struct {
+		name   string
+		net    *core.Network
+		inject core.PortRef
+		packet sefl.Instr
+		opts   core.Options
+	}
+	var ws []workload
+	d := datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 3, HostsPerSwitch: 24, Routes: 40, Seed: 5})
+	ws = append(ws,
+		workload{"department office", d.Net, core.PortRef{Elem: "asw0", Port: 1}, d.OfficePacket(false), core.Options{MaxHops: 64}},
+		workload{"department inbound", d.Net, core.PortRef{Elem: "exit", Port: 1}, sefl.NewTCPPacket(), core.Options{MaxHops: 64}},
+	)
+	bb := datasets.StanfordBackbone(6, 50)
+	ws = append(ws, workload{"backbone", bb.Net, core.PortRef{Elem: bb.Zones[0], Port: 2}, sefl.NewIPPacket(), core.Options{}})
+	stcp := datasets.NewSplitTCP(datasets.SplitTCPConfig{MTUDrop: true, Tunnel: true, ProxyRewritesMAC: true})
+	ws = append(ws, workload{"splittcp", stcp, core.PortRef{Elem: "client", Port: 0}, datasets.SplitTCPClientPacket(), core.Options{MaxHops: 64}})
+	fh, fhInject := datasets.ForkHeavy(8, 3, 4)
+	ws = append(ws, workload{"forkheavy", fh, fhInject, sefl.NewTCPPacket(), core.Options{MaxHops: 1 << 12}})
+
+	for _, w := range ws {
+		astOpts := w.opts
+		astOpts.ASTInterp = true
+		ast, err := core.Run(w.net, w.inject, w.packet, astOpts)
+		if err != nil {
+			t.Fatalf("%s: AST run: %v", w.name, err)
+		}
+		ir, err := core.Run(w.net, w.inject, w.packet, w.opts)
+		if err != nil {
+			t.Fatalf("%s: compiled run: %v", w.name, err)
+		}
+		if ast.Stats.Paths == 0 {
+			t.Fatalf("%s: no paths explored", w.name)
+		}
+		want, got := fingerprint(ast), fingerprint(ir)
+		if want != got {
+			t.Errorf("%s: compiled result differs from AST:\n%s", w.name, diffHead(want, got))
+		}
+	}
+}
+
+// diffHead returns the first line where a differs from b, for readable
+// failures.
+func diffHead(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			lo := i - 1
+			if lo < 0 {
+				lo = 0
+			}
+			hi := i + 2
+			if hi > len(al) {
+				hi = len(al)
+			}
+			return fmt.Sprintf("(first divergence at line %d)\n%s\n", i, strings.Join(al[lo:hi], "\n"))
+		}
+	}
+	return a
+}

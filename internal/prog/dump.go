@@ -1,0 +1,152 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program's IR for inspection (cmd/symnet -dump-ir):
+// one line per op, segments in emission order, branch targets as segment
+// ids. Conditions render their original SEFL form, with fold/dedup
+// annotations.
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s (elem %s, instance %d): %d ops, %d segs, %d/%d conds after dedup, entry seg%d\n",
+		p.Label, p.Elem, p.Instance, len(p.Ops), len(p.Segs), p.Conds, p.CondsSeen, p.Entry)
+	for id, seg := range p.Segs {
+		term := ""
+		if seg.Terminates {
+			term = " terminates"
+		}
+		fmt.Fprintf(&b, "seg%d:%s\n", id, term)
+		if seg.Lo == seg.Hi {
+			fmt.Fprintf(&b, "  (empty)\n")
+		}
+		for i := seg.Lo; i < seg.Hi; i++ {
+			fmt.Fprintf(&b, "  %3d: %s\n", i, p.opString(&p.Ops[i]))
+		}
+	}
+	return b.String()
+}
+
+func (p *Program) opString(op *Op) string {
+	switch op.Kind {
+	case OpNoOp:
+		return "nop"
+	case OpAllocate:
+		return fmt.Sprintf("alloc   %s size=%d", lvString(op.LV), op.Size)
+	case OpDeallocate:
+		return fmt.Sprintf("dealloc %s size=%d", lvString(op.LV), op.Size)
+	case OpAssign:
+		return fmt.Sprintf("assign  %s <- %s", lvString(op.LV), exprString(op.E))
+	case OpCreateTag:
+		return fmt.Sprintf("tag     %q <- %s", op.Tag, exprString(op.E))
+	case OpDestroyTag:
+		return fmt.Sprintf("untag   %q", op.Tag)
+	case OpConstrain:
+		return fmt.Sprintf("assert  %s", condString(op.C))
+	case OpFail:
+		return fmt.Sprintf("fail    %q", op.Msg)
+	case OpIf:
+		return fmt.Sprintf("branch  %s ? seg%d : seg%d", condString(op.C), op.Then, op.Else)
+	case OpFor:
+		if op.For.Re == nil {
+			return fmt.Sprintf("for     %q (bad pattern)", op.For.Pattern)
+		}
+		return fmt.Sprintf("for     %q", op.For.Pattern)
+	case OpForward:
+		return fmt.Sprintf("forward -> %d", op.Port)
+	case OpFork:
+		parts := make([]string, len(op.Ports))
+		for i, pt := range op.Ports {
+			parts[i] = fmt.Sprintf("%d", pt)
+		}
+		return "fork    -> {" + strings.Join(parts, ",") + "}"
+	case OpSub:
+		return fmt.Sprintf("sub     seg%d", op.Sub)
+	case OpUnknown:
+		return fmt.Sprintf("unknown %q", op.Msg)
+	}
+	return fmt.Sprintf("op?%d", op.Kind)
+}
+
+func lvString(lv LV) string {
+	if lv.Err != "" {
+		return "<" + lv.Err + ">"
+	}
+	if lv.IsHdr {
+		if lv.Tag == "" {
+			return fmt.Sprintf("hdr[%d:%d]", lv.Rel, lv.Size)
+		}
+		return fmt.Sprintf("hdr[Tag(%s)%+d:%d]", lv.Tag, lv.Rel, lv.Size)
+	}
+	return lv.Key.String()
+}
+
+func exprString(e *CExpr) string {
+	var s string
+	switch e.Kind {
+	case ENum:
+		s = fmt.Sprintf("%d:w%d", e.V, e.W)
+	case ESym:
+		s = fmt.Sprintf("fresh(%s:w%d)", e.Name, e.W)
+	case ERef:
+		s = lvString(e.LV)
+	case ETagVal:
+		s = fmt.Sprintf("Tag(%s)%+d", e.Tag, e.Rel)
+	case EArith:
+		opc := "+"
+		if e.Minus {
+			opc = "-"
+		}
+		s = "(" + exprString(e.A) + " " + opc + " " + exprString(e.B) + ")"
+	default:
+		s = "<" + e.Err + ">"
+	}
+	if e.Folded != nil {
+		s += fmt.Sprintf(" [folded=%s:w%d]", e.Folded, e.Folded.Width)
+	}
+	return s
+}
+
+// condString renders a condition compactly; very wide And/Or nodes (egress
+// table guards) are elided to keep dumps readable.
+func condString(c *CCond) string {
+	var s string
+	switch c.Kind {
+	case CBool:
+		s = fmt.Sprintf("%v", c.B)
+	case CCmp:
+		s = exprString(c.L) + " " + c.Op.String() + " " + exprString(c.R)
+	case CPrefix:
+		s = fmt.Sprintf("%s in %d/%d", exprString(c.L), c.Val, c.PLen)
+	case CMasked:
+		s = fmt.Sprintf("(%s & %#x) == %#x", exprString(c.L), c.Mask, c.Val)
+	case CMetaPresent:
+		s = "present(" + c.Key.String() + ")"
+	case CAnd, COr:
+		sep := " & "
+		if c.Kind == COr {
+			sep = " | "
+		}
+		if len(c.Cs) > 8 {
+			s = fmt.Sprintf("(%s%s... %d terms)", condString(c.Cs[0]), sep, len(c.Cs))
+		} else {
+			parts := make([]string, len(c.Cs))
+			for i, sub := range c.Cs {
+				parts[i] = condString(sub)
+			}
+			s = "(" + strings.Join(parts, sep) + ")"
+		}
+	case CNot:
+		s = "!(" + condString(c.C) + ")"
+	}
+	if c.HasStatic {
+		if c.StaticErr != "" {
+			s += fmt.Sprintf(" [static-err=%q]", c.StaticErr)
+		} else {
+			s += fmt.Sprintf(" [static=%s]", c.Static)
+		}
+	}
+	return s
+}

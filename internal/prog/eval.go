@@ -1,0 +1,297 @@
+package prog
+
+import (
+	"errors"
+	"fmt"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+)
+
+// Env supplies the runtime facilities compiled-expression evaluation needs:
+// packet memory reads, tag resolution, and fresh-symbol allocation. The
+// engine adapts its per-path state to this interface; compile-time constant
+// folding passes nil (static nodes never touch it).
+type Env interface {
+	ReadHdr(off int64, size int) (expr.Lin, error)
+	ReadMeta(key memory.MetaKey) (expr.Lin, error)
+	Tag(name string) (int64, bool)
+	MetaExists(key memory.MetaKey) bool
+	Fresh(width int, name string) expr.Lin
+}
+
+// evalErrf builds a model-level evaluation failure. Formats are kept in
+// lockstep with the AST interpreter (internal/core/eval.go) so failed paths
+// carry byte-identical messages; the differential tests pin this.
+func evalErrf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// ResolveOff turns a pre-resolved l-value's offset into an absolute bit
+// offset, consulting the packet's tags only when the compile-time fold could
+// not (Tag != "").
+func ResolveOff(env Env, lv LV) (int64, error) {
+	if lv.Tag == "" {
+		return lv.Rel, nil
+	}
+	base, ok := env.Tag(lv.Tag)
+	if !ok {
+		return 0, evalErrf("access through unset tag %q", lv.Tag)
+	}
+	return base + lv.Rel, nil
+}
+
+// ReadLV reads the current value of a pre-resolved l-value.
+func ReadLV(env Env, lv LV) (expr.Lin, error) {
+	if lv.Err != "" {
+		return expr.Lin{}, errors.New(lv.Err)
+	}
+	if lv.IsHdr {
+		off, err := ResolveOff(env, lv)
+		if err != nil {
+			return expr.Lin{}, err
+		}
+		return env.ReadHdr(off, lv.Size)
+	}
+	return env.ReadMeta(lv.Key)
+}
+
+// EvalExpr lowers a compiled expression to a linear term; hint supplies a
+// width for adaptable-width literals (0 when unknown; such literals default
+// to 64 bits). Nodes folded at compile time return their precomputed value.
+func EvalExpr(env Env, e *CExpr, hint int) (expr.Lin, error) {
+	if e.Folded != nil {
+		return *e.Folded, nil
+	}
+	if e.Err != "" {
+		return expr.Lin{}, errors.New(e.Err)
+	}
+	switch e.Kind {
+	case ENum:
+		w := e.W
+		if w == 0 {
+			w = hint
+		}
+		if w == 0 {
+			w = 64
+		}
+		return expr.Const(e.V, w), nil
+	case ESym:
+		w := e.W
+		if w == 0 {
+			w = hint
+		}
+		if w == 0 {
+			w = 64
+		}
+		return env.Fresh(w, e.Name), nil
+	case ERef:
+		return ReadLV(env, e.LV)
+	case ETagVal:
+		base, ok := env.Tag(e.Tag)
+		if !ok {
+			return expr.Lin{}, evalErrf("TagVal of unset tag %q", e.Tag)
+		}
+		return expr.Const(uint64(base+e.Rel), 64), nil
+	case EArith:
+		return evalArith(env, e.A, e.B, hint, e.Minus)
+	}
+	return expr.Lin{}, evalErrf("unknown compiled expression kind %d", e.Kind)
+}
+
+// evalArith handles A+B and A-B under SEFL's linearity restriction,
+// mirroring the AST interpreter.
+func evalArith(env Env, a, b *CExpr, hint int, sub bool) (expr.Lin, error) {
+	la, err := EvalExpr(env, a, hint)
+	if err != nil {
+		return expr.Lin{}, err
+	}
+	lb, err := EvalExpr(env, b, la.Width)
+	if err != nil {
+		return expr.Lin{}, err
+	}
+	va, aConst := la.ConstVal()
+	vb, bConst := lb.ConstVal()
+	switch {
+	case aConst && bConst:
+		w := la.Width
+		if lb.Width > w {
+			w = lb.Width
+		}
+		if sub {
+			return expr.Const(va-vb, w), nil
+		}
+		return expr.Const(va+vb, w), nil
+	case !aConst && bConst:
+		if sub {
+			return la.SubConst(vb), nil
+		}
+		return la.AddConst(vb), nil
+	case aConst && !bConst:
+		if sub {
+			// c - sym needs a -1 coefficient, outside SEFL's term language.
+			return expr.Lin{}, evalErrf("unsupported expression: constant minus symbolic value")
+		}
+		return lb.AddConst(va), nil
+	default:
+		return expr.Lin{}, evalErrf("unsupported expression: symbolic plus symbolic")
+	}
+}
+
+// EvalCond lowers a compiled condition to a solver condition. Conditions
+// evaluated at compile time replay their precomputed value or error; large
+// symbol-free conditions memoize their last evaluation keyed by the exact
+// dynamic inputs (packet reads), so re-asserting a table-wide guard along
+// thousands of paths builds its condition tree once per distinct input
+// vector instead of once per visit. A memo hit returns a condition
+// structurally identical to what a fresh build would produce (evaluation of
+// a symbol-free condition is a pure function of its reads), so results are
+// byte-identical with or without hits.
+func EvalCond(env Env, c *CCond) (expr.Cond, error) {
+	if c.HasStatic {
+		if c.StaticErr != "" {
+			return nil, errors.New(c.StaticErr)
+		}
+		return c.Static, nil
+	}
+	if c.Memoizable {
+		if key, ok := gatherInputs(env, c); ok {
+			if m := c.memo.Load(); m != nil && m.key == key {
+				if m.err != "" {
+					return nil, errors.New(m.err)
+				}
+				return m.cond, nil
+			}
+			cond, err := evalCondDynamic(env, c)
+			nm := &condMemo{key: key, cond: cond}
+			if err != nil {
+				nm.err = err.Error()
+				nm.cond = nil
+			}
+			c.memo.Store(nm)
+			return cond, err
+		}
+	}
+	return evalCondDynamic(env, c)
+}
+
+// gatherInputs performs the condition's distinct dynamic reads (collected
+// at compile time) and chains their fingerprints into the memo key. It
+// reports false when a read is unavailable (it would error during
+// evaluation): the caller falls back to the uncached path, which reproduces
+// the error in evaluation order. Reads are pure, so reading them here and
+// again on a memo miss is safe.
+func gatherInputs(env Env, c *CCond) (expr.Fp, bool) {
+	f := expr.Fp{Hi: 0x9e3779b97f4a7c15, Lo: 0x517cc1b727220a95}
+	for i := range c.Inputs {
+		in := &c.Inputs[i]
+		switch in.Kind {
+		case InRef:
+			v, err := ReadLV(env, in.LV)
+			if err != nil {
+				return f, false
+			}
+			f = f.Chain(expr.HashLin(v))
+		case InTag:
+			base, ok := env.Tag(in.Tag)
+			if !ok {
+				return f, false
+			}
+			f = f.Chain(expr.Fp{Hi: uint64(base), Lo: uint64(base) ^ 0xa5a5a5a5})
+		case InMetaPresent:
+			if env.MetaExists(in.Key) {
+				f = f.Chain(expr.Fp{Hi: 1, Lo: 1})
+			} else {
+				f = f.Chain(expr.Fp{Hi: 2, Lo: 2})
+			}
+		}
+	}
+	return f, true
+}
+
+// evalCondDynamic evaluates a condition node ignoring its own static
+// shortcut (children still use theirs); the compiler calls it to compute
+// that shortcut in the first place.
+func evalCondDynamic(env Env, c *CCond) (expr.Cond, error) {
+	switch c.Kind {
+	case CBool:
+		return expr.Bool(c.B), nil
+	case CCmp:
+		l, err := EvalExpr(env, c.L, 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalExpr(env, c.R, l.Width)
+		if err != nil {
+			return nil, err
+		}
+		l, r, err = coerceWidths(l, r)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewCmp(c.Op, l, r), nil
+	case CPrefix:
+		l, err := EvalExpr(env, c.L, c.PW)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewPrefix(l, c.Val, c.PLen), nil
+	case CMasked:
+		l, err := EvalExpr(env, c.L, 0)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewMatch(l, c.Mask, c.Val), nil
+	case CMetaPresent:
+		return expr.Bool(env.MetaExists(c.Key)), nil
+	case CAnd:
+		out := make([]expr.Cond, 0, len(c.Cs))
+		for _, sub := range c.Cs {
+			lc, err := EvalCond(env, sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lc)
+		}
+		return expr.NewAnd(out...), nil
+	case COr:
+		out := make([]expr.Cond, 0, len(c.Cs))
+		for _, sub := range c.Cs {
+			lc, err := EvalCond(env, sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lc)
+		}
+		return expr.NewOr(out...), nil
+	case CNot:
+		lc, err := EvalCond(env, c.C)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(lc), nil
+	}
+	return nil, evalErrf("unknown compiled condition kind %d", c.Kind)
+}
+
+// coerceWidths reconciles operand widths exactly as the AST interpreter
+// does: a concrete operand adopts the symbolic operand's width (value
+// permitting); two symbolic operands must already agree.
+func coerceWidths(l, r expr.Lin) (expr.Lin, expr.Lin, error) {
+	if l.Width == r.Width {
+		return l, r, nil
+	}
+	if lv, ok := l.ConstVal(); ok {
+		if lv&^expr.Mask(r.Width) != 0 {
+			return l, r, evalErrf("constant %d does not fit in %d bits", lv, r.Width)
+		}
+		return expr.Const(lv, r.Width), r, nil
+	}
+	if rv, ok := r.ConstVal(); ok {
+		if rv&^expr.Mask(l.Width) != 0 {
+			return l, r, evalErrf("constant %d does not fit in %d bits", rv, l.Width)
+		}
+		return l, expr.Const(rv, l.Width), nil
+	}
+	return l, r, evalErrf("width mismatch: %d-bit vs %d-bit symbolic operands", l.Width, r.Width)
+}

@@ -1,0 +1,310 @@
+// Package prog compiles SEFL port programs into a flat basic-block IR the
+// engine interprets with a small dispatch loop, replacing per-step AST
+// walking (the classic compile-once/execute-many structure of scalable
+// symbolic-execution engines).
+//
+// A Program is an array of ops grouped into segments (basic blocks): If
+// becomes an op carrying branch-target segments instead of nested
+// instruction trees, Fork is an explicit multi-successor terminator listing
+// output ports, and nested instruction blocks either splice into their
+// parent segment or become explicit sub-segment ops when splicing would
+// reorder fresh-symbol allocation (see compile.go). Compilation runs a
+// static optimization pass:
+//
+//   - l-values are pre-resolved: metadata names bind to their MetaKey
+//     (element instance baked in at compile time) and tag-independent header
+//     offsets fold to absolute bit offsets;
+//   - expressions and conditions that do not touch the packet are
+//     constant-folded at compile time into the exact values runtime
+//     evaluation would produce (including the exact error, when the static
+//     evaluation would fail);
+//   - ops after an op that terminates every path (Fail, Forward, Fork, an
+//     If whose branches all terminate) are dead code and dropped;
+//   - structurally equal guard conditions are deduplicated via 128-bit
+//     structural fingerprints (expr.Fp), so a guard repeated across a
+//     program compiles to one shared node;
+//   - For-loop patterns are compiled to regexps once, and large symbol-free
+//     guards carry a single-slot evaluation memo keyed by their distinct
+//     packet reads (trace lines and failure messages stay lazy, rendered
+//     only when the AST interpreter would render them).
+//
+// The compiled program must be observationally identical to the AST
+// interpreter it replaces — same results, same statistics, same trace lines,
+// same fresh-symbol allocation order — which is what the differential
+// property tests in this package pin down. Programs are immutable after
+// compilation and shared read-only across scheduler workers and batch jobs;
+// the only mutable member is the per-For-op body-program cache, which is a
+// concurrency-safe memo.
+package prog
+
+import (
+	"regexp"
+	"sync"
+	"sync/atomic"
+
+	"symnet/internal/expr"
+	"symnet/internal/memory"
+	"symnet/internal/sefl"
+)
+
+// OpKind enumerates the IR operations. One op corresponds to one SEFL
+// instruction (blocks splice away or become OpSub boundaries).
+type OpKind uint8
+
+const (
+	// OpNoOp does nothing (kept: it is traced like any instruction).
+	OpNoOp OpKind = iota
+	// OpAllocate creates a header field or metadata entry.
+	OpAllocate
+	// OpDeallocate destroys the topmost allocation of an l-value.
+	OpDeallocate
+	// OpAssign evaluates E and stores it into LV.
+	OpAssign
+	// OpCreateTag defines a tag at the concrete value of E.
+	OpCreateTag
+	// OpDestroyTag removes the topmost definition of a tag.
+	OpDestroyTag
+	// OpConstrain filters the current path by C without branching.
+	OpConstrain
+	// OpFail stops the path with a message. Terminator.
+	OpFail
+	// OpIf forks the state: the clone takes C into segment Then, the
+	// original takes ¬C into segment Else; infeasible successors are pruned.
+	OpIf
+	// OpFor snapshots metadata keys matching a pattern and runs the
+	// lazily-compiled body program once per key.
+	OpFor
+	// OpForward sends the packet to one output port. Terminator.
+	OpForward
+	// OpFork duplicates the packet to every listed output port: the explicit
+	// multi-successor terminator of the IR.
+	OpFork
+	// OpSub runs a nested segment (an instruction block that could not be
+	// spliced into its parent without reordering fresh-symbol allocation).
+	OpSub
+	// OpUnknown preserves the AST interpreter's behavior for instruction
+	// types the compiler does not know: the path fails with Msg.
+	OpUnknown
+)
+
+// LV is a pre-resolved l-value: metadata names are bound to their full
+// MetaKey at compile time (the owning element instance is a compile input),
+// and header offsets with no tag are already absolute. Only tagged offsets
+// need runtime resolution (Tag != "").
+type LV struct {
+	IsHdr bool
+	Tag   string // "" = Rel is the absolute bit offset
+	Rel   int64
+	Size  int // declared header size in bits (0 for metadata)
+	Key   memory.MetaKey
+	// Err preserves the AST interpreter's runtime error for l-value types
+	// the compiler does not know; when set, any use fails with this message.
+	Err string
+}
+
+// ExprKind enumerates compiled expression nodes, mirroring the SEFL
+// expression fragment.
+type ExprKind uint8
+
+const (
+	// ENum is an integer literal (width 0 adapts to the evaluation hint).
+	ENum ExprKind = iota
+	// ESym mints a fresh symbolic value at evaluation time.
+	ESym
+	// ERef reads a pre-resolved l-value.
+	ERef
+	// ETagVal reads the concrete value of a tag plus an offset.
+	ETagVal
+	// EArith is A+B or A-B under SEFL's linearity restriction.
+	EArith
+)
+
+// CExpr is a compiled expression. Folded is non-nil when the node's value is
+// independent of the evaluation hint and was computed at compile time; such
+// nodes evaluate with a single load.
+type CExpr struct {
+	Kind   ExprKind
+	Folded *expr.Lin
+	V      uint64 // ENum value
+	W      int    // ENum/ESym declared width (0 = adaptive)
+	Name   string // ESym diagnostic name
+	LV     LV     // ERef target
+	Tag    string // ETagVal tag
+	Rel    int64  // ETagVal offset
+	A, B   *CExpr // EArith operands
+	Minus  bool   // EArith: subtraction
+	// Err preserves the AST interpreter's runtime error for expression
+	// types the compiler does not know.
+	Err string
+}
+
+// CondKind enumerates compiled condition nodes.
+type CondKind uint8
+
+const (
+	// CBool is a constant condition.
+	CBool CondKind = iota
+	// CCmp compares two expressions.
+	CCmp
+	// CPrefix tests membership of a Value/Len prefix.
+	CPrefix
+	// CMasked tests (E & Mask) == Val.
+	CMasked
+	// CMetaPresent tests existence of a (pre-resolved) metadata entry.
+	CMetaPresent
+	// CAnd, COr, CNot combine conditions.
+	CAnd
+	COr
+	CNot
+)
+
+// CCond is a compiled condition. Conditions whose evaluation cannot touch
+// the packet are evaluated once at compile time: HasStatic marks them, and
+// Static/StaticErr replay the exact value (or the exact evaluation error)
+// the AST interpreter would produce. Structurally equal conditions within a
+// program share one canonical *CCond (hash-consed on FP), so repeated
+// guards cost one node.
+type CCond struct {
+	Kind      CondKind
+	FP        expr.Fp
+	HasStatic bool
+	Static    expr.Cond
+	StaticErr string
+
+	// Words is the structural node count, HasSym marks fresh-symbol
+	// allocation anywhere below, and Memoizable gates the single-slot
+	// evaluation memo: large guards without fresh symbols evaluate to a
+	// pure function of their packet reads, so the built condition is cached
+	// keyed by those reads (see EvalCond). The paper's egress-style models
+	// re-assert guards spanning the whole forwarding table at every port
+	// visit; the memo builds them once per distinct input instead.
+	Words      int
+	HasSym     bool
+	Memoizable bool
+	// Inputs is the deduplicated set of dynamic reads evaluation performs
+	// (set only on Memoizable roots, in first-occurrence evaluation order).
+	// A table-wide guard mentions one or two header fields thousands of
+	// times; keying the memo on the distinct reads makes the lookup O(1)
+	// in the guard size.
+	Inputs []CondInput
+	memo   atomic.Pointer[condMemo]
+
+	B         bool       // CBool value
+	Op        expr.CmpOp // CCmp operator
+	L, R      *CExpr     // CCmp operands / CPrefix, CMasked subject (L)
+	Val, Mask uint64     // CPrefix value / CMasked pair
+	PLen, PW  int        // CPrefix length and width
+	Key       memory.MetaKey
+	Cs        []*CCond // CAnd/COr children
+	C         *CCond   // CNot child
+}
+
+// condMemo is one memoized evaluation of a Memoizable condition: the
+// chained fingerprint of every dynamic input (packet reads, tag lookups,
+// metadata presence) plus the condition — or exact error message — that
+// evaluation produced. Entries are immutable; the slot swaps atomically.
+type condMemo struct {
+	key  expr.Fp
+	cond expr.Cond
+	err  string
+}
+
+// InputKind enumerates the dynamic-read kinds a condition evaluation can
+// perform.
+type InputKind uint8
+
+const (
+	// InRef reads an l-value.
+	InRef InputKind = iota
+	// InTag reads a tag's concrete value.
+	InTag
+	// InMetaPresent tests metadata existence.
+	InMetaPresent
+)
+
+// CondInput is one distinct dynamic read of a memoizable condition.
+type CondInput struct {
+	Kind InputKind
+	LV   LV     // InRef
+	Tag  string // InTag
+	Key  memory.MetaKey
+}
+
+// ForOp is the payload of an OpFor: the pattern compiled once, the body
+// constructor, and a concurrency-safe memo of compiled body programs keyed
+// by metadata key. Body must be a pure function of its key (every SEFL For
+// in the tree is), since the compiled body is reused across executions.
+type ForOp struct {
+	Pattern string
+	Re      *regexp.Regexp // nil when the pattern failed to compile
+	Err     string         // precomputed bad-pattern failure message
+	Body    func(key sefl.Meta) sefl.Instr
+	cache   sync.Map // memory.MetaKey -> *Program
+}
+
+// SegID names a segment of a Program.
+type SegID int32
+
+// Seg is one basic block: the ops at indices [Lo, Hi) of Program.Ops.
+type Seg struct {
+	Lo, Hi int32
+	// Terminates reports that every state entering the segment has
+	// terminated (failed or set output ports) by its end — the property the
+	// dead-code elimination pass computes and relies on.
+	Terminates bool
+}
+
+// Op is one IR operation. The fields used depend on Kind. Ins is the
+// original SEFL instruction: trace lines and constraint-failure messages
+// render it on demand, exactly when (and only when) the AST interpreter
+// would — precomputing them would pin huge strings for models whose guards
+// span hundreds of thousands of table entries. Ins is nil for OpSub, which
+// is not traced (the AST interpreter does not trace blocks either).
+type Op struct {
+	Kind  OpKind
+	Ins   sefl.Instr
+	LV    LV     // OpAllocate, OpDeallocate, OpAssign
+	Size  int    // OpAllocate, OpDeallocate (pre-defaulted from the Hdr size)
+	E     *CExpr // OpAssign, OpCreateTag
+	C     *CCond // OpConstrain, OpIf
+	Msg   string // OpFail / OpCreateTag failure / OpUnknown message
+	Tag   string // OpCreateTag, OpDestroyTag
+	Port  int    // OpForward
+	Ports []int  // OpFork
+	Then  SegID  // OpIf
+	Else  SegID  // OpIf
+	Sub   SegID  // OpSub
+	For   *ForOp // OpFor
+}
+
+// Program is one compiled element-port program: a flat op array cut into
+// segments, entered at Entry. Programs are immutable and safe for
+// concurrent execution.
+type Program struct {
+	Elem     string // element name (baked into trace lines)
+	Instance int    // element instance (baked into metadata keys)
+	Label    string // display label, e.g. "sw.in[3]"
+	Ops      []Op
+	Segs     []Seg
+	Entry    SegID
+	// Conds is the number of distinct condition nodes after dedup, and
+	// CondsSeen the number before (for -dump-ir and tests).
+	Conds, CondsSeen int
+}
+
+// Seg returns the segment with the given id.
+func (p *Program) Seg(id SegID) Seg { return p.Segs[id] }
+
+// ForBody returns the compiled body program of a For op for one metadata
+// key, compiling and memoizing on first use. The body program shares the
+// element identity of its parent, so local metadata and trace lines resolve
+// identically to the AST interpreter instantiating the body in-line.
+func (p *Program) ForBody(f *ForOp, key memory.MetaKey) *Program {
+	if bp, ok := f.cache.Load(key); ok {
+		return bp.(*Program)
+	}
+	body := f.Body(sefl.Meta{Name: key.Name, Instance: key.Instance, Pinned: true})
+	bp := Compile(body, p.Elem, p.Instance, p.Label+"/for")
+	actual, _ := f.cache.LoadOrStore(key, bp)
+	return actual.(*Program)
+}

@@ -24,7 +24,7 @@ func fingerprint(res *core.Result) string {
 	fields := []sefl.Hdr{sefl.EtherDst, sefl.EtherSrc, sefl.IPSrc, sefl.IPDst, sefl.IPTTL, sefl.TcpSrc, sefl.TcpDst}
 	for _, p := range res.Paths {
 		fmt.Fprintf(&b, "#%d %s %q", p.ID, p.Status, p.FailMsg)
-		for _, h := range p.History {
+		for _, h := range p.History() {
 			fmt.Fprintf(&b, " %s", h)
 		}
 		for _, f := range p.Mem.Fields() {
