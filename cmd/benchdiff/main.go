@@ -9,6 +9,20 @@
 // the delta and speedup are printed; rows present in only one snapshot are
 // listed as added/removed. With -threshold P the exit status is 1 when any
 // matched row regressed by more than P percent, so CI can gate on it.
+//
+// With -validate the arguments are checked instead of diffed: each file must
+// parse as a non-empty symbench snapshot (exit 1 otherwise). CI uses it as
+// the JSON validity check for symbench output, keeping the workflow free of
+// non-Go tooling:
+//
+//	symbench -run table1 -quick -json > now.json && benchdiff -validate now.json
+//
+// With -merge-min the arguments are merged row-wise to a best-of-N snapshot
+// on stdout (minimum of every timing column; other fields from the first
+// file). Single runs on shared CI machines are as noisy as the regressions
+// the gate hunts, so the gate measures best-of-N per side:
+//
+//	benchdiff -merge-min run1.json run2.json run3.json > best.json
 package main
 
 import (
@@ -25,23 +39,27 @@ import (
 type row struct {
 	Experiment string         `json:"experiment"`
 	Name       string         `json:"name"`
-	Paths      int            `json:"paths"`
-	Hops       int            `json:"hops"`
-	NsPerOp    int64          `json:"ns_per_op"`
-	Extra      map[string]any `json:"extra"`
+	Paths      int            `json:"paths,omitempty"`
+	Hops       int            `json:"hops,omitempty"`
+	NsPerOp    int64          `json:"ns_per_op,omitempty"`
+	Solver     any            `json:"solver,omitempty"`
+	Extra      map[string]any `json:"extra,omitempty"`
 }
 
 type key struct{ experiment, name string }
 
 // ns extracts a row's timing: ns_per_op, falling back to the extra columns
-// batch experiments use (seq_ns). 0 means the row carries no timing.
+// batch experiments use (seq_ns for in-process all-pairs, dist_ns for the
+// distributed runner). 0 means the row carries no timing.
 func (r row) ns() int64 {
 	if r.NsPerOp != 0 {
 		return r.NsPerOp
 	}
-	if v, ok := r.Extra["seq_ns"]; ok {
-		if f, ok := v.(float64); ok {
-			return int64(f)
+	for _, k := range []string{"seq_ns", "dist_ns"} {
+		if v, ok := r.Extra[k]; ok {
+			if f, ok := v.(float64); ok {
+				return int64(f)
+			}
 		}
 	}
 	return 0
@@ -70,7 +88,36 @@ func load(path string) (map[key]row, []key, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any matched row regresses by more than this percent (0 disables)")
+	validate := flag.Bool("validate", false, "validate the given snapshot files instead of diffing (each must be a non-empty symbench JSON array)")
+	mergeMin := flag.Bool("merge-min", false, "merge the given snapshots row-wise to a best-of-N snapshot on stdout (min of every timing column)")
 	flag.Parse()
+	if *mergeMin {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -merge-min FILE.json...")
+			os.Exit(2)
+		}
+		if err := runMergeMin(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *validate {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "usage: benchdiff -validate FILE.json...")
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			rows, _, err := load(path)
+			if err != nil {
+				fatal(err)
+			}
+			if len(rows) == 0 {
+				fatal(fmt.Errorf("%s: snapshot holds no rows", path))
+			}
+			fmt.Printf("%s: ok (%d rows)\n", path, len(rows))
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
 		os.Exit(2)
@@ -139,6 +186,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.1f%%\n", failed, *threshold)
 		os.Exit(1)
 	}
+}
+
+// runMergeMin merges snapshots row-wise (matched by experiment+name) into a
+// best-of-N snapshot on stdout: the minimum of ns_per_op and of every
+// "*_ns" extra column; non-timing fields come from the first file. Rows
+// missing from later files keep the first file's values.
+func runMergeMin(paths []string) error {
+	first, order, err := load(paths[0])
+	if err != nil {
+		return err
+	}
+	for _, path := range paths[1:] {
+		other, _, err := load(path)
+		if err != nil {
+			return err
+		}
+		for k, o := range other {
+			r, ok := first[k]
+			if !ok {
+				continue
+			}
+			if o.NsPerOp > 0 && (r.NsPerOp == 0 || o.NsPerOp < r.NsPerOp) {
+				r.NsPerOp = o.NsPerOp
+			}
+			for ek, ov := range o.Extra {
+				if len(ek) < 3 || ek[len(ek)-3:] != "_ns" {
+					continue
+				}
+				of, ok := ov.(float64)
+				if !ok || of <= 0 {
+					continue
+				}
+				if r.Extra == nil {
+					r.Extra = map[string]any{}
+				}
+				if rf, ok := r.Extra[ek].(float64); !ok || of < rf {
+					r.Extra[ek] = of
+				}
+			}
+			first[k] = r
+		}
+	}
+	out := make([]row, 0, len(order))
+	for _, k := range order {
+		out = append(out, first[k])
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // fmtNs renders a nanosecond count in a human unit (empty when zero).

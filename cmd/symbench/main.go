@@ -13,14 +13,22 @@
 //	symbench -run splittcp    # §8.4 middlebox scenarios
 //	symbench -run dept        # §8.5 department network
 //	symbench -run allpairs    # batch all-pairs reachability, sequential vs -workers
+//	symbench -run allpairs-dist  # all-pairs across -procs worker subprocesses
 //	symbench -run forkheavy   # fork-heavy state replication (engine microbench)
 //	symbench -run all
+//
+// With -procs N the allpairs-dist experiment shards across N worker
+// subprocesses (symbench re-executes itself as the workers; 0 = in-process).
+// -stable strips timing from JSON output so two runs that computed the same
+// results emit identical bytes — CI diffs a -procs 2 run against a -procs 0
+// run to pin distributed determinism.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
 	"strings"
@@ -28,6 +36,7 @@ import (
 
 	"symnet/internal/core"
 	"symnet/internal/datasets"
+	"symnet/internal/dist"
 	"symnet/internal/experiments"
 	"symnet/internal/models"
 	"symnet/internal/sefl"
@@ -49,9 +58,11 @@ type jsonRow struct {
 }
 
 // reporter collects JSON rows or passes human-readable output through,
-// depending on -json.
+// depending on -json. In stable mode timing columns are stripped so runs
+// with identical results emit identical bytes.
 type reporter struct {
 	jsonMode bool
+	stable   bool
 	rows     []jsonRow
 }
 
@@ -63,9 +74,18 @@ func (r *reporter) printf(format string, args ...any) {
 }
 
 func (r *reporter) add(row jsonRow) {
-	if r.jsonMode {
-		r.rows = append(r.rows, row)
+	if !r.jsonMode {
+		return
 	}
+	if r.stable {
+		row.NsPerOp = 0
+		for k := range row.Extra {
+			if strings.HasSuffix(k, "_ns") || k == "speedup" {
+				delete(row.Extra, k)
+			}
+		}
+	}
+	r.rows = append(r.rows, row)
 }
 
 func (r *reporter) flush() error {
@@ -78,15 +98,19 @@ func (r *reporter) flush() error {
 }
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|forkheavy|all)")
+	dist.MaybeWorker() // spawned as a distributed worker: never returns
+
+	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|allpairs-dist|forkheavy|all)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
+	procs := flag.Int("procs", 0, "worker subprocesses for allpairs-dist (0 = in-process)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of paper-shaped tables")
+	stable := flag.Bool("stable", false, "strip timing from JSON output (byte-identical across runs with equal results)")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
-	rep := &reporter{jsonMode: *jsonOut}
+	rep := &reporter{jsonMode: *jsonOut, stable: *stable}
 	sel := make(map[string]bool)
 	for _, name := range strings.Split(strings.ToLower(*run), ",") {
 		sel[strings.TrimSpace(name)] = true
@@ -118,6 +142,9 @@ func main() {
 	}
 	if want("allpairs") {
 		allpairs(rep, *quick, *workers)
+	}
+	if want("allpairs-dist") {
+		allpairsDist(rep, *quick, *procs, *workers)
 	}
 	if want("forkheavy") {
 		forkheavy(rep, *quick)
@@ -298,18 +325,23 @@ func dept(rep *reporter, quick bool) {
 		if fixed {
 			label = "after fix"
 		}
+		t0 := time.Now()
 		fs, res, err := experiments.Department(cfg)
+		elapsed := time.Since(t0)
 		if err != nil {
 			fail(err)
 		}
-		rep.printf("-- %s (MACs=%d routes=%d paths=%d) --\n", label, cfg.HostsPerSwitch*cfg.NumAccessSwitches, cfg.Routes, res.Stats.Paths)
+		rep.printf("-- %s (MACs=%d routes=%d paths=%d %v) --\n", label, cfg.HostsPerSwitch*cfg.NumAccessSwitches, cfg.Routes, res.Stats.Paths, elapsed.Round(time.Millisecond))
 		solverStats := res.Stats.Solver
 		rep.add(jsonRow{
 			Experiment: "dept",
 			Name:       label,
 			Paths:      res.Stats.Paths,
 			Hops:       res.Stats.Hops,
-			Solver:     &solverStats,
+			// Wall-clock for the whole scenario run, so dept rows carry a
+			// timing column the benchdiff threshold gate can fire on.
+			NsPerOp: elapsed.Nanoseconds(),
+			Solver:  &solverStats,
 			Extra: map[string]any{
 				"macs": cfg.HostsPerSwitch * cfg.NumAccessSwitches, "routes": cfg.Routes,
 			},
@@ -357,6 +389,80 @@ func allpairs(rep *reporter, quick bool, workers int) {
 	allpairsRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
 		core.Options{}, workers)
 	rep.printf("\n")
+}
+
+// allpairsDist runs all-pairs reachability through the distributed runner
+// (internal/dist): jobs shard across procs worker subprocesses, each running
+// a workersPerProc pool, with the network and compiled IR shipped over
+// stdio. Rows carry the full reachability matrix and a fingerprint of every
+// path summary, so two runs that computed the same results emit identical
+// rows — with -stable, identical bytes — regardless of procs. procs = 0
+// answers in-process through the same code path.
+func allpairsDist(rep *reporter, quick bool, procs, workersPerProc int) {
+	rep.printf("== All-pairs reachability, distributed (procs=%d, workers/proc=%d) ==\n", procs, workersPerProc)
+	rep.printf("%-22s %-8s %-8s %-10s %-18s %s\n", "Dataset", "Sources", "Pairs", "Reachable", "SummaryFP", "Time")
+
+	deptCfg := datasets.DefaultDepartment()
+	if quick {
+		deptCfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 5}
+	}
+	d := datasets.NewDepartment(deptCfg)
+	deptSrcs, deptTargets := d.AllPairs()
+	allpairsDistRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
+		core.Options{MaxHops: 64}, procs, workersPerProc)
+
+	zones, perZone := 14, 300
+	if quick {
+		zones, perZone = 8, 100
+	}
+	bb := datasets.StanfordBackbone(zones, perZone)
+	bbSrcs, bbTargets := bb.AllPairs()
+	allpairsDistRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
+		core.Options{}, procs, workersPerProc)
+	rep.printf("\n")
+}
+
+func allpairsDistRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int) {
+	t0 := time.Now()
+	r, err := verify.AllPairsReachabilityDist(net, srcs, packet, targets, opts, procs, workersPerProc)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(t0)
+
+	// The matrix rides in the row as "src->tgt:count" cells, and the
+	// summaries collapse to one fingerprint, so any divergence between two
+	// runs (in-process vs distributed, different shard counts) is visible
+	// as a row diff.
+	reachable := 0
+	var matrix []string
+	for s := range srcs {
+		var cells []string
+		for t := range targets {
+			if r.Reachable[s][t] {
+				reachable++
+			}
+			cells = append(cells, fmt.Sprintf("%s:%d", targets[t], r.PathCount[s][t]))
+		}
+		matrix = append(matrix, srcs[s].String()+"->"+strings.Join(cells, ","))
+	}
+	h := fnv.New64a()
+	if err := json.NewEncoder(h).Encode(r.Summaries); err != nil {
+		fail(err)
+	}
+	fp := fmt.Sprintf("%016x", h.Sum64())
+
+	rep.printf("%-22s %-8d %-8d %-10d %-18s %v\n",
+		name, len(srcs), r.Pairs(), reachable, fp, elapsed.Round(time.Millisecond))
+	rep.add(jsonRow{
+		Experiment: "allpairs-dist",
+		Name:       name,
+		Extra: map[string]any{
+			"sources": len(srcs), "pairs": r.Pairs(), "reachable": reachable,
+			"summary_fp": fp, "matrix": matrix,
+			"dist_ns": elapsed.Nanoseconds(),
+		},
+	})
 }
 
 // forkheavy measures the engine's per-instruction and per-fork overhead on

@@ -5,7 +5,17 @@
 // ports visited).
 //
 //	symnet -config pipeline.click -inject dut:0 [-loop addr|full|off] [-workers N]
+//	symnet -config pipeline.click -inject dut:0 -procs 4   # run in a worker subprocess
 //	symnet -config pipeline.click -dump-ir        # compiled programs, no run
+//
+// With -procs N >= 1 the run executes on a distributed worker subprocess
+// (internal/dist): the network and compiled IR are serialized, shipped, and
+// explored remotely, and the output is built from the returned summary —
+// identical paths, statuses, ports and traces, minus the per-path field
+// domains, which need live solver contexts and are only printed for
+// in-process runs. One exploration is one job, so -procs mainly exercises
+// the distributed path end to end; batch workloads fan wider (see
+// symbench -run allpairs-dist).
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 
 	"symnet/internal/click"
 	"symnet/internal/core"
+	"symnet/internal/dist"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
 	"symnet/internal/verify"
@@ -33,12 +44,15 @@ type pathJSON struct {
 }
 
 func main() {
+	dist.MaybeWorker() // spawned as a distributed worker: never returns
+
 	cfgPath := flag.String("config", "", "Click configuration file")
 	inject := flag.String("inject", "", "injection point: element:port")
 	loopMode := flag.String("loop", "full", "loop detection: off|full|addr")
 	trace := flag.Bool("trace", false, "record executed instructions per path")
 	packet := flag.String("packet", "tcp", "packet template: tcp|udp|ip|ether")
 	workers := flag.Int("workers", 1, "exploration workers (0 = all cores); results are identical for any count")
+	procs := flag.Int("procs", 0, "run on a distributed worker subprocess (0 = in-process; field domains print only in-process)")
 	dumpIR := flag.Bool("dump-ir", false, "print the compiled IR of every element-port program and exit")
 	flag.Parse()
 	if *cfgPath == "" || (*inject == "" && !*dumpIR) {
@@ -90,39 +104,62 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown packet template %q", *packet))
 	}
-	res, err := sched.Run(cfg.Net, core.PortRef{Elem: elem, Port: port}, tmpl, opts, *workers)
-	if err != nil {
-		fatal(err)
-	}
-	out := make([]pathJSON, 0, len(res.Paths))
-	fields := []sefl.Hdr{sefl.EtherDst, sefl.EtherSrc, sefl.IPSrc, sefl.IPDst, sefl.IPTTL, sefl.TcpSrc, sefl.TcpDst}
-	for _, p := range res.Paths {
-		pj := pathJSON{ID: p.ID, Status: p.Status.String(), FailMessage: p.FailMsg, Trace: p.Trace}
-		for _, h := range p.History() {
-			pj.Ports = append(pj.Ports, h.String())
+	injectRef := core.PortRef{Elem: elem, Port: port}
+	out := []pathJSON{}
+	var stats core.RunStats
+	if *procs > 0 {
+		jobs := []dist.Job{{Name: *inject, Inject: injectRef, Packet: tmpl, Opts: opts}}
+		jr := dist.RunBatch(cfg.Net, jobs, *procs, *workers)[0]
+		if jr.Err != nil {
+			fatal(jr.Err)
 		}
-		if p.Status == core.Delivered {
-			pj.Fields = map[string]string{}
-			for _, h := range fields {
-				d, err := verify.FieldDomain(p, h)
-				if err != nil {
-					continue
+		stats = jr.Summary.Stats
+		for i := range jr.Summary.Paths {
+			p := &jr.Summary.Paths[i]
+			out = append(out, newPathJSON(p.ID, p.Status, p.FailMsg, p.Trace, p.Ports))
+		}
+	} else {
+		res, err := sched.Run(cfg.Net, injectRef, tmpl, opts, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		stats = res.Stats
+		fields := []sefl.Hdr{sefl.EtherDst, sefl.EtherSrc, sefl.IPSrc, sefl.IPDst, sefl.IPTTL, sefl.TcpSrc, sefl.TcpDst}
+		for _, p := range res.Paths {
+			pj := newPathJSON(p.ID, p.Status, p.FailMsg, p.Trace, p.History())
+			// Field domains need the path's live solver context, so they are
+			// an in-process-only enrichment.
+			if p.Status == core.Delivered {
+				pj.Fields = map[string]string{}
+				for _, h := range fields {
+					d, err := verify.FieldDomain(p, h)
+					if err != nil {
+						continue
+					}
+					pj.Fields[h.Name] = d.String()
 				}
-				pj.Fields[h.Name] = d.String()
 			}
+			out = append(out, pj)
 		}
-		out = append(out, pj)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(map[string]any{
 		"paths":     out,
-		"delivered": res.Stats.Delivered,
-		"failed":    res.Stats.Failed,
-		"looped":    res.Stats.Looped,
+		"delivered": stats.Delivered,
+		"failed":    stats.Failed,
+		"looped":    stats.Looped,
 	}); err != nil {
 		fatal(err)
 	}
+}
+
+func newPathJSON(id int, status core.Status, failMsg string, trace []string, ports []core.PortRef) pathJSON {
+	pj := pathJSON{ID: id, Status: status.String(), FailMessage: failMsg, Trace: trace}
+	for _, h := range ports {
+		pj.Ports = append(pj.Ports, h.String())
+	}
+	return pj
 }
 
 func parseInject(s string) (string, int, error) {

@@ -1,0 +1,37 @@
+// Command symworker is the standalone distributed-verification worker: it
+// speaks the internal/dist frame protocol on stdin/stdout (a stream of gob
+// frames; gob is self-delimiting, there are no explicit length prefixes),
+// receiving a serialized network plus compiled IR and a shard
+// of verification jobs, and streaming back per-job result summaries and
+// shared satisfiability verdicts. Logs go to stderr; stdout is reserved for
+// frames.
+//
+// Coordinators normally re-execute themselves as workers (any binary calling
+// dist.MaybeWorker early in main can serve), so symworker is only needed
+// when the coordinator binary is not installed on the machine running the
+// shard — point dist.Config.WorkerCmd at it:
+//
+//	dist.RunBatchConfig(net, jobs, dist.Config{
+//		Procs: 8, WorkerCmd: []string{"/usr/local/bin/symworker"},
+//	})
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"symnet/internal/dist"
+
+	// Worker processes decode SEFL For-loops by registry reference; every
+	// model package that registers bodies must be linked in (a network that
+	// references an unlinked body fails to decode with a pointed error).
+	_ "symnet/internal/asa"
+	_ "symnet/internal/models"
+)
+
+func main() {
+	if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "symworker:", err)
+		os.Exit(1)
+	}
+}

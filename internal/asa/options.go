@@ -48,11 +48,79 @@ func optMeta(prefix string, kind uint64) sefl.Meta {
 	return sefl.Meta{Name: fmt.Sprintf("%s%d", prefix, kind)}
 }
 
-// OptionsModel generates the Fig. 7 SEFL code: TCP options live in packet
-// metadata ("OPTx" presence flags, "SIZEx" lengths, "VALx" bodies), so
-// stripping is a branch-free assignment and the model is cheap to execute
-// symbolically.
-func OptionsModel(p OptionsPolicy) sefl.Instr {
+// optionsPassRef names the registered For-body constructor of the
+// options-inspection pass, so the For serializes for distributed workers
+// (see sefl.RegisterForBody). Any process decoding a network that contains
+// an ASA must import this package; cmd/symworker does.
+const optionsPassRef = "asa.options-pass"
+
+func init() {
+	sefl.RegisterForBody(optionsPassRef, func(arg string) func(sefl.Meta) sefl.Instr {
+		return optionsPassBody(parsePassBodyArg(arg))
+	})
+}
+
+// passBodyArg serializes the policy bits the inspection body reads
+// (deterministically: kind lists are emitted in the policy's declared
+// order, which both sides share).
+func passBodyArg(p OptionsPolicy) string {
+	var b strings.Builder
+	b.WriteString("allow=")
+	for i, k := range p.Allow {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", k)
+	}
+	b.WriteString(";drop=")
+	for i, k := range p.Drop {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", k)
+	}
+	if p.InvalidLengthImprecision {
+		b.WriteString(";imprecise")
+	}
+	return b.String()
+}
+
+// parsePassBodyArg is the inverse of passBodyArg. Malformed input yields the
+// zero policy (every option stripped), which cannot happen for args produced
+// by passBodyArg.
+func parsePassBodyArg(arg string) OptionsPolicy {
+	var p OptionsPolicy
+	for _, part := range strings.Split(arg, ";") {
+		switch {
+		case part == "imprecise":
+			p.InvalidLengthImprecision = true
+		case strings.HasPrefix(part, "allow="):
+			p.Allow = parseKindList(strings.TrimPrefix(part, "allow="))
+		case strings.HasPrefix(part, "drop="):
+			p.Drop = parseKindList(strings.TrimPrefix(part, "drop="))
+		}
+	}
+	return p
+}
+
+func parseKindList(s string) []uint64 {
+	var out []uint64
+	for _, f := range strings.Split(s, ",") {
+		if f == "" {
+			continue
+		}
+		var k uint64
+		if _, err := fmt.Sscanf(f, "%d", &k); err == nil {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// optionsPassBody builds the per-option For body of the inspection pass: a
+// pure function of (policy, key), so rebuilding it from the serialized
+// policy on a remote worker reproduces local execution exactly.
+func optionsPassBody(p OptionsPolicy) func(sefl.Meta) sefl.Instr {
 	allowed := make(map[uint64]bool, len(p.Allow))
 	for _, k := range p.Allow {
 		allowed[k] = true
@@ -61,10 +129,7 @@ func OptionsModel(p OptionsPolicy) sefl.Instr {
 	for _, k := range p.Drop {
 		dropped[k] = true
 	}
-	var is []sefl.Instr
-	// One pass over the present options (a snapshot iteration — bounded and
-	// branch-free, unlike the C loop in Fig. 1).
-	is = append(is, sefl.For{Pattern: `^OPT\d+$`, Body: func(key sefl.Meta) sefl.Instr {
+	return func(key sefl.Meta) sefl.Instr {
 		var kind uint64
 		fmt.Sscanf(key.Name, "OPT%d", &kind)
 		switch {
@@ -90,7 +155,21 @@ func OptionsModel(p OptionsPolicy) sefl.Instr {
 			// Strip: set the presence flag to 0 — no branching involved.
 			return sefl.Assign{LV: key, E: sefl.C(0)}
 		}
-	}})
+	}
+}
+
+// OptionsModel generates the Fig. 7 SEFL code: TCP options live in packet
+// metadata ("OPTx" presence flags, "SIZEx" lengths, "VALx" bodies), so
+// stripping is a branch-free assignment and the model is cheap to execute
+// symbolically.
+func OptionsModel(p OptionsPolicy) sefl.Instr {
+	var is []sefl.Instr
+	// One pass over the present options (a snapshot iteration — bounded and
+	// branch-free, unlike the C loop in Fig. 1). The body is built through
+	// the registered constructor so the For serializes for distributed
+	// workers; passBodyArg round-trips exactly the policy bits the body
+	// reads.
+	is = append(is, sefl.NewFor(`^OPT\d+$`, optionsPassRef, passBodyArg(p)))
 	if p.StripSackForHTTP {
 		is = append(is, sefl.If{
 			C: sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.C(80)),

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"symnet/internal/core"
+)
+
+// workerProc is the coordinator's handle on one worker subprocess.
+type workerProc struct {
+	id    int
+	cmd   *exec.Cmd
+	conn  *conn
+	stdin io.WriteCloser // close to signal end-of-batch
+	// lo, hi is the worker's contiguous shard of the global job slice; recv
+	// marks which of its jobs have reported.
+	lo, hi int
+	recv   []bool
+}
+
+// runDistributed shards jobs across cfg.Procs worker subprocesses and
+// collects results in job order. Per-worker failures (crash, protocol
+// error) poison only that worker's unreported jobs; a non-nil return means
+// a batch-wide setup failure.
+func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) error {
+	procs := cfg.Procs
+	if procs > len(jobs) {
+		procs = len(jobs)
+	}
+	setup, err := buildSetup(net, cfg)
+	if err != nil {
+		return err
+	}
+	setupRaw, err := encodeSetup(setup)
+	if err != nil {
+		return fmt.Errorf("dist: encode setup: %w", err)
+	}
+	workers := make([]*workerProc, 0, procs)
+	defer func() {
+		// Error-path cleanup (the success path has already Waited and nil'd
+		// the fields): nobody is draining these workers' stdout, so a worker
+		// mid-shard would block on a full pipe and never exit — kill before
+		// Wait or the Wait itself would hang.
+		for _, w := range workers {
+			if w.stdin != nil {
+				w.stdin.Close()
+			}
+			if w.cmd != nil && w.cmd.Process != nil {
+				w.cmd.Process.Kill()
+				w.cmd.Wait()
+			}
+		}
+	}()
+
+	for k := 0; k < procs; k++ {
+		lo, hi := shardBounds(len(jobs), k, procs)
+		w, err := spawnWorker(k, cfg)
+		if err != nil {
+			return fmt.Errorf("dist: spawn worker %d: %w", k, err)
+		}
+		w.lo, w.hi = lo, hi
+		w.recv = make([]bool, hi-lo)
+		workers = append(workers, w)
+
+		shard, err := buildShard(jobs, lo, hi)
+		if err != nil {
+			return err
+		}
+		if err := w.conn.send(&frame{Kind: frameSetup, SetupRaw: setupRaw}); err != nil {
+			return fmt.Errorf("dist: worker %d setup: %w", k, err)
+		}
+		if err := w.conn.send(&frame{Kind: frameJobs, Jobs: &jobsFrame{Workers: cfg.WorkersPerProc, Jobs: shard}}); err != nil {
+			return fmt.Errorf("dist: worker %d jobs: %w", k, err)
+		}
+	}
+
+	// Collect: one reader per worker. Verdict frames merge into the batch
+	// table and rebroadcast to the other workers (best-effort: a worker that
+	// already exited just misses the news).
+	var (
+		seenMu sync.Mutex
+		seen   = satSeen{}
+		wg     sync.WaitGroup
+	)
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *workerProc) {
+			defer wg.Done()
+			for {
+				f, err := w.conn.recv()
+				if err != nil {
+					break
+				}
+				switch f.Kind {
+				case frameResult:
+					r := f.Result
+					if r == nil || r.Index < w.lo || r.Index >= w.hi || w.recv[r.Index-w.lo] {
+						continue
+					}
+					w.recv[r.Index-w.lo] = true
+					jr := JobResult{Name: r.Name, Summary: r.Summary}
+					if r.Err != "" {
+						jr.Err = fmt.Errorf("%s", r.Err)
+					}
+					out[r.Index] = jr
+				case frameVerdicts:
+					if !cfg.ShareSat || len(f.Verdicts) == 0 {
+						continue
+					}
+					seenMu.Lock()
+					fresh := seen.filterNew(f.Verdicts)
+					seenMu.Unlock()
+					if len(fresh) == 0 {
+						continue
+					}
+					for _, other := range workers {
+						if other == w {
+							continue
+						}
+						// Send errors are expected once a worker has finished
+						// its shard and exited; sharing is best-effort.
+						other.conn.send(&frame{Kind: frameVerdicts, Verdicts: fresh})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Account for workers that died mid-shard.
+	for _, w := range workers {
+		w.stdin.Close()
+		w.stdin = nil
+		werr := w.cmd.Wait()
+		w.cmd = nil
+		for i, got := range w.recv {
+			if got {
+				continue
+			}
+			idx := w.lo + i
+			detail := "exited before reporting"
+			if werr != nil {
+				detail = fmt.Sprintf("died: %v", werr)
+			}
+			out[idx] = JobResult{Name: jobs[idx].Name, Err: fmt.Errorf("dist: worker %d %s (job %q lost)", w.id, detail, jobs[idx].Name)}
+		}
+	}
+	return nil
+}
+
+// spawnWorker fork/execs one worker subprocess with its stdio wired to a
+// frame connection and stderr passed through.
+func spawnWorker(id int, cfg Config) (*workerProc, error) {
+	argv := cfg.WorkerCmd
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		argv = []string{exe}
+	}
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), workerEnvMarker+"=1")
+	cmd.Env = append(cmd.Env, cfg.WorkerEnv...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &workerProc{
+		id:    id,
+		cmd:   cmd,
+		conn:  newConn(stdout, stdin),
+		stdin: stdin,
+	}, nil
+}

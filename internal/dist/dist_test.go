@@ -1,0 +1,259 @@
+package dist_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/dist"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+)
+
+// TestMain lets the test binary serve as its own dist worker: when the
+// coordinator (a test in this same binary) re-executes it with the worker
+// marker set, MaybeWorker hijacks the process before any test runs.
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func init() {
+	sefl.RegisterForBody("dist.test.panic", func(arg string) func(sefl.Meta) sefl.Instr {
+		return func(k sefl.Meta) sefl.Instr {
+			panic("dist test: poisoned model at " + k.Name)
+		}
+	})
+}
+
+// canonical renders distributed results to comparable bytes. Errors compare
+// by message.
+func canonical(t *testing.T, results []dist.JobResult) []byte {
+	t.Helper()
+	type row struct {
+		Name    string
+		Err     string
+		Summary *dist.Summary
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		rows[i] = row{Name: r.Name, Summary: r.Summary}
+		if r.Err != nil {
+			rows[i].Err = r.Err.Error()
+		}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatalf("canonical: %v", err)
+	}
+	return b
+}
+
+// reference runs the batch through the in-process sched.RunBatch (the
+// engine of record) and summarizes it.
+func reference(t *testing.T, net *core.Network, jobs []dist.Job) []byte {
+	t.Helper()
+	out := make([]dist.JobResult, len(jobs))
+	for i, jr := range sched.RunBatch(net, jobs, 1) {
+		out[i] = dist.JobResult{Name: jr.Name, Err: jr.Err}
+		if jr.Result != nil {
+			out[i].Summary = dist.Summarize(jr.Result)
+		}
+	}
+	return canonical(t, out)
+}
+
+type batchCase struct {
+	name string
+	net  *core.Network
+	jobs []dist.Job
+}
+
+// batchCases builds the three datasets of the determinism property: the
+// department network (switch tables, ASA with For-loops, routers), the
+// Stanford-like backbone, and the fork-heavy state-replication workload.
+func batchCases(t *testing.T) []batchCase {
+	t.Helper()
+	var cases []batchCase
+
+	d := datasets.NewDepartment(datasets.DepartmentConfig{NumAccessSwitches: 3, HostsPerSwitch: 12, Routes: 20, Seed: 5})
+	srcs, _ := d.AllPairs()
+	var deptJobs []dist.Job
+	for _, s := range srcs {
+		deptJobs = append(deptJobs, dist.Job{
+			Name: s.String(), Inject: s, Packet: sefl.NewTCPPacket(),
+			Opts: core.Options{MaxHops: 64},
+		})
+	}
+	cases = append(cases, batchCase{"department", d.Net, deptJobs})
+
+	bb := datasets.StanfordBackbone(5, 40)
+	bsrcs, _ := bb.AllPairs()
+	var bbJobs []dist.Job
+	for _, s := range bsrcs {
+		bbJobs = append(bbJobs, dist.Job{Name: s.String(), Inject: s, Packet: sefl.NewIPPacket()})
+	}
+	cases = append(cases, batchCase{"stanford", bb.Net, bbJobs})
+
+	fnet, finj := datasets.ForkHeavy(6, 2, 4)
+	var fJobs []dist.Job
+	for i := 0; i < 5; i++ {
+		fJobs = append(fJobs, dist.Job{
+			Name: fmt.Sprintf("fork-%d", i), Inject: finj, Packet: sefl.NewTCPPacket(),
+			Opts: core.Options{MaxHops: 1 << 12, Trace: i == 0},
+		})
+	}
+	cases = append(cases, batchCase{"forkheavy", fnet, fJobs})
+	return cases
+}
+
+// TestRunBatchByteIdentical is the tentpole property: dist.RunBatch over any
+// (procs, workersPerProc) grid — including the in-process procs=0 path — is
+// byte-identical to sched.RunBatch, on all three datasets. It also pins the
+// compiled-IR round trip, since workers execute the shipped encode→decode IR.
+func TestRunBatchByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	for _, tc := range batchCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			want := reference(t, tc.net, tc.jobs)
+			for _, procs := range []int{0, 1, 2, 4} {
+				for _, workers := range []int{1, 2} {
+					got := canonical(t, dist.RunBatch(tc.net, tc.jobs, procs, workers))
+					if string(got) != string(want) {
+						t.Errorf("procs=%d workers=%d: distributed results differ from sched.RunBatch\n got: %.400s\nwant: %.400s",
+							procs, workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunBatchSharedSatCacheIdentical pins that the coordinator-mediated
+// verdict exchange cannot perturb results: ShareSat on and off produce the
+// same bytes.
+func TestRunBatchSharedSatCacheIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	tc := batchCases(t)[0]
+	want := reference(t, tc.net, tc.jobs)
+	for _, share := range []bool{false, true} {
+		got := canonical(t, dist.RunBatchConfig(tc.net, tc.jobs, dist.Config{
+			Procs: 2, WorkersPerProc: 2, ShareSat: share,
+		}))
+		if string(got) != string(want) {
+			t.Errorf("ShareSat=%v: results differ from in-process reference", share)
+		}
+	}
+}
+
+// poisonedCase builds a batch whose middle job panics the exploration (a
+// registered For body, so it also crosses the wire).
+func poisonedCase() (*core.Network, []dist.Job) {
+	net := core.NewNetwork()
+	e := net.AddElement("dut", "test", 1, 1)
+	e.SetInCode(0, sefl.Seq(
+		sefl.NewFor("^PANIC", "dist.test.panic", ""),
+		sefl.Forward{Port: 0},
+	))
+	sink := net.AddElement("sink", "sink", 1, 0)
+	sink.SetInCode(0, sefl.NoOp{})
+	net.MustLink("dut", 0, "sink", 0)
+
+	inject := core.PortRef{Elem: "dut", Port: 0}
+	poisoned := sefl.Seq(
+		sefl.NewTCPPacket(),
+		sefl.Allocate{LV: sefl.Meta{Name: "PANIC1"}, Size: 8},
+	)
+	jobs := []dist.Job{
+		{Name: "ok-0", Inject: inject, Packet: sefl.NewTCPPacket()},
+		{Name: "boom", Inject: inject, Packet: poisoned},
+		{Name: "ok-1", Inject: inject, Packet: sefl.NewTCPPacket()},
+	}
+	return net, jobs
+}
+
+// TestDistributedPanicIsolation pins the distributed face of the
+// panic-isolation contract: a job that panics inside a worker process is
+// reported as that job's error, siblings on the same and other workers
+// complete, and the distributed error matches the in-process one.
+func TestDistributedPanicIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	net, jobs := poisonedCase()
+	want := reference(t, net, jobs)
+	for _, procs := range []int{1, 2} {
+		out := dist.RunBatch(net, jobs, procs, 2)
+		if string(canonical(t, out)) != string(want) {
+			t.Errorf("procs=%d: poisoned batch differs from in-process reference", procs)
+		}
+		if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "panicked") {
+			t.Errorf("procs=%d: poisoned job error = %v", procs, out[1].Err)
+		}
+		for _, i := range []int{0, 2} {
+			if out[i].Err != nil || out[i].Summary == nil || out[i].Summary.Stats.Delivered != 1 {
+				t.Errorf("procs=%d: sibling %q poisoned: %+v", procs, out[i].Name, out[i])
+			}
+		}
+	}
+}
+
+// TestWorkerCrashDoesNotPoisonOtherShards kills one worker process mid-shard
+// (via the fault-injection env hook) and checks that only that worker's
+// unreported jobs error while the other shard completes.
+func TestWorkerCrashDoesNotPoisonOtherShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	d := datasets.NewDepartment(datasets.DepartmentConfig{NumAccessSwitches: 2, HostsPerSwitch: 8, Routes: 12, Seed: 5})
+	srcs, _ := d.AllPairs()
+	var jobs []dist.Job
+	for _, s := range srcs {
+		jobs = append(jobs, dist.Job{Name: s.String(), Inject: s, Packet: sefl.NewTCPPacket(), Opts: core.Options{MaxHops: 64}})
+	}
+	if len(jobs) < 3 {
+		t.Fatalf("need >= 3 jobs, have %d", len(jobs))
+	}
+	// Shard 0 of 2 holds the first half; crash its worker on the first job.
+	out := dist.RunBatchConfig(d.Net, jobs, dist.Config{
+		Procs: 2, WorkersPerProc: 1, ShareSat: true,
+		WorkerEnv: []string{"SYMNET_DIST_TEST_EXIT_ON=" + jobs[0].Name},
+	})
+	half := len(jobs) / 2
+	for i, r := range out {
+		if i < half {
+			if r.Err == nil || !strings.Contains(r.Err.Error(), "worker 0") {
+				t.Errorf("job %d (%s) on crashed shard: err = %v", i, r.Name, r.Err)
+			}
+		} else if r.Err != nil || r.Summary == nil {
+			t.Errorf("job %d (%s) on healthy shard: %+v", i, r.Name, r)
+		}
+	}
+}
+
+// TestRunBatchUnserializableNetwork pins the failure mode for networks that
+// cannot cross the wire (a bare-closure For): every job reports the encode
+// error instead of hanging or crashing.
+func TestRunBatchUnserializableNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	net := core.NewNetwork()
+	e := net.AddElement("dut", "test", 1, 0)
+	e.SetInCode(0, sefl.Seq(
+		sefl.For{Pattern: "^x", Body: func(sefl.Meta) sefl.Instr { return sefl.NoOp{} }},
+	))
+	jobs := []dist.Job{{Name: "j", Inject: core.PortRef{Elem: "dut", Port: 0}, Packet: sefl.NewTCPPacket()}}
+	out := dist.RunBatch(net, jobs, 2, 1)
+	if out[0].Err == nil || !strings.Contains(out[0].Err.Error(), "NewFor") {
+		t.Fatalf("want serialization error, got %+v", out[0])
+	}
+}

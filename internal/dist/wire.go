@@ -1,0 +1,218 @@
+package dist
+
+// The coordinator/worker wire protocol: a bidirectional stream of gob-framed
+// messages over the worker subprocess's stdin/stdout (gob is self-delimiting,
+// so the stream needs no explicit length prefixes). Stdout is reserved for
+// frames — workers log to stderr, which the coordinator passes through.
+//
+//	coordinator → worker:  setup, jobs, verdicts*          (stdin)
+//	worker → coordinator:  (result | verdicts)*            (stdout)
+//
+// Every type that crosses the wire is a concrete struct of exported fields
+// (the sefl/prog/core wire codecs strip interfaces and closures first), so
+// gob needs no type registration.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"io"
+	"sync"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+type frameKind uint8
+
+const (
+	// frameSetup ships the network, the compiled programs, and batch-wide
+	// configuration. First frame on a worker's stdin, sent exactly once.
+	frameSetup frameKind = iota + 1
+	// frameJobs ships the worker's contiguous job shard. Second frame.
+	frameJobs
+	// frameResult delivers one finished job (worker → coordinator).
+	frameResult
+	// frameVerdicts exchanges newly learned satisfiability verdicts in both
+	// directions (only when the batch shares its Sat cache).
+	frameVerdicts
+)
+
+// frame is the single message envelope; Kind selects the payload field.
+type frame struct {
+	Kind frameKind
+	// SetupRaw is the gob-encoded setupFrame as an opaque byte blob: the
+	// setup payload (network + full compiled IR) dominates batch setup cost
+	// on table-heavy networks, so the coordinator encodes it once per batch
+	// and per-worker shipment is a memcpy instead of a re-walk of the IR.
+	SetupRaw []byte
+	Jobs     *jobsFrame
+	Result   *resultFrame
+	Verdicts []solver.SatRecord
+}
+
+// encodeSetup serializes a setup payload once; decodeSetup is its inverse.
+func encodeSetup(s *setupFrame) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeSetup(raw []byte) (*setupFrame, error) {
+	var s setupFrame
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// setupFrame carries everything a worker needs before any job: the network
+// spec (elements, port code ASTs, links) and the coordinator's compiled IR
+// for every element-port program, so workers skip recompilation.
+type setupFrame struct {
+	Net      *core.WireNetwork
+	Programs []core.WireProgramEntry
+	// ShareSat enables the coordinator-mediated satisfiability cache:
+	// workers stream newly computed verdicts back and receive the other
+	// workers' verdicts, so the batch-wide memoization of sched.RunBatch
+	// survives the process split.
+	ShareSat bool
+}
+
+// jobsFrame is the worker's shard. Workers is the in-process pool size each
+// worker fans its shard across.
+type jobsFrame struct {
+	Workers int
+	Jobs    []wireJob
+}
+
+// wireJob is one verification job. Index is the job's position in the
+// coordinator's batch; results carry it back so collection is order-exact.
+type wireJob struct {
+	Index  int
+	Name   string
+	Inject core.PortRef
+	Packet *sefl.WireInstr
+	Opts   wireOptions
+}
+
+// wireOptions is the serializable subset of core.Options. Stats collectors
+// and cache pointers are per-process and deliberately absent: each worker
+// runs its own, and per-job solver statistics come back inside the Summary
+// (deterministically — cache hits replay the original counters).
+type wireOptions struct {
+	MaxHops   int
+	MaxPaths  int
+	Loop      core.LoopMode
+	Trace     bool
+	ASTInterp bool
+}
+
+func toWireOptions(o core.Options) wireOptions {
+	return wireOptions{MaxHops: o.MaxHops, MaxPaths: o.MaxPaths, Loop: o.Loop, Trace: o.Trace, ASTInterp: o.ASTInterp}
+}
+
+func (w wireOptions) options() core.Options {
+	return core.Options{MaxHops: w.MaxHops, MaxPaths: w.MaxPaths, Loop: w.Loop, Trace: w.Trace, ASTInterp: w.ASTInterp}
+}
+
+// resultFrame is one finished job.
+type resultFrame struct {
+	Index   int
+	Name    string
+	Err     string
+	Summary *Summary
+}
+
+// conn wraps one side of a frame stream: buffered gob encoding with a mutex
+// so result frames and verdict broadcasts (written from different
+// goroutines) never interleave mid-frame.
+type conn struct {
+	dec *gob.Decoder
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *gob.Encoder
+}
+
+func newConn(r io.Reader, w io.Writer) *conn {
+	bw := bufio.NewWriter(w)
+	return &conn{
+		dec: gob.NewDecoder(bufio.NewReader(r)),
+		bw:  bw,
+		enc: gob.NewEncoder(bw),
+	}
+}
+
+// send encodes one frame and flushes it to the peer.
+func (c *conn) send(f *frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(f); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// recv decodes the next frame.
+func (c *conn) recv() (*frame, error) {
+	var f frame
+	if err := c.dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// exchangeStore is the worker-side solver.SatStore of the shared-cache mode:
+// a local verdict table plus an outbox of locally computed verdicts awaiting
+// shipment to the coordinator. Remote verdicts merge into the table without
+// re-entering the outbox (they would bounce between processes forever
+// otherwise).
+type exchangeStore struct {
+	mu      sync.Mutex
+	m       map[solver.SatKey]solver.SatVerdict
+	pending []solver.SatRecord
+}
+
+func newExchangeStore() *exchangeStore {
+	return &exchangeStore{m: make(map[solver.SatKey]solver.SatVerdict)}
+}
+
+func (s *exchangeStore) Lookup(key solver.SatKey) (solver.SatVerdict, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+func (s *exchangeStore) Store(key solver.SatKey, v solver.SatVerdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[key]; dup {
+		return
+	}
+	s.m[key] = v
+	s.pending = append(s.pending, solver.SatRecord{Key: key, V: v})
+}
+
+// injectRemote merges verdicts learned by other workers.
+func (s *exchangeStore) injectRemote(recs []solver.SatRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if _, dup := s.m[r.Key]; !dup {
+			s.m[r.Key] = r.V
+		}
+	}
+}
+
+// drain empties the outbox.
+func (s *exchangeStore) drain() []solver.SatRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.pending
+	s.pending = nil
+	return out
+}

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"symnet/internal/core"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+// workerEnvMarker is the environment variable that turns a binary invoking
+// MaybeWorker into a dist worker speaking the frame protocol on stdio.
+const workerEnvMarker = "SYMNET_DIST_WORKER"
+
+// testExitEnv is a fault-injection hook for the worker-crash tests: a worker
+// whose environment names a job here exits hard (simulating a crash) instead
+// of reporting that job.
+const testExitEnv = "SYMNET_DIST_TEST_EXIT_ON"
+
+// MaybeWorker turns the current process into a dist worker when it was
+// spawned by a coordinator (detected via the environment marker), never
+// returning in that case. Binaries that may coordinate distributed batches
+// call it first thing in main, which makes every such binary its own worker
+// — no separate worker binary needs to be installed next to it. Outside a
+// worker environment it is a no-op.
+func MaybeWorker() {
+	if os.Getenv(workerEnvMarker) == "" {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "symnet-dist-worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain runs the worker side of the frame protocol: receive the setup
+// (network + compiled IR) and the job shard, execute the shard on an
+// in-process pool, stream each result back as it finishes, and exchange Sat
+// verdicts with the coordinator when the batch shares its cache.
+// cmd/symworker calls it directly.
+func WorkerMain(in io.Reader, out io.Writer) error {
+	c := newConn(in, out)
+
+	f, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("reading setup: %w", err)
+	}
+	if f.Kind != frameSetup || len(f.SetupRaw) == 0 {
+		return fmt.Errorf("protocol: first frame is %d, want setup", f.Kind)
+	}
+	setup, err := decodeSetup(f.SetupRaw)
+	if err != nil {
+		return fmt.Errorf("decoding setup: %w", err)
+	}
+	net, err := core.DecodeNetwork(setup.Net)
+	if err != nil {
+		return err
+	}
+	if err := core.InstallPrograms(net, setup.Programs); err != nil {
+		return err
+	}
+
+	f, err = c.recv()
+	if err != nil {
+		return fmt.Errorf("reading jobs: %w", err)
+	}
+	if f.Kind != frameJobs || f.Jobs == nil {
+		return fmt.Errorf("protocol: second frame is %d, want jobs", f.Kind)
+	}
+	shard := f.Jobs
+
+	jobs := make([]sched.Job, len(shard.Jobs))
+	indices := make([]int, len(shard.Jobs))
+	for i, wj := range shard.Jobs {
+		pkt, err := sefl.DecodeInstr(wj.Packet)
+		if err != nil {
+			return fmt.Errorf("job %q: %w", wj.Name, err)
+		}
+		jobs[i] = sched.Job{Name: wj.Name, Inject: wj.Inject, Packet: pkt, Opts: wj.Opts.options()}
+		indices[i] = wj.Index
+	}
+
+	// The shared-cache mode backs the shard's SatCache with an exchange
+	// store; inbound verdict frames (the other workers' work, relayed by
+	// the coordinator) are merged by a background reader for the rest of
+	// the worker's life.
+	var store *exchangeStore
+	var memo *solver.SatCache
+	if setup.ShareSat {
+		store = newExchangeStore()
+		memo = solver.NewSatCacheWith(store)
+		go func() {
+			for {
+				f, err := c.recv()
+				if err != nil {
+					return
+				}
+				if f.Kind == frameVerdicts {
+					store.injectRemote(f.Verdicts)
+				}
+			}
+		}()
+	}
+
+	crashOn := os.Getenv(testExitEnv)
+	sched.RunBatchStream(net, jobs, shard.Workers, memo, func(i int, jr sched.JobResult) {
+		if crashOn != "" && jr.Name == crashOn {
+			os.Exit(3)
+		}
+		if store != nil {
+			if recs := store.drain(); len(recs) > 0 {
+				c.send(&frame{Kind: frameVerdicts, Verdicts: recs})
+			}
+		}
+		rf := &resultFrame{Index: indices[i], Name: jr.Name}
+		if jr.Err != nil {
+			rf.Err = jr.Err.Error()
+		}
+		if jr.Result != nil {
+			rf.Summary = Summarize(jr.Result)
+		}
+		if err := c.send(&frame{Kind: frameResult, Result: rf}); err != nil {
+			// The result pipe only breaks when the coordinator is gone
+			// (killed, crashed, Ctrl-C'd). There is nowhere to deliver the
+			// rest of the shard, so exit now instead of burning CPU on jobs
+			// whose results nobody will read — RunBatchStream has no
+			// cancellation, and this is a dedicated worker process.
+			fmt.Fprintln(os.Stderr, "symnet-dist-worker: coordinator gone:", err)
+			os.Exit(1)
+		}
+	})
+	if store != nil {
+		if recs := store.drain(); len(recs) > 0 {
+			c.send(&frame{Kind: frameVerdicts, Verdicts: recs})
+		}
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package prog
 
 import (
 	"fmt"
-	"regexp"
 
 	"symnet/internal/expr"
 	"symnet/internal/memory"
@@ -127,14 +126,7 @@ func (c *compiler) emit(buf *[]Op, ins sefl.Instr, forked, terminated *bool) {
 		}
 
 	case sefl.For:
-		f := &ForOp{Pattern: v.Pattern, Body: v.Body}
-		re, err := regexp.Compile(v.Pattern)
-		if err != nil {
-			f.Err = fmt.Sprintf("For: bad pattern %q: %v", v.Pattern, err)
-		} else {
-			f.Re = re
-		}
-		*buf = append(*buf, Op{Kind: OpFor, Ins: ins, For: f})
+		*buf = append(*buf, Op{Kind: OpFor, Ins: ins, For: newForOp(v.Pattern, v.Body)})
 		*forked = true
 
 	case sefl.Forward:

@@ -1,6 +1,10 @@
 package sched
 
 import (
+	"fmt"
+	"os"
+	"runtime/debug"
+
 	"symnet/internal/core"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
@@ -41,24 +45,18 @@ type JobResult struct {
 // sequences, so later jobs answer most Sat checks from earlier jobs' work.
 // Sharing is safe across workers and does not perturb results — cache hits
 // replay the original computation's statistics (see solver.SatCache).
+//
+// A job whose exploration panics (a buggy model or engine defect) is
+// reported as that job's error; sibling jobs are unaffected.
 func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
 	out := make([]JobResult, len(jobs))
-	memo := solver.NewSatCache()
-	NewPool(workers).Map(len(jobs), func(_, i int) {
-		j := jobs[i]
-		opts := j.Opts
-		opts.Workers = 0
-		if opts.SatMemo == nil {
-			opts.SatMemo = memo
-		}
-		// Jobs routinely share one Options value, so a caller-supplied
-		// stats collector would be hammered from every worker; collect
-		// per-job and fold into the caller's collector below, after the
-		// pool has drained.
-		opts.Stats = nil
-		res, err := core.Run(net, j.Inject, j.Packet, opts)
-		out[i] = JobResult{Name: j.Name, Result: res, Err: err}
+	RunBatchStream(net, jobs, workers, nil, func(i int, jr JobResult) {
+		out[i] = jr
 	})
+	// Jobs routinely share one Options value, so a caller-supplied stats
+	// collector would be hammered from every worker; fold per-job stats in
+	// here after the pool has drained (counter sums commute, so totals match
+	// a sequential run).
 	for i, j := range jobs {
 		if j.Opts.Stats != nil && out[i].Result != nil {
 			j.Opts.Stats.Add(out[i].Result.Stats.Solver)
@@ -71,4 +69,50 @@ func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
 		}
 	}
 	return out
+}
+
+// RunBatchStream is RunBatch with streaming delivery: done(i, result) is
+// invoked once per job as it finishes, from the finishing worker's
+// goroutine and in completion (not job) order — the callback must be safe
+// for concurrent invocation. memo overrides the batch-shared satisfiability
+// cache when non-nil (the distributed runner passes a store-backed cache so
+// worker processes exchange verdicts mid-batch). Caller-supplied Opts.Stats
+// collectors are not consulted (a shared collector would race across
+// workers); streaming callers read each Result's own Stats, and RunBatch
+// folds them after the pool drains. RunBatchStream returns after every job
+// has been delivered.
+func RunBatchStream(net *core.Network, jobs []Job, workers int, memo *solver.SatCache, done func(i int, jr JobResult)) {
+	if memo == nil {
+		memo = solver.NewSatCache()
+	}
+	NewPool(workers).Map(len(jobs), func(_, i int) {
+		j := jobs[i]
+		opts := j.Opts
+		opts.Workers = 0
+		if opts.SatMemo == nil {
+			opts.SatMemo = memo
+		}
+		opts.Stats = nil
+		res, err := runJob(net, j, opts)
+		done(i, JobResult{Name: j.Name, Result: res, Err: err})
+	})
+}
+
+// runJob executes one job, converting a panic anywhere under the
+// exploration into that job's error. Without the recover, one poisoned
+// query would tear down the whole batch (and, distributed, the whole worker
+// process with every sibling job on it).
+func runJob(net *core.Network, j Job, opts core.Options) (res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			// The stack goes to stderr (which distributed workers pass
+			// through to the coordinator), not into the error: a one-line
+			// panic value cannot locate an engine defect, but error strings
+			// must stay deterministic — they are part of the byte-identical
+			// results contract, and stacks differ across processes.
+			fmt.Fprintf(os.Stderr, "sched: job %q panicked: %v\n%s", j.Name, p, debug.Stack())
+			res, err = nil, fmt.Errorf("sched: job %q panicked: %v", j.Name, p)
+		}
+	}()
+	return core.Run(net, j.Inject, j.Packet, opts)
 }

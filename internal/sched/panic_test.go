@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+)
+
+// panicNet builds a network whose single element detonates (a panicking For
+// body) only when the packet carries PANIC metadata, so the same network
+// serves poisoned and healthy jobs side by side.
+func panicNet(t *testing.T) *core.Network {
+	t.Helper()
+	net := core.NewNetwork()
+	e := net.AddElement("dut", "test", 1, 1)
+	e.SetInCode(0, sefl.Seq(
+		sefl.For{Pattern: "^PANIC", Body: func(k sefl.Meta) sefl.Instr {
+			panic("model bug: " + k.Name)
+		}},
+		sefl.Forward{Port: 0},
+	))
+	sink := net.AddElement("sink", "sink", 1, 0)
+	sink.SetInCode(0, sefl.NoOp{})
+	net.MustLink("dut", 0, "sink", 0)
+	return net
+}
+
+func poisonedPacket() sefl.Instr {
+	return sefl.Seq(
+		sefl.NewTCPPacket(),
+		sefl.Allocate{LV: sefl.Meta{Name: "PANIC1"}, Size: 8},
+	)
+}
+
+// TestRunBatchPanicIsolation pins the worker-crash contract: a job whose
+// exploration panics is reported as that job's error, and sibling jobs —
+// including ones scheduled after it on the same worker — complete normally.
+func TestRunBatchPanicIsolation(t *testing.T) {
+	net := panicNet(t)
+	inject := core.PortRef{Elem: "dut", Port: 0}
+	for _, workers := range []int{1, 2, 4} {
+		jobs := []Job{
+			{Name: "ok-0", Inject: inject, Packet: sefl.NewTCPPacket()},
+			{Name: "boom", Inject: inject, Packet: poisonedPacket()},
+			{Name: "ok-1", Inject: inject, Packet: sefl.NewTCPPacket()},
+			{Name: "ok-2", Inject: inject, Packet: sefl.NewTCPPacket()},
+		}
+		out := RunBatch(net, jobs, workers)
+		for i, jr := range out {
+			if jr.Name != jobs[i].Name {
+				t.Fatalf("workers=%d: result %d out of order: %q", workers, i, jr.Name)
+			}
+			if jobs[i].Name == "boom" {
+				if jr.Err == nil || !strings.Contains(jr.Err.Error(), "panicked") || !strings.Contains(jr.Err.Error(), "model bug") {
+					t.Fatalf("workers=%d: poisoned job error = %v", workers, jr.Err)
+				}
+				if jr.Result != nil {
+					t.Fatalf("workers=%d: poisoned job carries a result", workers)
+				}
+				continue
+			}
+			if jr.Err != nil {
+				t.Fatalf("workers=%d: sibling %q poisoned: %v", workers, jr.Name, jr.Err)
+			}
+			if jr.Result.Stats.Delivered != 1 {
+				t.Fatalf("workers=%d: sibling %q delivered %d paths", workers, jr.Name, jr.Result.Stats.Delivered)
+			}
+		}
+	}
+}

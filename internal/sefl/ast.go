@@ -308,9 +308,19 @@ type If struct {
 // For binds each metadata key matching Pattern (a regular expression over
 // visible metadata names, snapshotted before the loop runs) and executes
 // Body(key). The snapshot makes the loop bounded and branch-free.
+//
+// Body is an arbitrary Go closure, which a wire codec cannot capture. A For
+// that must cross a process boundary (distributed verification ships SEFL
+// ASTs and compiled programs to worker processes) carries Ref/Arg instead:
+// Ref names a body constructor registered with RegisterForBody and Arg is
+// its serialized argument, so the receiving process rebuilds an equivalent
+// Body. Fors built by NewFor always serialize; hand-built Fors with a nil
+// Ref are rejected by EncodeInstr with a pointed error.
 type For struct {
 	Pattern string
 	Body    func(key Meta) Instr
+	Ref     string
+	Arg     string
 }
 
 // Forward sends the packet to output port Port, ending input processing.

@@ -7,6 +7,44 @@ import (
 	"symnet/internal/expr"
 )
 
+// SatKey identifies one memoizable satisfiability decision: the chained
+// structural fingerprint of a Context's Add sequence plus the sequence
+// length (cheap extra discrimination). Keys are pure functions of condition
+// structure, so the same assertion sequence produces the same key in every
+// process — which is what lets a distributed runner share verdicts across
+// workers.
+type SatKey struct {
+	Fp expr.Fp
+	N  int32
+}
+
+// SatVerdict is a memoized decision: the answer plus the DPLL branch count
+// of the original computation, replayed on every hit so statistics stay
+// identical whether a check hit or missed.
+type SatVerdict struct {
+	Sat      bool
+	Branches int
+}
+
+// SatRecord pairs a key with its verdict — the unit a backing store
+// exchanges.
+type SatRecord struct {
+	Key SatKey
+	V   SatVerdict
+}
+
+// SatStore is a pluggable second-level store behind a SatCache. The
+// in-process cache consults it on local misses and writes every new verdict
+// through, so independent caches sharing one store converge on each other's
+// work. Implementations must be safe for concurrent use. Verdicts are
+// deterministic facts (equal keys imply equal verdicts), so a store may
+// drop, reorder or duplicate records freely — sharing affects only how much
+// solving is repeated, never results.
+type SatStore interface {
+	Lookup(key SatKey) (SatVerdict, bool)
+	Store(key SatKey, v SatVerdict)
+}
+
 // SatCache memoizes satisfiability decisions across paths, workers, and
 // whole queries. Keys are chained structural fingerprints of a Context's
 // Add sequence (see Context.Fingerprint): equal keys identify identical
@@ -23,38 +61,44 @@ import (
 // hit or missed. Hit/miss telemetry lives on the cache itself, outside the
 // per-run deterministic statistics.
 //
+// A cache may carry a backing SatStore (NewSatCacheWith): local misses fall
+// through to it, and new verdicts write through. The distributed runner
+// backs worker caches with a coordinator-mediated store so workers benefit
+// from each other's Sat verdicts; in-process use needs no backing.
+//
 // SatCache is safe for concurrent use; a nil *SatCache disables memoization.
 type SatCache struct {
-	shards [satShards]satShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	shards  [satShards]satShard
+	backing SatStore
+	hits    atomic.Int64
+	misses  atomic.Int64
 }
 
 const satShards = 64
 
-type satKey struct {
-	fp expr.Fp
-	n  int32 // number of chained conditions: cheap extra discrimination
-}
-
-type satEntry struct {
-	sat      bool
-	branches int // DPLL branches the original computation performed
-}
-
 type satShard struct {
 	mu sync.RWMutex
-	m  map[satKey]satEntry
+	m  map[SatKey]SatVerdict
 }
 
-// NewSatCache returns an empty cache.
+// NewSatCache returns an empty cache with no backing store.
 func NewSatCache() *SatCache { return &SatCache{} }
 
-func (c *SatCache) lookup(key satKey) (satEntry, bool) {
-	sh := &c.shards[key.fp.Hi&(satShards-1)]
+// NewSatCacheWith returns an empty cache backed by store (nil behaves like
+// NewSatCache).
+func NewSatCacheWith(store SatStore) *SatCache { return &SatCache{backing: store} }
+
+func (c *SatCache) lookup(key SatKey) (SatVerdict, bool) {
+	sh := &c.shards[key.Fp.Hi&(satShards-1)]
 	sh.mu.RLock()
 	e, ok := sh.m[key]
 	sh.mu.RUnlock()
+	if !ok && c.backing != nil {
+		if e, ok = c.backing.Lookup(key); ok {
+			// Promote to the local shard so the next lookup is one RLock.
+			c.storeLocal(key, e)
+		}
+	}
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -63,23 +107,31 @@ func (c *SatCache) lookup(key satKey) (satEntry, bool) {
 	return e, ok
 }
 
-func (c *SatCache) store(key satKey, e satEntry) {
-	sh := &c.shards[key.fp.Hi&(satShards-1)]
+func (c *SatCache) store(key SatKey, e SatVerdict) {
+	c.storeLocal(key, e)
+	if c.backing != nil {
+		c.backing.Store(key, e)
+	}
+}
+
+func (c *SatCache) storeLocal(key SatKey, e SatVerdict) {
+	sh := &c.shards[key.Fp.Hi&(satShards-1)]
 	sh.mu.Lock()
 	if sh.m == nil {
-		sh.m = make(map[satKey]satEntry)
+		sh.m = make(map[SatKey]SatVerdict)
 	}
 	sh.m[key] = e
 	sh.mu.Unlock()
 }
 
-// Hits reports how many lookups were answered from the cache.
+// Hits reports how many lookups were answered from the cache (local shard
+// or backing store).
 func (c *SatCache) Hits() int64 { return c.hits.Load() }
 
 // Misses reports how many lookups fell through to the solver.
 func (c *SatCache) Misses() int64 { return c.misses.Load() }
 
-// Len reports the number of memoized decisions.
+// Len reports the number of locally memoized decisions.
 func (c *SatCache) Len() int {
 	n := 0
 	for i := range c.shards {

@@ -1,0 +1,94 @@
+package solver
+
+import (
+	"sync"
+	"testing"
+
+	"symnet/internal/expr"
+)
+
+// mapStore is a minimal SatStore for tests.
+type mapStore struct {
+	mu      sync.Mutex
+	m       map[SatKey]SatVerdict
+	lookups int
+	stores  int
+}
+
+func newMapStore() *mapStore { return &mapStore{m: map[SatKey]SatVerdict{}} }
+
+func (s *mapStore) Lookup(key SatKey) (SatVerdict, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lookups++
+	v, ok := s.m[key]
+	return v, ok
+}
+
+func (s *mapStore) Store(key SatKey, v SatVerdict) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stores++
+	s.m[key] = v
+}
+
+func satProbe(t *testing.T, cache *SatCache) (verdict bool, branches int) {
+	t.Helper()
+	stats := &Stats{}
+	ctx := NewContext(stats)
+	ctx.SetCache(cache)
+	a := expr.Lin{Sym: 1, Width: 8}
+	if !ctx.Add(expr.NewCmp(expr.Lt, a, expr.Const(10, 8))) {
+		t.Fatal("probe constraint rejected")
+	}
+	ctx.Add(expr.NewOr(
+		expr.NewCmp(expr.Eq, a, expr.Const(3, 8)),
+		expr.NewCmp(expr.Eq, a, expr.Const(250, 8)),
+	))
+	return ctx.Sat(), stats.Branches
+}
+
+// TestSatCacheWriteThrough pins the backing-store contract: new verdicts
+// write through, and a second cache over the same store answers from it
+// (with identical replayed statistics) instead of re-solving.
+func TestSatCacheWriteThrough(t *testing.T) {
+	store := newMapStore()
+	c1 := NewSatCacheWith(store)
+	v1, b1 := satProbe(t, c1)
+	if store.stores == 0 {
+		t.Fatal("verdicts did not write through to the backing store")
+	}
+	if c1.Hits() != 0 {
+		t.Fatalf("fresh cache should miss, hits=%d", c1.Hits())
+	}
+
+	c2 := NewSatCacheWith(store)
+	v2, b2 := satProbe(t, c2)
+	if v2 != v1 || b2 != b1 {
+		t.Fatalf("backed verdict diverged: (%v,%d) != (%v,%d)", v2, b2, v1, b1)
+	}
+	if c2.Hits() == 0 {
+		t.Fatal("second cache should answer from the backing store")
+	}
+	// The hit was promoted into c2's local shards: a re-probe must not go
+	// back to the store.
+	before := store.lookups
+	satProbe(t, c2)
+	if store.lookups != before {
+		t.Fatalf("promoted entry still consulted the store (%d lookups)", store.lookups-before)
+	}
+}
+
+// TestSatCacheNilBacking pins that NewSatCacheWith(nil) behaves exactly like
+// an unbacked cache.
+func TestSatCacheNilBacking(t *testing.T) {
+	c := NewSatCacheWith(nil)
+	v1, b1 := satProbe(t, c)
+	v2, b2 := satProbe(t, c)
+	if v1 != v2 || b1 != b2 {
+		t.Fatalf("unbacked cache diverged across probes: (%v,%d) != (%v,%d)", v1, b1, v2, b2)
+	}
+	if c.Hits() == 0 {
+		t.Fatal("second probe should hit the local cache")
+	}
+}

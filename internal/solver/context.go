@@ -576,14 +576,14 @@ func (c *Context) Sat() bool {
 		_, ok := c.solve(false, 0)
 		return ok
 	}
-	key := satKey{fp: c.fp, n: c.nAdds}
+	key := SatKey{Fp: c.fp, N: c.nAdds}
 	if e, ok := c.cache.lookup(key); ok {
-		c.stats.Branches += e.branches
-		return e.sat
+		c.stats.Branches += e.Branches
+		return e.Sat
 	}
 	before := c.stats.Branches
 	_, ok := c.solve(false, 0)
-	c.cache.store(key, satEntry{sat: ok, branches: c.stats.Branches - before})
+	c.cache.store(key, SatVerdict{Sat: ok, Branches: c.stats.Branches - before})
 	return ok
 }
 

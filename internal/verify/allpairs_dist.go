@@ -1,0 +1,64 @@
+package verify
+
+import (
+	"fmt"
+
+	"symnet/internal/core"
+	"symnet/internal/dist"
+	"symnet/internal/sefl"
+)
+
+// AllPairsDistReport is the distributed face of AllPairsReport: the same
+// reachability matrix, computed from worker summaries instead of live
+// results. Live paths (solver contexts, packet memory) stay in the worker
+// processes, so follow-up field queries are not available — Summaries holds
+// what crossed the wire (statuses, histories, solver statistics, constraint
+// fingerprints).
+type AllPairsDistReport struct {
+	Sources []core.PortRef
+	Targets []string
+	// Reachable[s][t] reports whether any delivered path from Sources[s]
+	// ends at Targets[t]; PathCount[s][t] counts them.
+	Reachable [][]bool
+	PathCount [][]int
+	// Summaries holds the per-source run summaries, aligned with Sources.
+	Summaries []*dist.Summary
+}
+
+// Pairs returns the number of (source, target) pairs answered.
+func (r *AllPairsDistReport) Pairs() int { return len(r.Sources) * len(r.Targets) }
+
+// AllPairsReachabilityDist answers the all-pairs reachability matrix by
+// sharding the per-source runs across procs worker subprocesses (see
+// dist.RunBatch); procs <= 0 answers in-process. The matrix is byte-identical
+// to AllPairsReachability's for every (procs, workersPerProc) pair — per-path
+// last-hop positions are part of the deterministic summaries the property
+// tests in internal/dist pin down.
+func AllPairsReachabilityDist(net *core.Network, sources []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int) (*AllPairsDistReport, error) {
+	jobs := make([]dist.Job, len(sources))
+	for i, src := range sources {
+		jobs[i] = dist.Job{Name: src.String(), Inject: src, Packet: packet, Opts: opts}
+	}
+	results := dist.RunBatch(net, jobs, procs, workersPerProc)
+	rep := &AllPairsDistReport{
+		Sources:   sources,
+		Targets:   targets,
+		Reachable: make([][]bool, len(sources)),
+		PathCount: make([][]int, len(sources)),
+		Summaries: make([]*dist.Summary, len(sources)),
+	}
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("verify: all-pairs source %s: %w", jr.Name, jr.Err)
+		}
+		rep.Summaries[i] = jr.Summary
+		rep.Reachable[i] = make([]bool, len(targets))
+		rep.PathCount[i] = make([]int, len(targets))
+		for t, target := range targets {
+			n := jr.Summary.DeliveredAt(target, -1)
+			rep.Reachable[i][t] = n > 0
+			rep.PathCount[i][t] = n
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,53 @@
+package verify_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/dist"
+	"symnet/internal/sefl"
+	"symnet/internal/verify"
+)
+
+// TestMain lets this test binary serve as its own dist worker (see
+// internal/dist).
+func TestMain(m *testing.M) {
+	dist.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestAllPairsDistMatchesInProcess pins that the distributed all-pairs
+// matrix equals the in-process one, both via the procs=0 fast path and via
+// real worker subprocesses.
+func TestAllPairsDistMatchesInProcess(t *testing.T) {
+	d := datasets.NewDepartment(datasets.DepartmentConfig{NumAccessSwitches: 3, HostsPerSwitch: 10, Routes: 16, Seed: 5})
+	srcs, targets := d.AllPairs()
+	opts := core.Options{MaxHops: 64}
+
+	want, err := verify.AllPairsReachability(d.Net, srcs, sefl.NewTCPPacket(), targets, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procsGrid := []int{0, 2}
+	if testing.Short() {
+		procsGrid = []int{0}
+	}
+	for _, procs := range procsGrid {
+		got, err := verify.AllPairsReachabilityDist(d.Net, srcs, sefl.NewTCPPacket(), targets, opts, procs, 1)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if !reflect.DeepEqual(got.Reachable, want.Reachable) {
+			t.Errorf("procs=%d: Reachable differs\n got: %v\nwant: %v", procs, got.Reachable, want.Reachable)
+		}
+		if !reflect.DeepEqual(got.PathCount, want.PathCount) {
+			t.Errorf("procs=%d: PathCount differs\n got: %v\nwant: %v", procs, got.PathCount, want.PathCount)
+		}
+		if got.Pairs() != want.Pairs() {
+			t.Errorf("procs=%d: pairs %d != %d", procs, got.Pairs(), want.Pairs())
+		}
+	}
+}
