@@ -48,10 +48,22 @@ type row struct {
 
 type key struct{ experiment, name string }
 
-// ns extracts a row's timing: ns_per_op, falling back to the extra columns
-// batch experiments use (seq_ns for in-process all-pairs, dist_ns for the
-// distributed runner). 0 means the row carries no timing.
+// nsKey, when set via -ns-key, selects a specific "*_ns" extra column as
+// the timing source instead of the default chain. The multicore CI gate
+// uses it to compare par_ns across worker counts and dist_ns across procs.
+var nsKey string
+
+// ns extracts a row's timing: the -ns-key extra column when set, otherwise
+// ns_per_op falling back to the extra columns batch experiments use (seq_ns
+// for in-process all-pairs, dist_ns for the distributed runner). 0 means
+// the row carries no timing.
 func (r row) ns() int64 {
+	if nsKey != "" {
+		if f, ok := r.Extra[nsKey].(float64); ok {
+			return int64(f)
+		}
+		return 0
+	}
 	if r.NsPerOp != 0 {
 		return r.NsPerOp
 	}
@@ -88,6 +100,8 @@ func load(path string) (map[key]row, []key, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any matched row regresses by more than this percent (0 disables)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail (exit 1) when any matched timed row's old/new speedup is below this factor (0 disables; the multicore CI gate uses it to assert parallel/dist wins)")
+	flag.StringVar(&nsKey, "ns-key", "", "read timings from this extra column (e.g. par_ns, dist_ns) instead of the default ns_per_op chain")
 	validate := flag.Bool("validate", false, "validate the given snapshot files instead of diffing (each must be a non-empty symbench JSON array)")
 	mergeMin := flag.Bool("merge-min", false, "merge the given snapshots row-wise to a best-of-N snapshot on stdout (min of every timing column)")
 	flag.Parse()
@@ -158,9 +172,17 @@ func main() {
 			regressed++
 			mark = " -"
 		}
+		rowFailed := false
 		if *threshold > 0 && float64(nns) > float64(ons)*(1+*threshold/100) {
-			failed++
+			rowFailed = true
 			mark = " REGRESSION"
+		}
+		if *minSpeedup > 0 && speedup < *minSpeedup {
+			rowFailed = true
+			mark += fmt.Sprintf(" BELOW %.2fx", *minSpeedup)
+		}
+		if rowFailed {
+			failed++
 		}
 		fmt.Printf("%-12s %-24s %14s %14s %8.2fx%s\n",
 			k.experiment, k.name, fmtNs(ons), fmtNs(nns), speedup, mark)
@@ -182,8 +204,18 @@ func main() {
 	}
 	fmt.Printf("\n%d rows matched (%d timed): %d faster, %d slower, %d within noise\n",
 		matched, timed, improved, regressed, timed-improved-regressed)
+	if *minSpeedup > 0 && timed == 0 {
+		// A speedup gate with nothing to measure must not pass vacuously
+		// (a renamed timing column would otherwise disarm the CI gate).
+		fmt.Fprintln(os.Stderr, "benchdiff: -min-speedup found no timed matched rows")
+		os.Exit(1)
+	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.1f%%\n", failed, *threshold)
+		if *minSpeedup > 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) failed the gate (threshold %.1f%%, min speedup %.2fx)\n", failed, *threshold, *minSpeedup)
+		} else {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.1f%%\n", failed, *threshold)
+		}
 		os.Exit(1)
 	}
 }

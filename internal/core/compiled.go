@@ -38,6 +38,7 @@ func (e *progEnv) ReadMeta(key memory.MetaKey) (expr.Lin, error) { return e.st.M
 func (e *progEnv) Tag(name string) (int64, bool)                 { return e.st.Mem.Tag(name) }
 func (e *progEnv) MetaExists(key memory.MetaKey) bool            { return e.st.Mem.MetaExists(key) }
 func (e *progEnv) Fresh(width int, name string) expr.Lin         { return e.r.alloc.Fresh(width, name) }
+func (e *progEnv) OrTreeGuards() bool                            { return e.r.opts.OrTreeGuards }
 
 // execPort runs the code attached to a port on one state: the compiled-IR
 // dispatch loop by default, the AST interpreter behind Options.ASTInterp.

@@ -54,6 +54,14 @@ type Options struct {
 	// the AST walker is kept as the executable reference semantics and for
 	// debugging suspected compiler bugs.
 	ASTInterp bool
+	// OrTreeGuards evaluates interval-table-lowered guards as their
+	// original Or-tree disjuncts (reference semantics for the lowering in
+	// internal/prog). The default consumes the packed span tables; results,
+	// statistics, traces and symbol allocation are identical either way
+	// (pinned by the guard differential tests in internal/prog) — only the
+	// constraint-fingerprint chain differs, since the solver is handed a
+	// packed membership condition instead of a disjunction.
+	OrTreeGuards bool
 }
 
 func (o Options) withDefaults() Options {

@@ -53,6 +53,14 @@ func DefaultDepartment() DepartmentConfig {
 	return DepartmentConfig{NumAccessSwitches: 15, HostsPerSwitch: 400, Routes: 400, Seed: 11}
 }
 
+// HeavyDepartment doubles the paper's switch count and MAC/route tables.
+// The multicore CI gate uses it (symbench -heavy) so per-job compute
+// dominates distributed spawn and setup-encode overhead, making wall-clock
+// speedup assertions meaningful on small runners.
+func HeavyDepartment() DepartmentConfig {
+	return DepartmentConfig{NumAccessSwitches: 60, HostsPerSwitch: 400, Routes: 800, Seed: 11}
+}
+
 // hostMAC derives a deterministic host MAC.
 func hostMAC(sw, host int) uint64 {
 	return 0x020000000000 | uint64(sw)<<16 | uint64(host)

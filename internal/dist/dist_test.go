@@ -10,6 +10,7 @@ import (
 	"symnet/internal/core"
 	"symnet/internal/datasets"
 	"symnet/internal/dist"
+	"symnet/internal/expr"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
 )
@@ -128,6 +129,64 @@ func TestRunBatchByteIdentical(t *testing.T) {
 					if string(got) != string(want) {
 						t.Errorf("procs=%d workers=%d: distributed results differ from sched.RunBatch\n got: %.400s\nwant: %.400s",
 							procs, workers, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// canonicalNoCtx is canonical with the per-path constraint fingerprints
+// cleared: the comparison surface between interval-table and Or-tree guard
+// evaluation, whose solver hand-off legitimately differs in representation
+// (and therefore in chained Add fingerprints) while every observable —
+// statuses, messages, port histories, traces, statistics — must match.
+func canonicalNoCtx(t *testing.T, results []dist.JobResult) []byte {
+	t.Helper()
+	stripped := make([]dist.JobResult, len(results))
+	for i, r := range results {
+		stripped[i] = r
+		if r.Summary != nil {
+			s := *r.Summary
+			s.Paths = append([]dist.PathSummary(nil), r.Summary.Paths...)
+			for j := range s.Paths {
+				s.Paths[j].CtxFp = expr.Fp{}
+			}
+			stripped[i].Summary = &s
+		}
+	}
+	return canonical(t, stripped)
+}
+
+// TestGuardModesDistByteIdentical is the distributed face of the
+// interval-table acceptance property: at procs 0 and 2, interval-table
+// execution matches the Or-tree reference on every observable, and each
+// mode is procs-count deterministic including its constraint fingerprints.
+func TestGuardModesDistByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	for _, tc := range batchCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			var wantObs []byte
+			for _, orTree := range []bool{true, false} {
+				jobs := make([]dist.Job, len(tc.jobs))
+				for i, j := range tc.jobs {
+					jobs[i] = j
+					jobs[i].Opts.OrTreeGuards = orTree
+				}
+				var wantFull []byte
+				for _, procs := range []int{0, 2} {
+					out := dist.RunBatch(tc.net, jobs, procs, 2)
+					if procs == 0 {
+						wantFull = canonical(t, out)
+						if orTree {
+							wantObs = canonicalNoCtx(t, out)
+						} else if got := canonicalNoCtx(t, out); string(got) != string(wantObs) {
+							t.Errorf("interval-table observables differ from Or-tree reference")
+						}
+					} else if got := canonical(t, out); string(got) != string(wantFull) {
+						t.Errorf("ortree=%v: procs=%d differs from procs=0", orTree, procs)
 					}
 				}
 			}

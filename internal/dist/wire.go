@@ -104,19 +104,26 @@ type wireJob struct {
 // runs its own, and per-job solver statistics come back inside the Summary
 // (deterministically — cache hits replay the original counters).
 type wireOptions struct {
-	MaxHops   int
-	MaxPaths  int
-	Loop      core.LoopMode
-	Trace     bool
-	ASTInterp bool
+	MaxHops      int
+	MaxPaths     int
+	Loop         core.LoopMode
+	Trace        bool
+	ASTInterp    bool
+	OrTreeGuards bool
 }
 
 func toWireOptions(o core.Options) wireOptions {
-	return wireOptions{MaxHops: o.MaxHops, MaxPaths: o.MaxPaths, Loop: o.Loop, Trace: o.Trace, ASTInterp: o.ASTInterp}
+	return wireOptions{
+		MaxHops: o.MaxHops, MaxPaths: o.MaxPaths, Loop: o.Loop, Trace: o.Trace,
+		ASTInterp: o.ASTInterp, OrTreeGuards: o.OrTreeGuards,
+	}
 }
 
 func (w wireOptions) options() core.Options {
-	return core.Options{MaxHops: w.MaxHops, MaxPaths: w.MaxPaths, Loop: w.Loop, Trace: w.Trace, ASTInterp: w.ASTInterp}
+	return core.Options{
+		MaxHops: w.MaxHops, MaxPaths: w.MaxPaths, Loop: w.Loop, Trace: w.Trace,
+		ASTInterp: w.ASTInterp, OrTreeGuards: w.OrTreeGuards,
+	}
 }
 
 // resultFrame is one finished job.

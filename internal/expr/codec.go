@@ -18,19 +18,22 @@ const (
 	wireAnd
 	wireOr
 	wireNot
+	wireInSet
 )
 
 // WireExprCond is the concrete form of one Cond (a tagged union; fields used
 // depend on Kind).
 type WireExprCond struct {
-	Kind uint8
-	B    bool            // Bool
-	Op   uint8           // Cmp
-	L, R Lin             // Cmp operands; Match subject (L)
-	Mask uint64          // Match
-	Val  uint64          // Match
-	Cs   []*WireExprCond // And, Or
-	C    *WireExprCond   // Not
+	Kind  uint8
+	B     bool            // Bool
+	Op    uint8           // Cmp
+	L, R  Lin             // Cmp operands; Match/InSet subject (L)
+	Mask  uint64          // Match
+	Val   uint64          // Match
+	Cs    []*WireExprCond // And, Or
+	C     *WireExprCond   // Not
+	W     int             // InSet table width
+	Spans []Span          // InSet packed ranges
 }
 
 // EncodeCond converts a condition to its wire form (nil stays nil).
@@ -62,6 +65,10 @@ func EncodeCond(c Cond) (*WireExprCond, error) {
 			return nil, err
 		}
 		return &WireExprCond{Kind: wireNot, C: sub}, nil
+	case InSet:
+		// A packed guard crosses the wire as its raw spans — O(entries)
+		// words, no per-atom nodes.
+		return &WireExprCond{Kind: wireInSet, L: v.L, W: v.T.Width(), Spans: v.T.Spans()}, nil
 	}
 	return nil, fmt.Errorf("expr: cannot serialize condition type %T", c)
 }
@@ -124,6 +131,12 @@ func decodeCond(w *WireExprCond) (Cond, error) {
 			return nil, err
 		}
 		return Not{C: sub}, nil
+	case wireInSet:
+		t := NewSpanTable(w.W, w.Spans)
+		if w.L.Width != t.Width() {
+			return nil, fmt.Errorf("expr: wire InSet width mismatch: %d-bit term vs %d-bit table", w.L.Width, w.W)
+		}
+		return InSet{L: w.L, T: t}, nil
 	}
 	return nil, fmt.Errorf("expr: unknown wire condition kind %d", w.Kind)
 }

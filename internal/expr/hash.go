@@ -66,6 +66,7 @@ const (
 	tagNot
 	tagAnd
 	tagOr
+	tagInSet
 )
 
 func (s *fpState) cond(c Cond) {
@@ -102,6 +103,14 @@ func (s *fpState) cond(c Cond) {
 		for _, sub := range v.Cs {
 			s.cond(sub)
 		}
+	case InSet:
+		// The table's own fingerprint is precomputed at construction, so
+		// hashing a packed guard is O(1) in the table size — the point of
+		// the representation (an Or-tree re-hashes every atom per Add).
+		s.word(tagInSet)
+		s.lin(v.L)
+		s.word(v.T.fp.Hi)
+		s.word(v.T.fp.Lo)
 	default:
 		panic("expr: unknown condition type in HashCond")
 	}
@@ -151,6 +160,9 @@ func EqualCond(a, b Cond) bool {
 	case Or:
 		vb, ok := b.(Or)
 		return ok && equalSlices(va.Cs, vb.Cs)
+	case InSet:
+		vb, ok := b.(InSet)
+		return ok && va.L == vb.L && va.T.Equal(vb.T)
 	}
 	return false
 }

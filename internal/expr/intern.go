@@ -47,7 +47,9 @@ func (in *Interner) Intern(c Cond) (Cond, Fp) {
 		return c, fp
 	}
 	switch c.(type) {
-	case Bool, Cmp, Match:
+	case Bool, Cmp, Match, InSet:
+		// InSet is atom-like too: its table is already a shared canonical
+		// object, so the table would gain nothing from the interner.
 		return c, fp
 	}
 	sh := &in.shards[fp.Lo&(internShards-1)]

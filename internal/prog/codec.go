@@ -83,7 +83,13 @@ type WireOp struct {
 }
 
 // WireCCond is the concrete form of one condition node. Child conditions
-// (And/Or members, Not operand) are table indices.
+// (And/Or members, Not operand) are table indices. A CIntervalTable node
+// ships no child indices: its disjuncts cross the wire as the packed row
+// stream (ITRows) — the frame-size win this lowering exists for — and the
+// decoder rebuilds children and span tables through the same construction
+// the compiler uses, so the decoded node is byte-identical. (A child shared
+// between a table and an unrelated op decodes into two equal nodes instead
+// of one shared node; behavior is unaffected.)
 type WireCCond struct {
 	Kind       CondKind
 	FP         expr.Fp
@@ -102,6 +108,11 @@ type WireCCond struct {
 	Key        memory.MetaKey
 	Cs         []int32
 	C          int32
+	// Interval-table payload (Kind == CIntervalTable).
+	ITF       LV
+	ITF2      LV
+	ITGrouped bool
+	ITRows    []uint64
 }
 
 // EncodeProgram converts a compiled program to its wire form. It fails only
@@ -175,6 +186,16 @@ func encodeCond(w *WireProgram, idx map[*CCond]int32, c *CCond) (int32, error) {
 		}
 		wc.Static = st
 	}
+	if c.Kind == CIntervalTable && PackedWire {
+		wc.ITF = c.IT.F
+		wc.ITF2 = c.IT.F2
+		wc.ITGrouped = c.IT.Grouped
+		wc.ITRows = expr.PackGuardRows(c.IT.Rows)
+		i := int32(len(w.CondTab))
+		w.CondTab = append(w.CondTab, wc)
+		idx[c] = i
+		return i, nil
+	}
 	for _, sub := range c.Cs {
 		si, err := encodeCond(w, idx, sub)
 		if err != nil {
@@ -210,6 +231,10 @@ func DecodeProgram(w *WireProgram) (*Program, error) {
 		Ops:       make([]Op, len(w.Ops)),
 	}
 	conds := make([]*CCond, len(w.CondTab))
+	// Lowered-guard children are rebuilt from row streams; one builder per
+	// program so equal disjuncts across tables share nodes like compiler
+	// output does.
+	itb := &itBuilder{conds: make(map[expr.Fp][]*CCond)}
 	for i := range w.CondTab {
 		wc := &w.CondTab[i]
 		c := &CCond{
@@ -217,6 +242,19 @@ func DecodeProgram(w *WireProgram) (*Program, error) {
 			Words: wc.Words, HasSym: wc.HasSym, Memoizable: wc.Memoizable,
 			Inputs: wc.Inputs, B: wc.B, Op: wc.Op, L: wc.L, R: wc.R,
 			Val: wc.Val, Mask: wc.Mask, PLen: wc.PLen, PW: wc.PW, Key: wc.Key,
+		}
+		if wc.Kind == CIntervalTable && wc.ITRows != nil {
+			rows, err := expr.UnpackGuardRows(wc.ITRows)
+			if err != nil {
+				return nil, fmt.Errorf("prog: decode %s cond %d: %w", w.Label, i, err)
+			}
+			it := &ITable{
+				F: wc.ITF, W: wc.ITF.Size, Grouped: wc.ITGrouped,
+				F2: wc.ITF2, W2: wc.ITF2.Size, Rows: rows,
+			}
+			buildITable(it)
+			c.IT = it
+			c.Cs = itb.children(it)
 		}
 		if wc.Static != nil {
 			st, err := expr.DecodeCond(wc.Static)
@@ -236,6 +274,16 @@ func DecodeProgram(w *WireProgram) (*Program, error) {
 				return nil, fmt.Errorf("prog: decode %s: cond %d references out-of-order child %d", w.Label, i, wc.C)
 			}
 			c.C = conds[wc.C]
+		}
+		if c.Kind == CIntervalTable && c.IT == nil {
+			// Tree-form wire (PackedWire disabled on the encoder): re-derive
+			// the table from the decoded disjuncts.
+			it := detectIntervalTable(c.Cs)
+			if it == nil {
+				return nil, fmt.Errorf("prog: decode %s: cond %d marked interval-table but disjuncts do not form one", w.Label, i)
+			}
+			buildITable(it)
+			c.IT = it
 		}
 		conds[i] = c
 	}

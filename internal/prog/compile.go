@@ -308,11 +308,32 @@ func (c *compiler) compileCond(sc sefl.Cond) *CCond {
 	}
 	cc.FP = fpCond(cc)
 	c.p.CondsSeen++
-	for _, cand := range c.conds[cc.FP] {
+	// Egress-shaped disjunctions lower to interval tables before dedup, so
+	// structurally equal guards compare with matching kinds.
+	lowerIntervalTable(cc)
+	if cand := findCond(c.conds, cc); cand != nil {
+		return cand
+	}
+	finishCond(cc)
+	c.conds[cc.FP] = append(c.conds[cc.FP], cc)
+	c.p.Conds++
+	return cc
+}
+
+// findCond looks cc up in a hash-consing table (nil on miss).
+func findCond(conds map[expr.Fp][]*CCond, cc *CCond) *CCond {
+	for _, cand := range conds[cc.FP] {
 		if equalCCond(cand, cc) {
 			return cand
 		}
 	}
+	return nil
+}
+
+// finishCond computes a node's derived state — static fold, structural
+// size, memo gating — shared between the compiler and the wire decoder's
+// reconstruction of lowered-guard children.
+func finishCond(cc *CCond) {
 	if !cc.HasStatic && condStatic(cc) {
 		cond, err := evalCondDynamic(nil, cc)
 		cc.HasStatic = true
@@ -328,9 +349,6 @@ func (c *compiler) compileCond(sc sefl.Cond) *CCond {
 		seen := make(map[CondInput]bool)
 		collectInputs(cc, seen, &cc.Inputs)
 	}
-	c.conds[cc.FP] = append(c.conds[cc.FP], cc)
-	c.p.Conds++
-	return cc
 }
 
 // memoMinWords gates the evaluation memo: small guards rebuild faster than
@@ -353,7 +371,7 @@ func condSize(cc *CCond) (int, bool) {
 		w, s := exprSize(cc.L)
 		words += w
 		sym = sym || s
-	case CAnd, COr:
+	case CAnd, COr, CIntervalTable:
 		for _, sub := range cc.Cs {
 			words += sub.Words
 			sym = sym || sub.HasSym
@@ -397,7 +415,7 @@ func collectInputs(cc *CCond, seen map[CondInput]bool, out *[]CondInput) {
 		collectExprInputs(cc.L, seen, out)
 	case CMetaPresent:
 		add(CondInput{Kind: InMetaPresent, Key: cc.Key})
-	case CAnd, COr:
+	case CAnd, COr, CIntervalTable:
 		for _, sub := range cc.Cs {
 			collectInputs(sub, seen, out)
 		}
@@ -442,7 +460,7 @@ func condStatic(cc *CCond) bool {
 		return exprStatic(cc.L)
 	case CMetaPresent:
 		return false
-	case CAnd, COr:
+	case CAnd, COr, CIntervalTable:
 		for _, sub := range cc.Cs {
 			if !sub.HasStatic {
 				return false
@@ -508,7 +526,14 @@ func fpLV(lv LV) expr.Fp {
 }
 
 func fpCond(cc *CCond) expr.Fp {
-	f := fpWord(uint64(cc.Kind) + 0x29)
+	kind := cc.Kind
+	if kind == CIntervalTable {
+		// Lowering is a representation change: a lowered guard keeps the
+		// fingerprint of the Or-tree it was built from, so guards dedup and
+		// memoize identically whichever form a node is in.
+		kind = COr
+	}
+	f := fpWord(uint64(kind) + 0x29)
 	switch cc.Kind {
 	case CBool:
 		if cc.B {
@@ -523,7 +548,7 @@ func fpCond(cc *CCond) expr.Fp {
 		f = f.Chain(fpExpr(cc.L)).Chain(fpWord(cc.Mask)).Chain(fpWord(cc.Val))
 	case CMetaPresent:
 		f = f.Chain(fpString(cc.Key.Name)).Chain(fpWord(uint64(int64(cc.Key.Instance))))
-	case CAnd, COr:
+	case CAnd, COr, CIntervalTable:
 		f = f.Chain(fpWord(uint64(len(cc.Cs))))
 		for _, sub := range cc.Cs {
 			f = f.Chain(sub.FP)
@@ -549,7 +574,7 @@ func equalCCond(a, b *CCond) bool {
 		return a.Mask == b.Mask && a.Val == b.Val && equalCExpr(a.L, b.L)
 	case CMetaPresent:
 		return a.Key == b.Key
-	case CAnd, COr:
+	case CAnd, COr, CIntervalTable:
 		if len(a.Cs) != len(b.Cs) {
 			return false
 		}

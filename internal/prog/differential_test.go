@@ -25,7 +25,18 @@ import (
 // fingerprint serializes everything observable about a Result: path IDs,
 // statuses, messages, histories, traces, final memory (fields, metadata,
 // tags), the constraint context's chained fingerprint, and run statistics.
-func fingerprint(res *core.Result) string {
+func fingerprint(res *core.Result) string { return fingerprintCtx(res, true) }
+
+// obsFingerprint is fingerprint minus the constraint-fingerprint chain: the
+// comparison surface between interval-table and Or-tree guard evaluation.
+// The two modes hand the solver different (equivalent) condition
+// representations for lowered guards, so the chained Add fingerprints
+// legitimately differ; every observable — results, statuses, messages,
+// histories, traces, memory contents, symbol IDs, pending-disjunction
+// counts, solver statistics — must still be byte-identical.
+func obsFingerprint(res *core.Result) string { return fingerprintCtx(res, false) }
+
+func fingerprintCtx(res *core.Result, withCtx bool) string {
 	var b strings.Builder
 	for _, p := range res.Paths {
 		fmt.Fprintf(&b, "#%d %s %q", p.ID, p.Status, p.FailMsg)
@@ -50,8 +61,11 @@ func fingerprint(res *core.Result) string {
 		for _, tag := range names {
 			fmt.Fprintf(&b, " t[%s]=%d", tag, tags[tag])
 		}
-		fp := p.Ctx.Fingerprint()
-		fmt.Fprintf(&b, " ctx=%x.%x pend=%d\n", fp.Hi, fp.Lo, p.Ctx.PendingOrs())
+		if withCtx {
+			fp := p.Ctx.Fingerprint()
+			fmt.Fprintf(&b, " ctx=%x.%x", fp.Hi, fp.Lo)
+		}
+		fmt.Fprintf(&b, " pend=%d\n", p.Ctx.PendingOrs())
 	}
 	fmt.Fprintf(&b, "stats %+v\n", res.Stats)
 	return b.String()
@@ -252,7 +266,10 @@ func (g *gen) network() (*core.Network, core.PortRef) {
 
 // TestDifferentialCompiledVsAST is the core differential property: for many
 // random programs, the compiled engine's Result must be byte-identical to
-// the AST interpreter's, with tracing exercised on a subset of seeds.
+// the AST interpreter's, with tracing exercised on a subset of seeds. The
+// Or-tree reference mode must match the AST including constraint
+// fingerprints; the default interval-table mode must match on every
+// observable (the ctx chain may differ on lowered guards).
 func TestDifferentialCompiledVsAST(t *testing.T) {
 	seeds := 60
 	if testing.Short() {
@@ -272,13 +289,24 @@ func TestDifferentialCompiledVsAST(t *testing.T) {
 		}
 		want := fingerprint(ast)
 
+		refOpts := opts
+		refOpts.OrTreeGuards = true
+		ref, err := core.Run(net, inj, init, refOpts)
+		if err != nil {
+			t.Fatalf("seed %d: compiled (Or-tree) run: %v", seed, err)
+		}
+		if got := fingerprint(ref); got != want {
+			t.Fatalf("seed %d: Or-tree compiled result differs from AST:\n--- AST ---\n%s--- compiled ---\n%s",
+				seed, diffHead(want, got), diffHead(got, want))
+		}
+
 		ir, err := core.Run(net, inj, init, opts)
 		if err != nil {
 			t.Fatalf("seed %d: compiled run: %v", seed, err)
 		}
-		if got := fingerprint(ir); got != want {
-			t.Fatalf("seed %d: compiled result differs from AST:\n--- AST ---\n%s--- compiled ---\n%s",
-				seed, diffHead(want, fingerprint(ir)), diffHead(fingerprint(ir), want))
+		if got, wantObs := obsFingerprint(ir), obsFingerprint(ast); got != wantObs {
+			t.Fatalf("seed %d: interval-table compiled result differs from AST:\n--- AST ---\n%s--- compiled ---\n%s",
+				seed, diffHead(wantObs, got), diffHead(got, wantObs))
 		}
 		if ast.Stats.Paths == 0 {
 			t.Fatalf("seed %d: no paths explored", seed)
@@ -306,14 +334,22 @@ func TestDifferentialWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: AST run: %v", seed, err)
 		}
-		want := fingerprint(ast)
+		wantObs := obsFingerprint(ast)
+		var wantFull string
 		for _, workers := range []int{1, 2, 8} {
 			res, err := sched.Run(net, inj, init, opts, workers)
 			if err != nil {
 				t.Fatalf("seed %d: %d-worker run: %v", seed, workers, err)
 			}
-			if got := fingerprint(res); got != want {
+			if got := obsFingerprint(res); got != wantObs {
 				t.Errorf("seed %d: %d-worker compiled result differs from sequential AST", seed, workers)
+			}
+			// Within one guard mode the full fingerprint (ctx chain included)
+			// must also be worker-count independent.
+			if workers == 1 {
+				wantFull = fingerprint(res)
+			} else if got := fingerprint(res); got != wantFull {
+				t.Errorf("seed %d: %d-worker full fingerprint differs from 1-worker", seed, workers)
 			}
 		}
 	}
@@ -352,6 +388,12 @@ func TestDifferentialDatasets(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: AST run: %v", w.name, err)
 		}
+		refOpts := w.opts
+		refOpts.OrTreeGuards = true
+		ref, err := core.Run(w.net, w.inject, w.packet, refOpts)
+		if err != nil {
+			t.Fatalf("%s: compiled (Or-tree) run: %v", w.name, err)
+		}
 		ir, err := core.Run(w.net, w.inject, w.packet, w.opts)
 		if err != nil {
 			t.Fatalf("%s: compiled run: %v", w.name, err)
@@ -359,9 +401,60 @@ func TestDifferentialDatasets(t *testing.T) {
 		if ast.Stats.Paths == 0 {
 			t.Fatalf("%s: no paths explored", w.name)
 		}
-		want, got := fingerprint(ast), fingerprint(ir)
-		if want != got {
-			t.Errorf("%s: compiled result differs from AST:\n%s", w.name, diffHead(want, got))
+		if want, got := fingerprint(ast), fingerprint(ref); want != got {
+			t.Errorf("%s: Or-tree compiled result differs from AST:\n%s", w.name, diffHead(want, got))
+		}
+		if want, got := obsFingerprint(ast), obsFingerprint(ir); want != got {
+			t.Errorf("%s: interval-table compiled result differs from AST:\n%s", w.name, diffHead(want, got))
+		}
+	}
+}
+
+// TestDifferentialGuardModesWorkers is the interval-table acceptance
+// property over the real datasets: at 1, 2 and 8 workers, interval-table
+// execution must match the Or-tree reference on every observable (results,
+// stats, traces, symbol IDs), and each mode must be worker-count
+// deterministic including its constraint-fingerprint chain.
+func TestDifferentialGuardModesWorkers(t *testing.T) {
+	type workload struct {
+		name   string
+		net    *core.Network
+		inject core.PortRef
+		packet sefl.Instr
+		opts   core.Options
+	}
+	d := datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 3, HostsPerSwitch: 24, Routes: 40, Seed: 5})
+	bb := datasets.StanfordBackbone(6, 50)
+	fh, fhInject := datasets.ForkHeavy(8, 3, 4)
+	ws := []workload{
+		{"department", d.Net, core.PortRef{Elem: "asw0", Port: 1}, d.OfficePacket(false), core.Options{MaxHops: 64}},
+		{"backbone", bb.Net, core.PortRef{Elem: bb.Zones[0], Port: 2}, sefl.NewIPPacket(), core.Options{}},
+		{"forkheavy", fh, fhInject, sefl.NewTCPPacket(), core.Options{MaxHops: 1 << 12}},
+	}
+	for _, w := range ws {
+		var wantObs string
+		for _, orTree := range []bool{true, false} {
+			opts := w.opts
+			opts.OrTreeGuards = orTree
+			var wantFull string
+			for _, workers := range []int{1, 2, 8} {
+				res, err := sched.Run(w.net, w.inject, w.packet, opts, workers)
+				if err != nil {
+					t.Fatalf("%s ortree=%v workers=%d: %v", w.name, orTree, workers, err)
+				}
+				if workers == 1 {
+					wantFull = fingerprint(res)
+					if orTree {
+						wantObs = obsFingerprint(res)
+					} else if got := obsFingerprint(res); got != wantObs {
+						t.Errorf("%s: interval-table observables differ from Or-tree reference:\n%s",
+							w.name, diffHead(wantObs, got))
+					}
+				} else if got := fingerprint(res); got != wantFull {
+					t.Errorf("%s ortree=%v: %d-worker full fingerprint differs from 1-worker", w.name, orTree, workers)
+				}
+			}
 		}
 	}
 }

@@ -124,9 +124,9 @@ func condString(c *CCond) string {
 		s = fmt.Sprintf("(%s & %#x) == %#x", exprString(c.L), c.Mask, c.Val)
 	case CMetaPresent:
 		s = "present(" + c.Key.String() + ")"
-	case CAnd, COr:
+	case CAnd, COr, CIntervalTable:
 		sep := " & "
-		if c.Kind == COr {
+		if c.Kind != CAnd {
 			sep = " | "
 		}
 		if len(c.Cs) > 8 {
@@ -137,6 +137,13 @@ func condString(c *CCond) string {
 				parts[i] = condString(sub)
 			}
 			s = "(" + strings.Join(parts, sep) + ")"
+		}
+		if it := c.IT; it != nil {
+			if it.Grouped {
+				s += fmt.Sprintf(" [itable %d rows, %d groups]", len(it.Rows), len(it.Groups))
+			} else {
+				s += fmt.Sprintf(" [itable %d rows, %d spans]", len(it.Rows), it.Table.Len())
+			}
 		}
 	case CNot:
 		s = "!(" + condString(c.C) + ")"

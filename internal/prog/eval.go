@@ -18,6 +18,10 @@ type Env interface {
 	Tag(name string) (int64, bool)
 	MetaExists(key memory.MetaKey) bool
 	Fresh(width int, name string) expr.Lin
+	// OrTreeGuards selects the reference Or-tree evaluation for lowered
+	// interval-table guards (core.Options.OrTreeGuards). The default, false,
+	// consumes the packed span tables.
+	OrTreeGuards() bool
 }
 
 // evalErrf builds a model-level evaluation failure. Formats are kept in
@@ -154,6 +158,14 @@ func EvalCond(env Env, c *CCond) (expr.Cond, error) {
 		}
 		return c.Static, nil
 	}
+	if c.Kind == CIntervalTable && env != nil && !env.OrTreeGuards() {
+		if cond, ok, err := evalTable(env, c.IT); ok {
+			return cond, err
+		}
+		// The runtime value shapes are not the ones the table was compiled
+		// for (width drift, symbolic group field): fall through to the
+		// reference Or-tree evaluation, which handles every case.
+	}
 	if c.Memoizable {
 		if key, ok := gatherInputs(env, c); ok {
 			if m := c.memo.Load(); m != nil && m.key == key {
@@ -254,7 +266,7 @@ func evalCondDynamic(env Env, c *CCond) (expr.Cond, error) {
 			out = append(out, lc)
 		}
 		return expr.NewAnd(out...), nil
-	case COr:
+	case COr, CIntervalTable:
 		out := make([]expr.Cond, 0, len(c.Cs))
 		for _, sub := range c.Cs {
 			lc, err := EvalCond(env, sub)
@@ -272,6 +284,44 @@ func evalCondDynamic(env Env, c *CCond) (expr.Cond, error) {
 		return expr.NewNot(lc), nil
 	}
 	return nil, evalErrf("unknown compiled condition kind %d", c.Kind)
+}
+
+// evalTable evaluates a lowered guard through its packed span table: one
+// field read, then either a binary-search membership test (concrete field,
+// yielding the same Bool the folded Or-tree would) or an expr.InSet the
+// solver consumes with a single domain intersection (symbolic field). The
+// read order matches the reference evaluation's first disjunct, so read
+// errors surface identically. ok=false requests the Or-tree fallback.
+func evalTable(env Env, it *ITable) (expr.Cond, bool, error) {
+	v, err := ReadLV(env, it.F)
+	if err != nil {
+		return nil, true, err
+	}
+	if !it.Grouped {
+		if v.Width != it.W {
+			return nil, false, nil
+		}
+		return expr.NewInSet(v, it.Table), true, nil
+	}
+	v2, err := ReadLV(env, it.F2)
+	if err != nil {
+		return nil, true, err
+	}
+	if v.Width != it.W || v2.Width != it.W2 {
+		return nil, false, nil
+	}
+	key, konst := v.ConstVal()
+	if !konst {
+		// A symbolic group field would need a relational encoding; the
+		// Or-tree reference handles it (it is not a shape the egress models
+		// produce).
+		return nil, false, nil
+	}
+	g := it.group(key)
+	if g == nil {
+		return expr.Bool(false), true, nil
+	}
+	return expr.NewInSet(v2, g.Table), true, nil
 }
 
 // coerceWidths reconciles operand widths exactly as the AST interpreter

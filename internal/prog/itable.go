@@ -1,0 +1,331 @@
+package prog
+
+// Interval-table lowering of egress-style guards.
+//
+// The egress switch/router models of the paper re-assert, at every output
+// port, a disjunction spanning the whole forwarding table: "EtherDst == MAC1
+// | MAC2 | ...", "IPDst in P1 | (P2 & !more-specific) | ...", or the
+// VLAN-aware "Or((vlan==V, mac==M)...)". The solver already compresses such
+// an Or into one interval-set union per assertion, but it does that work —
+// atom walk, set construction, k-way merge, structural hashing — on every
+// path visit, and the serialized Or-tree dominates the distributed setup
+// frame. Lowering detects the shape once at compile time and attaches the
+// merged span table to the condition node, so each visit costs one field
+// read plus one packed-set assertion (expr.InSet), and the wire carries
+// packed ranges instead of a tree.
+//
+// Detection is deliberately conservative: every disjunct must be an
+// equality/prefix constraint on one shared header field, optionally with
+// prefix exclusions (the LPM compilation shape), or an equality pair over
+// two shared header fields, with constant widths equal to the field's
+// declared size. Anything else keeps the Or-tree, whose semantics are
+// unchanged. The lowered node retains the original disjuncts as children:
+// Env.OrTreeGuards selects them as executable reference semantics, and
+// evaluation falls back to them whenever the runtime value shapes are not
+// the ones the table was compiled for, so lowering can never change
+// observable behavior.
+
+import (
+	"sort"
+
+	"symnet/internal/expr"
+	"symnet/internal/solver"
+)
+
+// itMinEntries gates lowering: a 2-entry Or gains nothing measurable, but
+// lowering it costs compile time and a table per node. The real targets are
+// table-wide guards with hundreds to hundreds of thousands of entries.
+const itMinEntries = 4
+
+// PackedWire toggles the packed (row-stream) wire encoding of lowered
+// guards; disabled, their disjuncts ship as ordinary condition-table nodes.
+// It exists for measurement and debugging (cmd/symbench's interval-table
+// experiment reports the wire-size delta by encoding both ways); leave it
+// enabled in production. Decoding accepts both forms regardless.
+var PackedWire = true
+
+// lowerIntervalTable inspects a freshly compiled COr node and, when its
+// disjuncts form an interval-table shape, lowers it in place to
+// CIntervalTable. The node's fingerprint is already computed (and stays the
+// Or fingerprint — lowering is a representation change, not a semantic one).
+func lowerIntervalTable(cc *CCond) {
+	if cc.Kind != COr || len(cc.Cs) < itMinEntries {
+		return
+	}
+	it := detectIntervalTable(cc.Cs)
+	if it == nil {
+		return
+	}
+	buildITable(it)
+	cc.Kind = CIntervalTable
+	cc.IT = it
+}
+
+// itField accepts a compiled expression as a table field: a direct read of a
+// header l-value with a usable declared width.
+func itField(e *CExpr) (LV, bool) {
+	if e == nil || e.Kind != ERef || e.Err != "" {
+		return LV{}, false
+	}
+	lv := e.LV
+	if !lv.IsHdr || lv.Err != "" || lv.Size < 1 || lv.Size > 64 {
+		return LV{}, false
+	}
+	return lv, true
+}
+
+// itConst accepts a compiled expression as a table constant of width w: a
+// fixed-width literal whose declared width equals the field width, so
+// runtime width coercion can never fire on it.
+func itConst(e *CExpr, w int) (uint64, bool) {
+	if e == nil || e.Kind != ENum || e.Err != "" || e.W != w {
+		return 0, false
+	}
+	return e.V, true
+}
+
+// itEqAtom matches Eq(field, const-of-field-width).
+func itEqAtom(c *CCond) (LV, uint64, bool) {
+	if c.Kind != CCmp || c.Op != expr.Eq {
+		return LV{}, 0, false
+	}
+	f, ok := itField(c.L)
+	if !ok {
+		return LV{}, 0, false
+	}
+	v, ok := itConst(c.R, f.Size)
+	if !ok {
+		return LV{}, 0, false
+	}
+	return f, v, true
+}
+
+// itPrefixAtom matches Prefix(field, V/Len) evaluated at the field's width.
+func itPrefixAtom(c *CCond) (LV, uint64, int, bool) {
+	if c.Kind != CPrefix {
+		return LV{}, 0, 0, false
+	}
+	f, ok := itField(c.L)
+	if !ok || c.PW != f.Size {
+		return LV{}, 0, 0, false
+	}
+	return f, c.Val, c.PLen, true
+}
+
+// itParseRow classifies one disjunct, returning its row plus the field
+// (and, for pair rows, second field) it constrains.
+func itParseRow(c *CCond) (ITRow, LV, LV, bool) {
+	none := ITRow{}
+	if f, v, ok := itEqAtom(c); ok {
+		return ITRow{Kind: ITEq, V: v}, f, LV{}, true
+	}
+	if f, v, plen, ok := itPrefixAtom(c); ok {
+		return ITRow{Kind: ITPrefix, V: v, Len: plen}, f, LV{}, true
+	}
+	if c.Kind != CAnd || len(c.Cs) < 2 {
+		return none, LV{}, LV{}, false
+	}
+	// Exclusion shape: head atom followed by only prefix negations on the
+	// same field.
+	head := c.Cs[0]
+	var row ITRow
+	var f LV
+	var headOK bool
+	if hf, v, ok := itEqAtom(head); ok {
+		row, f, headOK = ITRow{Kind: ITEq, V: v}, hf, true
+	} else if hf, v, plen, ok := itPrefixAtom(head); ok {
+		row, f, headOK = ITRow{Kind: ITPrefix, V: v, Len: plen}, hf, true
+	}
+	if headOK {
+		excl := make([]ITExcl, 0, len(c.Cs)-1)
+		for _, sub := range c.Cs[1:] {
+			if sub.Kind != CNot {
+				excl = nil
+				break
+			}
+			ef, v, plen, ok := itPrefixAtom(sub.C)
+			if !ok || ef != f {
+				excl = nil
+				break
+			}
+			excl = append(excl, ITExcl{V: v, Len: plen})
+		}
+		if excl != nil {
+			row.Excl = excl
+			return row, f, LV{}, true
+		}
+	}
+	// Pair shape: exactly two equalities on two distinct fields.
+	if len(c.Cs) == 2 {
+		f1, v1, ok1 := itEqAtom(c.Cs[0])
+		f2, v2, ok2 := itEqAtom(c.Cs[1])
+		if ok1 && ok2 && f1 != f2 {
+			return ITRow{Kind: ITPair, V: v1, V2: v2}, f1, f2, true
+		}
+	}
+	return none, LV{}, LV{}, false
+}
+
+// detectIntervalTable parses every disjunct and checks shape uniformity:
+// all rows over one shared field, or all pair rows over one shared ordered
+// field pair. It returns nil when the Or is not a table.
+func detectIntervalTable(cs []*CCond) *ITable {
+	it := &ITable{Rows: make([]ITRow, 0, len(cs))}
+	for i, c := range cs {
+		row, f, f2, ok := itParseRow(c)
+		if !ok {
+			return nil
+		}
+		grouped := row.Kind == ITPair
+		if i == 0 {
+			it.F, it.W = f, f.Size
+			it.Grouped = grouped
+			if grouped {
+				it.F2, it.W2 = f2, f2.Size
+			}
+		} else if grouped != it.Grouped || f != it.F || (grouped && f2 != it.F2) {
+			return nil
+		}
+		it.Rows = append(it.Rows, row)
+	}
+	return it
+}
+
+// itRowSet returns one row's solution set over the field's value space,
+// computed with the same interval-set operations the solver's disjunction
+// compression applies at assertion time, so the merged table is exactly the
+// set a reference-mode assertion would have produced.
+func itRowSet(r ITRow, w int) *solver.IntervalSet {
+	var s *solver.IntervalSet
+	switch r.Kind {
+	case ITEq, ITPair:
+		s = solver.Singleton(r.V, w)
+	case ITPrefix:
+		s = solver.FromMask(expr.PrefixMask(r.Len, w), r.V, w)
+	}
+	for _, e := range r.Excl {
+		s = s.Subtract(solver.FromMask(expr.PrefixMask(e.Len, w), e.V, w))
+	}
+	return s
+}
+
+// buildITable computes the packed span tables from the rows: the merged
+// single-field table, or the per-group tables of a grouped guard (groups
+// sorted by key). It is shared by the compiler and the wire decoder, so a
+// decoded table is identical to the coordinator's.
+func buildITable(it *ITable) {
+	if !it.Grouped {
+		sets := make([]*solver.IntervalSet, len(it.Rows))
+		for i, r := range it.Rows {
+			sets[i] = itRowSet(r, it.W)
+		}
+		u := solver.UnionAll(it.W, sets)
+		it.Table = expr.NewSpanTable(it.W, u.Intervals())
+		return
+	}
+	m := expr.Mask(it.W)
+	byKey := make(map[uint64][]expr.Span)
+	var order []uint64
+	for _, r := range it.Rows {
+		k := r.V & m
+		if _, seen := byKey[k]; !seen {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], expr.Span{Lo: r.V2 & expr.Mask(it.W2), Hi: r.V2 & expr.Mask(it.W2)})
+	}
+	groups := make([]ITGroup, 0, len(order))
+	for _, k := range order {
+		groups = append(groups, ITGroup{Key: k, Table: expr.NewSpanTable(it.W2, byKey[k])})
+	}
+	// Sorted by key for binary search (model order need not be sorted).
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Key < groups[j].Key })
+	it.Groups = groups
+}
+
+// group returns the span table for one primary-field value, or nil.
+func (it *ITable) group(key uint64) *ITGroup {
+	lo, hi := 0, len(it.Groups)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch g := &it.Groups[mid]; {
+		case key < g.Key:
+			hi = mid - 1
+		case key > g.Key:
+			lo = mid + 1
+		default:
+			return g
+		}
+	}
+	return nil
+}
+
+// --- Child reconstruction (wire decode) ---
+
+// Rows cross the wire as the flat word stream of expr.PackGuardRows instead
+// of per-disjunct tree nodes; this is what shrinks the distributed setup
+// frame for table-heavy networks.
+
+// itBuilder rebuilds the original Or-tree disjuncts of a lowered guard from
+// its rows, hash-consing within the builder exactly as the compiler did, so
+// the decoded children are byte-identical (fingerprints, flags, sharing) to
+// the coordinator's.
+type itBuilder struct {
+	conds map[expr.Fp][]*CCond
+}
+
+func (b *itBuilder) seal(cc *CCond) *CCond {
+	cc.FP = fpCond(cc)
+	if cand := findCond(b.conds, cc); cand != nil {
+		return cand
+	}
+	finishCond(cc)
+	b.conds[cc.FP] = append(b.conds[cc.FP], cc)
+	return cc
+}
+
+// itRef mirrors compileExpr for a header-field reference.
+func itRef(lv LV) *CExpr { return &CExpr{Kind: ERef, LV: lv} }
+
+// itNum mirrors compileExpr for a fixed-width literal.
+func itNum(v uint64, w int) *CExpr {
+	ce := &CExpr{Kind: ENum, V: v, W: w}
+	l := expr.Const(v, w)
+	ce.Folded = &l
+	return ce
+}
+
+func (b *itBuilder) eq(f LV, v uint64) *CCond {
+	return b.seal(&CCond{Kind: CCmp, Op: expr.Eq, L: itRef(f), R: itNum(v, f.Size)})
+}
+
+func (b *itBuilder) prefix(f LV, v uint64, plen int) *CCond {
+	return b.seal(&CCond{Kind: CPrefix, L: itRef(f), Val: v, PLen: plen, PW: f.Size})
+}
+
+// children rebuilds the disjunct list of a lowered guard.
+func (b *itBuilder) children(it *ITable) []*CCond {
+	cs := make([]*CCond, 0, len(it.Rows))
+	for _, r := range it.Rows {
+		var head *CCond
+		switch r.Kind {
+		case ITPair:
+			cs = append(cs, b.seal(&CCond{Kind: CAnd, Cs: []*CCond{b.eq(it.F, r.V), b.eq(it.F2, r.V2)}}))
+			continue
+		case ITEq:
+			head = b.eq(it.F, r.V)
+		case ITPrefix:
+			head = b.prefix(it.F, r.V, r.Len)
+		}
+		if len(r.Excl) == 0 {
+			cs = append(cs, head)
+			continue
+		}
+		sub := make([]*CCond, 0, len(r.Excl)+1)
+		sub = append(sub, head)
+		for _, e := range r.Excl {
+			sub = append(sub, b.seal(&CCond{Kind: CNot, C: b.prefix(it.F, e.V, e.Len)}))
+		}
+		cs = append(cs, b.seal(&CCond{Kind: CAnd, Cs: sub}))
+	}
+	return cs
+}

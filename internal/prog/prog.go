@@ -156,6 +156,15 @@ const (
 	CAnd
 	COr
 	CNot
+	// CIntervalTable is a lowered egress-style guard: an Or whose disjuncts
+	// are equality/prefix constraints over one header field (optionally
+	// grouped by an equality on a second field) compiled into sorted,
+	// merged value ranges. The node keeps the original disjuncts in Cs —
+	// they are the reference semantics, selected by Env.OrTreeGuards and
+	// used as the fallback when runtime value shapes fall outside the
+	// table — and carries the packed table in IT. A lowered node keeps the
+	// structural fingerprint of the Or it was built from.
+	CIntervalTable
 )
 
 // CCond is a compiled condition. Conditions whose evaluation cannot touch
@@ -195,9 +204,53 @@ type CCond struct {
 	Val, Mask uint64     // CPrefix value / CMasked pair
 	PLen, PW  int        // CPrefix length and width
 	Key       memory.MetaKey
-	Cs        []*CCond // CAnd/COr children
+	Cs        []*CCond // CAnd/COr/CIntervalTable children
 	C         *CCond   // CNot child
+	IT        *ITable  // CIntervalTable payload
 }
+
+// ITable is the payload of a CIntervalTable node: the guarded field(s), the
+// original disjuncts as flat rows (the exact information needed to rebuild
+// the Or-tree children on the far side of the wire), and the precomputed
+// span tables evaluation consumes. Tables are immutable after construction
+// and shared by every path visiting the guard.
+type ITable struct {
+	F LV  // primary field l-value (a header field)
+	W int // primary field width (== F.Size)
+	// Grouped marks two-field tables (the VLAN-aware switch shape): rows
+	// pair an equality on F with an equality on F2, and evaluation selects
+	// the F-value's group then consults its span table over F2.
+	Grouped bool
+	F2      LV
+	W2      int
+	Rows    []ITRow
+	// Table is the merged span table of a single-field guard (nil when
+	// Grouped); Groups are the per-key tables of a grouped guard, sorted by
+	// Key for binary search.
+	Table  *expr.SpanTable
+	Groups []ITGroup
+}
+
+// ITGroup is one F-value group of a grouped table.
+type ITGroup struct {
+	Key   uint64
+	Table *expr.SpanTable
+}
+
+// ITRow is one disjunct of a lowered guard, in the shared packed-guard
+// vocabulary of internal/expr (one wire grammar for the SEFL and IR
+// codecs); ITEq/ITPrefix/ITPair name the row kinds.
+type ITRow = expr.GuardRow
+
+// ITExcl is one prefix exclusion of a row.
+type ITExcl = expr.GuardExcl
+
+// Row kinds (see expr.GuardRow).
+const (
+	ITEq     = expr.GuardEq
+	ITPrefix = expr.GuardPrefix
+	ITPair   = expr.GuardPair
+)
 
 // condMemo is one memoized evaluation of a Memoizable condition: the
 // chained fingerprint of every dynamic input (packet reads, tag lookups,

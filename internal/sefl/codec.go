@@ -94,6 +94,15 @@ const (
 
 	wHdr
 	wMeta
+
+	// wCOrPacked is a COr whose disjuncts form an interval-table shape
+	// (equality/prefix constraints over one or two shared header fields —
+	// the egress-model guards): it crosses the wire as the shared field
+	// expression(s) plus a flat word stream of rows instead of a tree of
+	// per-entry nodes. Decoding rebuilds the exact original COr, so the
+	// packing is invisible to everything downstream; it exists because these
+	// guards dominate the distributed setup frame for table-heavy networks.
+	wCOrPacked
 )
 
 // WireInstr is the concrete form of one Instr (a tagged union; the fields
@@ -130,15 +139,21 @@ type WireExpr struct {
 type WireCond struct {
 	Kind uint8
 	Op   uint8       // Cmp operator
-	L, R *WireExpr   // Cmp operands; Prefix/Masked subject (L)
+	L, R *WireExpr   // Cmp operands; Prefix/Masked subject (L); packed fields (L, R)
 	Val  uint64      // Prefix value / Masked value
 	Mask uint64      // Masked mask
 	Len  int         // Prefix length
-	W    int         // Prefix width
+	W    int         // Prefix width; packed equality-constant width
 	M    *WireLValue // MetaPresent
 	Cs   []*WireCond // CAnd, COr
 	C    *WireCond   // CNot
 	B    bool        // CBool
+	// Packed-Or payload (Kind == wCOrPacked): W2 is the second field's
+	// equality-constant width, PW the shared Prefix width (raw — models
+	// leave it 0 for the 32-bit default), Rows the flat row stream.
+	W2   int
+	PW   int
+	Rows []uint64
 }
 
 // WireLValue is the concrete form of one LValue.
@@ -438,6 +453,11 @@ func EncodeCond(c Cond) (*WireCond, error) {
 		}
 		return &WireCond{Kind: wCAnd, Cs: cs}, nil
 	case COr:
+		if PackedWire {
+			if w := packOr(v.Cs); w != nil {
+				return w, nil
+			}
+		}
 		cs, err := encodeConds(v.Cs)
 		if err != nil {
 			return nil, err
@@ -526,6 +546,8 @@ func DecodeCond(w *WireCond) (Cond, error) {
 		return CNot{C: sub}, nil
 	case wCBool:
 		return CBool(w.B), nil
+	case wCOrPacked:
+		return unpackOr(w)
 	}
 	return nil, fmt.Errorf("sefl: unknown wire condition kind %d", w.Kind)
 }

@@ -344,6 +344,15 @@ func (c *Context) assert(cond expr.Cond, neg bool) {
 			return
 		}
 		c.assertTermInSet(v.L, FromMask(v.Mask, v.Val, v.L.Width))
+	case expr.InSet:
+		// A compiled interval-table guard: the disjuncts' solution sets were
+		// merged once at compile time, so the whole table-wide guard is one
+		// domain intersection here — no per-atom walk, no pending Or.
+		set := FromSpanTable(v.T)
+		if neg {
+			set = set.Complement()
+		}
+		c.assertTermInSet(v.L, set)
 	default:
 		panic(fmt.Sprintf("solver: unknown condition %T", cond))
 	}
@@ -498,6 +507,8 @@ func atomSet(cond expr.Cond) (expr.Lin, *IntervalSet, bool) {
 			return expr.Lin{}, nil, false
 		}
 		return bare(v.L), FromMask(v.Mask, v.Val, v.L.Width).Shift(-v.L.Add), true
+	case expr.InSet:
+		return bare(v.L), FromSpanTable(v.T).Shift(-v.L.Add), true
 	case expr.Not:
 		l, set, ok := atomSet(v.C)
 		if !ok {

@@ -40,10 +40,10 @@ func UnionAll(width int, sets []*IntervalSet) *IntervalSet {
 	return normalize(width, merged)
 }
 
-// Interval is an inclusive range [Lo, Hi] of uint64 values.
-type Interval struct {
-	Lo, Hi uint64
-}
+// Interval is an inclusive range [Lo, Hi] of uint64 values. It is an alias
+// of expr.Span so packed guard tables (expr.SpanTable) convert to
+// IntervalSets without copying — see FromSpanTable.
+type Interval = expr.Span
 
 // IntervalSet is a sorted list of disjoint, non-adjacent inclusive intervals
 // within the universe [0, 2^Width-1]. The zero value is the empty set with
@@ -59,13 +59,23 @@ func Empty(width int) *IntervalSet { return &IntervalSet{Width: width} }
 
 // Full returns the complete width-bit universe.
 func Full(width int) *IntervalSet {
-	return &IntervalSet{Width: width, ivs: []Interval{{0, expr.Mask(width)}}}
+	return &IntervalSet{Width: width, ivs: []Interval{{Lo: 0, Hi: expr.Mask(width)}}}
 }
 
 // Singleton returns the one-element set {v}.
 func Singleton(v uint64, width int) *IntervalSet {
 	v &= expr.Mask(width)
-	return &IntervalSet{Width: width, ivs: []Interval{{v, v}}}
+	return &IntervalSet{Width: width, ivs: []Interval{{Lo: v, Hi: v}}}
+}
+
+// FromSpanTable wraps a packed guard table as an IntervalSet without
+// copying: SpanTable's canonical form (sorted, disjoint, non-adjacent,
+// clipped) is exactly this package's interval invariant, and both sides are
+// immutable, so the span slice is shared directly. This is what makes
+// asserting a compiled interval-table guard O(1) in the table size up to
+// the final domain intersection.
+func FromSpanTable(t *expr.SpanTable) *IntervalSet {
+	return &IntervalSet{Width: t.Width(), ivs: t.Spans()}
 }
 
 // FromRange returns [lo, hi] clipped to the universe; an empty set when
@@ -81,7 +91,7 @@ func FromRange(lo, hi uint64, width int) *IntervalSet {
 	if lo > hi {
 		return Empty(width)
 	}
-	return &IntervalSet{Width: width, ivs: []Interval{{lo, hi}}}
+	return &IntervalSet{Width: width, ivs: []Interval{{Lo: lo, Hi: hi}}}
 }
 
 // IsEmpty reports whether the set has no elements.
@@ -200,6 +210,15 @@ func (s *IntervalSet) Intersect(o *IntervalSet) *IntervalSet {
 	if s.IsEmpty() || o.IsEmpty() {
 		return Empty(s.Width)
 	}
+	// Sets are immutable, so intersecting with the full universe can return
+	// the other operand unchanged; this makes the first table-guard
+	// assertion on a fresh symbol O(1) instead of an O(entries) copy.
+	if s.IsFull() {
+		return o
+	}
+	if o.IsFull() {
+		return s
+	}
 	var out []Interval
 	i, j := 0, 0
 	for i < len(s.ivs) && j < len(o.ivs) {
@@ -213,7 +232,7 @@ func (s *IntervalSet) Intersect(o *IntervalSet) *IntervalSet {
 			hi = b.Hi
 		}
 		if lo <= hi {
-			out = append(out, Interval{lo, hi})
+			out = append(out, Interval{Lo: lo, Hi: hi})
 		}
 		if a.Hi < b.Hi {
 			i++
@@ -234,14 +253,14 @@ func (s *IntervalSet) Complement() *IntervalSet {
 	var next uint64
 	for _, iv := range s.ivs {
 		if iv.Lo > next {
-			out = append(out, Interval{next, iv.Lo - 1})
+			out = append(out, Interval{Lo: next, Hi: iv.Lo - 1})
 		}
 		if iv.Hi == m {
 			return &IntervalSet{Width: s.Width, ivs: out}
 		}
 		next = iv.Hi + 1
 	}
-	out = append(out, Interval{next, m})
+	out = append(out, Interval{Lo: next, Hi: m})
 	return &IntervalSet{Width: s.Width, ivs: out}
 }
 
@@ -273,9 +292,9 @@ func (s *IntervalSet) Shift(k uint64) *IntervalSet {
 		lo := (iv.Lo + k) & m
 		hi := (iv.Hi + k) & m
 		if lo <= hi {
-			out = append(out, Interval{lo, hi})
+			out = append(out, Interval{Lo: lo, Hi: hi})
 		} else { // wrapped
-			out = append(out, Interval{lo, m}, Interval{0, hi})
+			out = append(out, Interval{Lo: lo, Hi: m}, Interval{Lo: 0, Hi: hi})
 		}
 	}
 	return normalize(s.Width, out)
@@ -398,7 +417,7 @@ func FromMask(mask, val uint64, width int) *IntervalSet {
 				v |= 1 << p
 			}
 		}
-		out = append(out, Interval{v, v | lowRun})
+		out = append(out, Interval{Lo: v, Hi: v | lowRun})
 	}
 	return normalize(width, out)
 }
