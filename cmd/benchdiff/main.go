@@ -23,15 +23,29 @@
 // the gate hunts, so the gate measures best-of-N per side:
 //
 //	benchdiff -merge-min run1.json run2.json run3.json > best.json
+//
+// Snapshots come in two shapes, both accepted everywhere: the legacy row
+// array, and the {"schema","rows","metrics"} envelope symbench emits with
+// -metrics. When both sides of a diff carry a metrics block the blocks are
+// diffed too — hit-rate ratios for paired ".hits"/".misses" counters, mean
+// wall-clock per "*_ns" histogram (phase timings), plain deltas for the
+// rest. Metrics blocks of different schema versions are never compared:
+// renamed keys would diff as added/removed noise, so benchdiff exits with a
+// pointed error instead (-merge-min keeps rows only and drops metrics).
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
+
+	"symnet/internal/obs"
 )
 
 // row mirrors the jsonRow shape cmd/symbench emits. Unknown fields are
@@ -77,14 +91,14 @@ func (r row) ns() int64 {
 	return 0
 }
 
-func load(path string) (map[key]row, []key, error) {
+func load(path string) (map[key]row, []key, *obs.Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	var rows []row
-	if err := json.Unmarshal(data, &rows); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	rows, metrics, err := parseSnapshot(data)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	m := make(map[key]row, len(rows))
 	var order []key
@@ -95,7 +109,31 @@ func load(path string) (map[key]row, []key, error) {
 		}
 		m[k] = r
 	}
-	return m, order, nil
+	return m, order, metrics, nil
+}
+
+// parseSnapshot accepts both symbench output shapes: the legacy row array,
+// and the {"schema","rows","metrics"} envelope emitted with -metrics.
+func parseSnapshot(data []byte) ([]row, *obs.Snapshot, error) {
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		var env struct {
+			Schema  int           `json:"schema"`
+			Rows    []row         `json:"rows"`
+			Metrics *obs.Snapshot `json:"metrics"`
+		}
+		if err := json.Unmarshal(data, &env); err != nil {
+			return nil, nil, err
+		}
+		if env.Rows == nil {
+			return nil, nil, fmt.Errorf("object is neither a row array nor a {schema,rows,metrics} envelope")
+		}
+		return env.Rows, env.Metrics, nil
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, nil, err
+	}
+	return rows, nil, nil
 }
 
 func main() {
@@ -121,14 +159,18 @@ func main() {
 			os.Exit(2)
 		}
 		for _, path := range flag.Args() {
-			rows, _, err := load(path)
+			rows, _, metrics, err := load(path)
 			if err != nil {
 				fatal(err)
 			}
 			if len(rows) == 0 {
 				fatal(fmt.Errorf("%s: snapshot holds no rows", path))
 			}
-			fmt.Printf("%s: ok (%d rows)\n", path, len(rows))
+			if metrics != nil {
+				fmt.Printf("%s: ok (%d rows, metrics schema %d)\n", path, len(rows), metrics.Schema)
+			} else {
+				fmt.Printf("%s: ok (%d rows)\n", path, len(rows))
+			}
 		}
 		return
 	}
@@ -136,12 +178,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold PCT] OLD.json NEW.json")
 		os.Exit(2)
 	}
-	oldRows, oldOrder, err := load(flag.Arg(0))
+	oldRows, oldOrder, oldMetrics, err := load(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	newRows, newOrder, err := load(flag.Arg(1))
+	newRows, newOrder, newMetrics, err := load(flag.Arg(1))
 	if err != nil {
+		fatal(err)
+	}
+	if err := checkMetricsSchemas(oldMetrics, newMetrics); err != nil {
 		fatal(err)
 	}
 
@@ -204,6 +249,7 @@ func main() {
 	}
 	fmt.Printf("\n%d rows matched (%d timed): %d faster, %d slower, %d within noise\n",
 		matched, timed, improved, regressed, timed-improved-regressed)
+	diffMetrics(os.Stdout, oldMetrics, newMetrics)
 	if *minSpeedup > 0 && timed == 0 {
 		// A speedup gate with nothing to measure must not pass vacuously
 		// (a renamed timing column would otherwise disarm the CI gate).
@@ -225,12 +271,12 @@ func main() {
 // "*_ns" extra column; non-timing fields come from the first file. Rows
 // missing from later files keep the first file's values.
 func runMergeMin(paths []string) error {
-	first, order, err := load(paths[0])
+	first, order, _, err := load(paths[0])
 	if err != nil {
 		return err
 	}
 	for _, path := range paths[1:] {
-		other, _, err := load(path)
+		other, _, _, err := load(path)
 		if err != nil {
 			return err
 		}
@@ -269,12 +315,137 @@ func runMergeMin(paths []string) error {
 	return enc.Encode(out)
 }
 
+// checkMetricsSchemas rejects diffing metrics blocks of different schema
+// versions: a schema bump means keys were renamed or resemantized, and
+// diffing those as added/removed noise would hide the real change. One side
+// lacking metrics is fine (the block is simply not diffed).
+func checkMetricsSchemas(o, n *obs.Snapshot) error {
+	if o == nil || n == nil || o.Schema == n.Schema {
+		return nil
+	}
+	return fmt.Errorf("metrics schema mismatch: old snapshot is schema %d, new is schema %d — metric keys are not comparable across schemas; regenerate both snapshots with the same symbench binary", o.Schema, n.Schema)
+}
+
+// diffMetrics prints the metrics-block comparison when both snapshots carry
+// one of the same schema (checkMetricsSchemas runs first): hit-rate ratios
+// for counters paired as "X.hits"/"X.misses", mean latency plus speedup for
+// "*_ns" histograms (the phase and per-worker timings), and plain old/new
+// values for the remaining counters and gauges. One-sided metrics are noted
+// and skipped — there is nothing to compare against.
+func diffMetrics(w io.Writer, o, n *obs.Snapshot) {
+	if o == nil && n == nil {
+		return
+	}
+	if o == nil || n == nil {
+		side := "new"
+		if n == nil {
+			side = "old"
+		}
+		fmt.Fprintf(w, "\nmetrics: only the %s snapshot carries a metrics block; run both with -metrics to diff it\n", side)
+		return
+	}
+	fmt.Fprintf(w, "\nmetrics (schema %d):\n", o.Schema)
+	shown := map[string]bool{}
+	// Hit rates first: the headline cache-effectiveness ratios.
+	for _, k := range unionKeys(o.Counters, n.Counters) {
+		if !strings.HasSuffix(k, ".hits") {
+			continue
+		}
+		base := strings.TrimSuffix(k, ".hits")
+		missKey := base + ".misses"
+		_, om := o.Counters[missKey]
+		_, nm := n.Counters[missKey]
+		if !om && !nm {
+			continue
+		}
+		shown[k], shown[missKey] = true, true
+		fmt.Fprintf(w, "  %-34s %14s %14s\n", base+" hit rate",
+			fmtRate(o.Counters[k], o.Counters[missKey]),
+			fmtRate(n.Counters[k], n.Counters[missKey]))
+	}
+	// Timing histograms: mean per observation, with the old/new speedup.
+	histKeys := map[string]int64{}
+	for k := range o.Hists {
+		histKeys[k] = 0
+	}
+	for k := range n.Hists {
+		histKeys[k] = 0
+	}
+	for _, k := range unionKeys(histKeys, nil) {
+		if !strings.HasSuffix(k, "_ns") {
+			continue
+		}
+		om, nm := o.Hists[k].Mean(), n.Hists[k].Mean()
+		line := fmt.Sprintf("  %-34s %14s %14s", k+" mean", fmtNsFine(om), fmtNsFine(nm))
+		if om > 0 && nm > 0 {
+			line += fmt.Sprintf(" %8.2fx", float64(om)/float64(nm))
+		}
+		fmt.Fprintln(w, line)
+	}
+	// Everything else: raw old/new counter and gauge values.
+	for _, k := range unionKeys(o.Counters, n.Counters) {
+		if shown[k] {
+			continue
+		}
+		fmt.Fprintf(w, "  %-34s %14d %14d\n", k, o.Counters[k], n.Counters[k])
+	}
+	for _, k := range unionKeys(o.Gauges, n.Gauges) {
+		fmt.Fprintf(w, "  %-34s %14d %14d\n", k, o.Gauges[k], n.Gauges[k])
+	}
+}
+
+// unionKeys returns the sorted union of the two maps' keys.
+func unionKeys(a, b map[string]int64) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtRate renders hits/(hits+misses) as a percentage ("-" when no traffic).
+func fmtRate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%% (%d/%d)", 100*float64(hits)/float64(total), hits, total)
+}
+
 // fmtNs renders a nanosecond count in a human unit (empty when zero).
 func fmtNs(ns int64) string {
 	if ns == 0 {
 		return ""
 	}
 	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+// fmtNsFine renders a nanosecond count with magnitude-relative rounding.
+// Histogram means (per-Sat-check latencies run to single-digit microseconds)
+// would all collapse to "0s" under fmtNs's fixed 10µs rounding.
+func fmtNsFine(ns int64) string {
+	if ns == 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
 }
 
 func fatal(err error) {

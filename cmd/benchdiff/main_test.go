@@ -1,0 +1,150 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"symnet/internal/obs"
+)
+
+func TestParseSnapshotArray(t *testing.T) {
+	data := []byte(`[
+		{"experiment": "table1", "name": "router", "ns_per_op": 1200},
+		{"experiment": "allpairs", "name": "dept", "extra": {"seq_ns": 5000}}
+	]`)
+	rows, metrics, err := parseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics != nil {
+		t.Fatalf("array snapshot produced metrics %+v", metrics)
+	}
+	if len(rows) != 2 || rows[0].Experiment != "table1" || rows[0].NsPerOp != 1200 {
+		t.Fatalf("bad rows: %+v", rows)
+	}
+	if rows[1].ns() != 5000 {
+		t.Fatalf("seq_ns fallback: got %d", rows[1].ns())
+	}
+}
+
+func TestParseSnapshotEnvelope(t *testing.T) {
+	data := []byte(`{
+		"schema": 1,
+		"rows": [{"experiment": "satcache", "name": "policy-chain", "ns_per_op": 900}],
+		"metrics": {
+			"schema": 1,
+			"counters": {"solver.satcache.hits": 360, "solver.satcache.misses": 24},
+			"histograms": {"phase.solve_ns": {"count": 2, "sum": 2000}}
+		}
+	}`)
+	rows, metrics, err := parseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Experiment != "satcache" {
+		t.Fatalf("bad rows: %+v", rows)
+	}
+	if metrics == nil || metrics.Schema != 1 {
+		t.Fatalf("metrics not parsed: %+v", metrics)
+	}
+	if metrics.Counters["solver.satcache.hits"] != 360 {
+		t.Fatalf("bad counters: %+v", metrics.Counters)
+	}
+	if metrics.Hists["phase.solve_ns"].Mean() != 1000 {
+		t.Fatalf("bad hist mean: %+v", metrics.Hists)
+	}
+}
+
+func TestParseSnapshotRejectsForeignObject(t *testing.T) {
+	_, _, err := parseSnapshot([]byte(`{"paths": [], "delivered": 3}`))
+	if err == nil || !strings.Contains(err.Error(), "envelope") {
+		t.Fatalf("foreign object accepted: %v", err)
+	}
+}
+
+func TestCheckMetricsSchemas(t *testing.T) {
+	s1 := &obs.Snapshot{Schema: 1}
+	s2 := &obs.Snapshot{Schema: 2}
+	if err := checkMetricsSchemas(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMetricsSchemas(s1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMetricsSchemas(nil, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMetricsSchemas(s1, &obs.Snapshot{Schema: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := checkMetricsSchemas(s1, s2)
+	if err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "schema 1") || !strings.Contains(msg, "schema 2") || !strings.Contains(msg, "regenerate") {
+		t.Fatalf("error is not pointed enough: %q", msg)
+	}
+}
+
+func TestDiffMetricsOutput(t *testing.T) {
+	old := &obs.Snapshot{
+		Schema: 1,
+		Counters: map[string]int64{
+			"solver.satcache.hits":   90,
+			"solver.satcache.misses": 10,
+			"dist.worker.spawned":    2,
+		},
+		Gauges: map[string]int64{"core.queue.depth.max": 7},
+		Hists: map[string]obs.HistSnapshot{
+			"phase.solve_ns": {Count: 10, Sum: 20000},
+		},
+	}
+	neu := &obs.Snapshot{
+		Schema: 1,
+		Counters: map[string]int64{
+			"solver.satcache.hits":   99,
+			"solver.satcache.misses": 1,
+			"dist.worker.spawned":    2,
+		},
+		Gauges: map[string]int64{"core.queue.depth.max": 5},
+		Hists: map[string]obs.HistSnapshot{
+			"phase.solve_ns": {Count: 10, Sum: 10000},
+		},
+	}
+	var sb strings.Builder
+	diffMetrics(&sb, old, neu)
+	out := sb.String()
+	for _, want := range []string{
+		"metrics (schema 1):",
+		"solver.satcache hit rate",
+		"90.0% (90/100)",
+		"99.0% (99/100)",
+		"phase.solve_ns mean",
+		"2.00x",
+		"dist.worker.spawned",
+		"core.queue.depth.max",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	// The paired hits/misses counters fold into the hit-rate line; the raw
+	// keys must not also appear as plain counter rows.
+	if strings.Contains(out, "solver.satcache.hits ") {
+		t.Fatalf("raw .hits counter leaked into plain rows:\n%s", out)
+	}
+}
+
+func TestDiffMetricsOneSided(t *testing.T) {
+	var sb strings.Builder
+	diffMetrics(&sb, nil, &obs.Snapshot{Schema: 1})
+	if !strings.Contains(sb.String(), "only the new snapshot") {
+		t.Fatalf("one-sided note missing: %q", sb.String())
+	}
+	sb.Reset()
+	diffMetrics(&sb, nil, nil)
+	if sb.String() != "" {
+		t.Fatalf("metrics-free diff printed %q", sb.String())
+	}
+}

@@ -12,6 +12,7 @@
 //	symbench -run table5      # capability matrix
 //	symbench -run splittcp    # §8.4 middlebox scenarios
 //	symbench -run dept        # §8.5 department network
+//	symbench -run satcache    # shared Sat-cache hit rate on a cross-field policy chain
 //	symbench -run allpairs    # batch all-pairs reachability, sequential vs -workers
 //	symbench -run allpairs-dist  # all-pairs across -procs worker subprocesses
 //	symbench -run forkheavy   # fork-heavy state replication (engine microbench)
@@ -40,7 +41,9 @@ import (
 	"symnet/internal/dist"
 	"symnet/internal/experiments"
 	"symnet/internal/models"
+	"symnet/internal/obs"
 	"symnet/internal/prog"
+	"symnet/internal/sched"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
 	"symnet/internal/verify"
@@ -66,6 +69,11 @@ type reporter struct {
 	jsonMode bool
 	stable   bool
 	rows     []jsonRow
+	// metrics is the -metrics registry snapshot taken at flush time. It turns
+	// the JSON output into the enveloped {"schema","rows","metrics"} shape —
+	// except under -stable, which strips all metrics (wall-clock histograms
+	// can never be byte-stable) and keeps the legacy row array.
+	metrics *obs.Snapshot
 }
 
 // printf emits human-readable output (suppressed in JSON mode).
@@ -95,10 +103,25 @@ func (r *reporter) add(row jsonRow) {
 
 func (r *reporter) flush() error {
 	if !r.jsonMode {
+		if r.metrics != nil {
+			// Human-readable mode still gets the metrics, appended as one
+			// indented JSON block.
+			fmt.Printf("== Metrics (schema %d) ==\n", r.metrics.Schema)
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(r.metrics)
+		}
 		return nil
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	if r.metrics != nil && !r.stable {
+		return enc.Encode(map[string]any{
+			"schema":  r.metrics.Schema,
+			"rows":    r.rows,
+			"metrics": r.metrics,
+		})
+	}
 	return enc.Encode(r.rows)
 }
 
@@ -107,7 +130,7 @@ func (r *reporter) flush() error {
 // nothing.
 var validExperiments = []string{
 	"table1", "fig8", "table2", "table3", "table4", "table5",
-	"splittcp", "dept", "allpairs", "allpairs-dist", "forkheavy", "itables", "all",
+	"splittcp", "dept", "satcache", "allpairs", "allpairs-dist", "forkheavy", "itables", "all",
 }
 
 // parseRuns parses the comma-separated -run list, erroring on unknown
@@ -137,18 +160,50 @@ func parseRuns(spec string) (map[string]bool, error) {
 func main() {
 	dist.MaybeWorker() // spawned as a distributed worker: never returns
 
-	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|allpairs|allpairs-dist|forkheavy|itables|all)")
+	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|satcache|allpairs|allpairs-dist|forkheavy|itables|all)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	heavy := flag.Bool("heavy", false, "larger workloads for allpairs/allpairs-dist (amortizes distributed setup; used by the multicore CI gate)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
 	procs := flag.Int("procs", 0, "worker subprocesses for allpairs-dist (0 = in-process)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of paper-shaped tables")
 	stable := flag.Bool("stable", false, "strip timing from JSON output (byte-identical across runs with equal results)")
+	metrics := flag.Bool("metrics", false, "attach a metrics registry and emit its schema-versioned snapshot (JSON: {schema,rows,metrics} envelope; suppressed by -stable)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (expvar incl. live metrics) and /debug/pprof on this address during the run")
+	traceOut := flag.String("trace-out", "", "write phase spans as JSONL to this file (flame-graph/trace-viewer input)")
 	flag.Parse()
 	if *workers <= 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
 	rep := &reporter{jsonMode: *jsonOut, stable: *stable}
+
+	// Observability is strictly observational — the differential CI jobs diff
+	// -stable output with these flags on against runs with them off.
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		prog.RegisterMetrics(reg)
+	}
+	var trc *obs.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer tf.Close()
+		trc = obs.NewTracer(tf)
+	}
+	var o *obs.Obs
+	if reg != nil || trc != nil {
+		o = obs.New(reg, trc)
+	}
+	if *debugAddr != "" {
+		bound, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "symbench: debug server on http://"+bound+"/debug/vars")
+	}
+
 	sel, err := parseRuns(*run)
 	if err != nil {
 		fail(err)
@@ -178,17 +233,23 @@ func main() {
 	if want("dept") {
 		dept(rep, *quick)
 	}
+	if want("satcache") {
+		satcache(rep, *quick, *heavy, o)
+	}
 	if want("allpairs") {
-		allpairs(rep, *quick, *heavy, *workers)
+		allpairs(rep, *quick, *heavy, *workers, o)
 	}
 	if want("allpairs-dist") {
-		allpairsDist(rep, *quick, *heavy, *procs, *workers)
+		allpairsDist(rep, *quick, *heavy, *procs, *workers, o)
 	}
 	if want("forkheavy") {
 		forkheavy(rep, *quick)
 	}
 	if want("itables") {
-		itables(rep, *quick)
+		itables(rep, *quick, o)
+	}
+	if *metrics {
+		rep.metrics = reg.Snapshot()
 	}
 	if err := rep.flush(); err != nil {
 		fail(err)
@@ -403,6 +464,65 @@ func dept(rep *reporter, quick bool) {
 	rep.printf("\n")
 }
 
+// satcache measures the shared satisfiability memo cache on the SatHeavy
+// cross-field policy chain: a batch of identical queries (the
+// repair-and-verify shape — the same property re-checked per candidate
+// change) replays identical assertion chains, so all but the first query
+// answer every Sat check from cache. The batch runs sequentially so the
+// hit/miss columns are deterministic (exactly rules misses, (queries-1) *
+// rules hits) and survive -stable; this is also the experiment whose cache
+// counters the CI observability smoke asserts over the live expvar endpoint.
+func satcache(rep *reporter, quick, heavy bool, o *obs.Obs) {
+	rules, queries := 24, 16
+	if quick {
+		rules, queries = 8, 6
+	}
+	if heavy {
+		rules, queries = 32, 64
+	}
+	rep.printf("== Shared Sat-cache: identical queries over a cross-field policy chain ==\n")
+	rep.printf("%-14s %-10s %-10s %-10s %-10s %s\n", "Rules", "Queries", "Hits", "Misses", "HitRate", "Time")
+
+	net, inject := datasets.SatHeavy(rules)
+	memo := solver.NewSatCache()
+	var stats solver.Stats
+	if o != nil {
+		memo.RegisterMetrics(o.Reg)
+	}
+	jobs := make([]sched.Job, queries)
+	for i := range jobs {
+		jobs[i] = sched.Job{
+			Name: fmt.Sprintf("q%03d", i), Inject: inject, Packet: sefl.NewIPPacket(),
+			Opts: core.Options{Stats: &stats, SatMemo: memo},
+		}
+	}
+	t0 := time.Now()
+	for _, jr := range sched.RunBatchObs(net, jobs, 1, o) {
+		if jr.Err != nil {
+			fail(jr.Err)
+		}
+	}
+	elapsed := time.Since(t0)
+	stats.AddCache(memo)
+	hitRate := 0.0
+	if total := memo.Hits() + memo.Misses(); total > 0 {
+		hitRate = float64(memo.Hits()) / float64(total)
+	}
+	rep.printf("%-14d %-10d %-10d %-10d %-10.3f %v\n",
+		rules, queries, memo.Hits(), memo.Misses(), hitRate, elapsed.Round(time.Millisecond))
+	rep.add(jsonRow{
+		Experiment: "satcache",
+		Name:       "policy-chain",
+		NsPerOp:    elapsed.Nanoseconds(),
+		Solver:     &stats,
+		Extra: map[string]any{
+			"rules": rules, "queries": queries,
+			"cache_hits": memo.Hits(), "cache_misses": memo.Misses(),
+		},
+	})
+	rep.printf("\n")
+}
+
 // allpairs measures batch all-pairs reachability — the workload shape of
 // repair-and-verify tools — sequentially and on the worker pool. Each pass
 // uses its own satisfiability memo cache (so the speedup column measures
@@ -422,7 +542,7 @@ func allpairsBackboneSize(quick, heavy bool) (zones, perZone int) {
 	return 14, 300
 }
 
-func allpairs(rep *reporter, quick, heavy bool, workers int) {
+func allpairs(rep *reporter, quick, heavy bool, workers int, o *obs.Obs) {
 	rep.printf("== All-pairs reachability: sequential vs parallel batch ==\n")
 	rep.printf("%-22s %-8s %-8s %-12s %-12s %s\n", "Dataset", "Sources", "Pairs", "Seq", fmt.Sprintf("Par(%d)", workers), "Speedup")
 
@@ -436,13 +556,13 @@ func allpairs(rep *reporter, quick, heavy bool, workers int) {
 	d := datasets.NewDepartment(deptCfg)
 	deptSrcs, deptTargets := d.AllPairs()
 	allpairsRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
-		core.Options{MaxHops: 64}, workers)
+		core.Options{MaxHops: 64}, workers, o)
 
 	zones, perZone := allpairsBackboneSize(quick, heavy)
 	bb := datasets.StanfordBackbone(zones, perZone)
 	bbSrcs, bbTargets := bb.AllPairs()
 	allpairsRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
-		core.Options{}, workers)
+		core.Options{}, workers, o)
 	rep.printf("\n")
 }
 
@@ -453,7 +573,7 @@ func allpairs(rep *reporter, quick, heavy bool, workers int) {
 // path summary, so two runs that computed the same results emit identical
 // rows — with -stable, identical bytes — regardless of procs. procs = 0
 // answers in-process through the same code path.
-func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int) {
+func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int, o *obs.Obs) {
 	rep.printf("== All-pairs reachability, distributed (procs=%d, workers/proc=%d) ==\n", procs, workersPerProc)
 	rep.printf("%-22s %-8s %-8s %-10s %-18s %s\n", "Dataset", "Sources", "Pairs", "Reachable", "SummaryFP", "Time")
 
@@ -467,7 +587,7 @@ func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int) {
 	d := datasets.NewDepartment(deptCfg)
 	deptSrcs, deptTargets := d.AllPairs()
 	allpairsDistRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
-		core.Options{MaxHops: 64}, procs, workersPerProc)
+		core.Options{MaxHops: 64}, procs, workersPerProc, o)
 
 	if !heavy {
 		// The backbone row is omitted in heavy mode (the multicore
@@ -482,12 +602,13 @@ func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int) {
 		bb := datasets.StanfordBackbone(zones, perZone)
 		bbSrcs, bbTargets := bb.AllPairs()
 		allpairsDistRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
-			core.Options{}, procs, workersPerProc)
+			core.Options{}, procs, workersPerProc, o)
 	}
 	rep.printf("\n")
 }
 
-func allpairsDistRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int) {
+func allpairsDistRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int, o *obs.Obs) {
+	opts.Obs = o
 	t0 := time.Now()
 	r, err := verify.AllPairsReachabilityDist(net, srcs, packet, targets, opts, procs, workersPerProc)
 	if err != nil {
@@ -582,7 +703,7 @@ func forkheavy(rep *reporter, quick bool) {
 // distributed setup-frame size (network + compiled IR, gob-encoded) with
 // packed-range encoding on vs off. Encode sizes are deterministic; times are
 // best-of-3 and stripped under -stable.
-func itables(rep *reporter, quick bool) {
+func itables(rep *reporter, quick bool, o *obs.Obs) {
 	rep.printf("== Interval-table guards: packed tables vs Or-tree reference ==\n")
 	rep.printf("%-22s %-12s %-12s %-9s %-14s %-14s %s\n",
 		"Dataset", "Tables", "OrTree", "Speedup", "PackedBytes", "TreeBytes", "Shrink")
@@ -593,7 +714,7 @@ func itables(rep *reporter, quick bool) {
 	}
 	bb := datasets.StanfordBackbone(zones, perZone)
 	bbSrcs, bbTargets := bb.AllPairs()
-	itablesRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets, core.Options{})
+	itablesRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets, core.Options{}, o)
 
 	deptCfg := datasets.DefaultDepartment()
 	if quick {
@@ -601,17 +722,25 @@ func itables(rep *reporter, quick bool) {
 	}
 	d := datasets.NewDepartment(deptCfg)
 	deptSrcs, deptTargets := d.AllPairs()
-	itablesRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets, core.Options{MaxHops: 64})
+	itablesRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets, core.Options{MaxHops: 64}, o)
 	rep.printf("\n")
 }
 
-func itablesRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options) {
+func itablesRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, obsv *obs.Obs) {
 	measure := func(orTree bool) time.Duration {
 		o := opts
 		o.OrTreeGuards = orTree
+		o.Obs = obsv
 		best := time.Duration(0)
 		for i := 0; i < 3; i++ {
 			o.Stats, o.SatMemo = &solver.Stats{}, solver.NewSatCache()
+			if obsv != nil {
+				// The Or-tree passes are the experiment set's only real
+				// SatCache traffic (packed tables decide guards without Sat
+				// checks), so each iteration's cache reports into the shared
+				// solver.satcache.* metrics.
+				o.SatMemo.RegisterMetrics(obsv.Reg)
+			}
 			t0 := time.Now()
 			if _, err := verify.AllPairsReachability(net, srcs, packet, targets, o, 1); err != nil {
 				fail(err)
@@ -679,7 +808,7 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-func allpairsRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int) {
+func allpairsRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int, o *obs.Obs) {
 	// Each pass gets its own stats collector and memo cache: a cache
 	// warmed by the sequential pass would inflate the parallel pass (and
 	// the speedup column would conflate memoization with parallelism).
@@ -688,6 +817,13 @@ func allpairsRow(rep *reporter, name string, net *core.Network, srcs []core.Port
 	seqOpts, parOpts := opts, opts
 	seqOpts.Stats, seqOpts.SatMemo = &seqStats, seqMemo
 	parOpts.Stats, parOpts.SatMemo = &parStats, parMemo
+	seqOpts.Obs, parOpts.Obs = o, o
+	if o != nil {
+		// Both caches report under the shared solver.satcache.* metrics
+		// (like-named counter funcs sum at snapshot time).
+		seqMemo.RegisterMetrics(o.Reg)
+		parMemo.RegisterMetrics(o.Reg)
+	}
 	t0 := time.Now()
 	seqRep, err := verify.AllPairsReachability(net, srcs, packet, targets, seqOpts, 1)
 	if err != nil {
@@ -707,6 +843,10 @@ func allpairsRow(rep *reporter, name string, net *core.Network, srcs []core.Port
 			}
 		}
 	}
+	// Fold the sequential pass's cache totals into its stats at the reporting
+	// boundary (single-worker pass, so the totals are deterministic — the
+	// parallel pass's are not and stay in the metrics snapshot only).
+	seqStats.AddCache(seqMemo)
 	rep.printf("%-22s %-8d %-8d %-12v %-12v %.2fx\n",
 		name, len(srcs), seqRep.Pairs(), seq.Round(time.Millisecond), par.Round(time.Millisecond),
 		float64(seq)/float64(par))

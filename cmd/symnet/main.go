@@ -8,6 +8,13 @@
 //	symnet -config pipeline.click -inject dut:0 -procs 4   # run in a worker subprocess
 //	symnet -config pipeline.click -dump-ir        # compiled programs, no run
 //
+// The output always ends with a "solver" block (solver call counters plus
+// the satisfiability-cache hit/miss totals). -metrics adds a schema-versioned
+// "metrics" block (the obs registry snapshot), -trace-out writes phase spans
+// as JSONL, and -debug-addr serves expvar (live metrics) plus net/http/pprof
+// for the duration of the run. All three are observational: enabling them
+// changes no path, status, or solver counter.
+//
 // With -procs N >= 1 the run executes on a distributed worker subprocess
 // (internal/dist): the network and compiled IR are serialized, shipped, and
 // explored remotely, and the output is built from the returned summary —
@@ -29,8 +36,11 @@ import (
 	"symnet/internal/click"
 	"symnet/internal/core"
 	"symnet/internal/dist"
+	"symnet/internal/obs"
+	"symnet/internal/prog"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
+	"symnet/internal/solver"
 	"symnet/internal/verify"
 )
 
@@ -54,6 +64,9 @@ func main() {
 	workers := flag.Int("workers", 1, "exploration workers (0 = all cores); results are identical for any count")
 	procs := flag.Int("procs", 0, "run on a distributed worker subprocess (0 = in-process; field domains print only in-process)")
 	dumpIR := flag.Bool("dump-ir", false, "print the compiled IR of every element-port program and exit")
+	metrics := flag.Bool("metrics", false, "attach a metrics registry and add a schema-versioned \"metrics\" block to the JSON output")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars (expvar incl. live metrics) and /debug/pprof on this address during the run")
+	traceOut := flag.String("trace-out", "", "write phase spans as JSONL to this file (flame-graph/trace-viewer input)")
 	flag.Parse()
 	if *cfgPath == "" || (*inject == "" && !*dumpIR) {
 		fmt.Fprintln(os.Stderr, "usage: symnet -config FILE (-inject element:port | -dump-ir)")
@@ -104,12 +117,46 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown packet template %q", *packet))
 	}
+	// Observability: a registry when -metrics or -debug-addr asked for one, a
+	// JSONL tracer when -trace-out named a file. All of it is observational —
+	// paths, statuses and solver statistics are byte-identical with or
+	// without it.
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		prog.RegisterMetrics(reg)
+	}
+	var trc *obs.Tracer
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer tf.Close()
+		trc = obs.NewTracer(tf)
+	}
+	var o *obs.Obs
+	if reg != nil || trc != nil {
+		o = obs.New(reg, trc)
+		opts.Obs = o
+	}
+	if *debugAddr != "" {
+		bound, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "symnet: debug server on http://"+bound+"/debug/vars")
+	}
+
 	injectRef := core.PortRef{Elem: elem, Port: port}
 	out := []pathJSON{}
 	var stats core.RunStats
+	var memo *solver.SatCache
 	if *procs > 0 {
 		jobs := []dist.Job{{Name: *inject, Inject: injectRef, Packet: tmpl, Opts: opts}}
-		jr := dist.RunBatch(cfg.Net, jobs, *procs, *workers)[0]
+		jr := dist.RunBatchConfig(cfg.Net, jobs, dist.Config{
+			Procs: *procs, WorkersPerProc: *workers, ShareSat: true, Obs: o,
+		})[0]
 		if jr.Err != nil {
 			fatal(jr.Err)
 		}
@@ -119,6 +166,12 @@ func main() {
 			out = append(out, newPathJSON(p.ID, p.Status, p.FailMsg, p.Trace, p.Ports))
 		}
 	} else {
+		// An explicit SatCache (core.Run would make an anonymous one) so the
+		// solver block below can fold the cache's lifetime hit/miss counters
+		// into the printed stats — see solver.Stats.AddCache.
+		memo = solver.NewSatCache()
+		opts.SatMemo = memo
+		memo.RegisterMetrics(reg)
 		res, err := sched.Run(cfg.Net, injectRef, tmpl, opts, *workers)
 		if err != nil {
 			fatal(err)
@@ -142,14 +195,32 @@ func main() {
 			out = append(out, pj)
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{
+	// The solver block carries the run's deterministic solver counters plus
+	// the SatCache's lifetime hit/miss totals, folded in here at the
+	// reporting boundary (they are interleaving-dependent, so the engine
+	// never counts them during the run — see solver.Stats).
+	solverStats := stats.Solver
+	solverStats.AddCache(memo)
+	doc := map[string]any{
 		"paths":     out,
 		"delivered": stats.Delivered,
 		"failed":    stats.Failed,
 		"looped":    stats.Looped,
-	}); err != nil {
+		"solver": map[string]any{
+			"adds":         solverStats.Adds,
+			"sat_checks":   solverStats.SatChecks,
+			"branches":     solverStats.Branches,
+			"models":       solverStats.Models,
+			"cache_hits":   solverStats.CacheHits,
+			"cache_misses": solverStats.CacheMisses,
+		},
+	}
+	if *metrics {
+		doc["metrics"] = reg.Snapshot()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
 }

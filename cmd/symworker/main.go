@@ -14,13 +14,19 @@
 //	dist.RunBatchConfig(net, jobs, dist.Config{
 //		Procs: 8, WorkerCmd: []string{"/usr/local/bin/symworker"},
 //	})
+//
+// With -debug-addr the worker serves /debug/pprof and /debug/vars for live
+// inspection of a long shard; the expvar metrics appear once the coordinator
+// enables metrics collection in the setup frame (pprof works regardless).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"symnet/internal/dist"
+	"symnet/internal/obs"
 
 	// Worker processes decode SEFL For-loops by registry reference; every
 	// model package that registers bodies must be linked in (a network that
@@ -30,6 +36,17 @@ import (
 )
 
 func main() {
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address for the worker's lifetime")
+	flag.Parse()
+	if *debugAddr != "" {
+		bound, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "symworker:", err)
+			os.Exit(1)
+		}
+		// WorkerMain swaps the live registry in once the setup frame arrives.
+		fmt.Fprintln(os.Stderr, "symworker: debug server on http://"+bound+"/debug/vars")
+	}
 	if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "symworker:", err)
 		os.Exit(1)

@@ -57,9 +57,14 @@ func (r *run) execPort(st *State, elem *Element, port int, out bool) ([]*State, 
 		}
 		return r.exec(st, elem, code), true
 	}
-	p, ok := elem.progFor(port, out)
+	p, ok, hit := elem.progForHit(port, out)
 	if !ok {
 		return nil, false
+	}
+	if hit {
+		r.progHits.Inc()
+	} else {
+		r.progMisses.Inc()
 	}
 	return r.runProgram(st, p), true
 }

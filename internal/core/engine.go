@@ -5,6 +5,7 @@ import (
 	"regexp"
 
 	"symnet/internal/expr"
+	"symnet/internal/obs"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
 )
@@ -62,6 +63,13 @@ type Options struct {
 	// constraint-fingerprint chain differs, since the solver is handed a
 	// packed membership condition instead of a disjunction.
 	OrTreeGuards bool
+	// Obs attaches observability sinks (metrics registry, span tracer; see
+	// internal/obs). Telemetry is strictly observational: results, traces
+	// and statistics are byte-identical with or without it (pinned by the
+	// differential suites, which run with metrics on). Nil disables
+	// instrumentation at one-branch cost. Obs never crosses the distributed
+	// wire — worker processes attach their own and ship snapshots back.
+	Obs *obs.Obs
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +94,11 @@ type run struct {
 	memo     *solver.SatCache
 	finished []*State
 	pruned   int
+	// Pre-resolved telemetry instruments (nil when observability is off, so
+	// the hot path pays one branch and no map lookups; see internal/obs).
+	progHits   *obs.Counter
+	progMisses *obs.Counter
+	satNs      *obs.Histogram
 }
 
 // Run injects a packet built by init at the given input port and explores

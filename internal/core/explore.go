@@ -5,6 +5,7 @@ import (
 
 	"symnet/internal/expr"
 	"symnet/internal/memory"
+	"symnet/internal/obs"
 	"symnet/internal/prog"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
@@ -86,6 +87,12 @@ type Exploration struct {
 	stats   RunStats
 	names   *expr.Alloc
 	err     error
+	// Telemetry instruments, resolved once per exploration (all nil when
+	// Options.Obs carries no registry — the disabled fast path).
+	progHits   *obs.Counter   // core.progcache.hits: compiled-program cache hits
+	progMisses *obs.Counter   // core.progcache.misses: port programs compiled
+	queueDepth *obs.Gauge     // core.queue.depth.max: pending-task high-water
+	satNs      *obs.Histogram // solver.sat.check_ns: per-Sat-check wall time
 }
 
 // NewExploration validates the injection point and prepares the first wave
@@ -109,6 +116,13 @@ func NewExploration(net *Network, inject PortRef, init sefl.Instr, opts Options)
 		inject:  elem,
 		satMemo: memo,
 		names:   &expr.Alloc{},
+	}
+	if opts.Obs != nil && opts.Obs.Reg != nil {
+		reg := opts.Obs.Reg
+		e.progHits = reg.Counter("core.progcache.hits")
+		e.progMisses = reg.Counter("core.progcache.misses")
+		e.queueDepth = reg.Gauge("core.queue.depth.max")
+		e.satNs = reg.Histogram("solver.sat.check_ns")
 	}
 	if !opts.ASTInterp && init != nil {
 		// Injection code runs once per exploration but compiles in
@@ -148,11 +162,14 @@ func (e *Exploration) Frontier() []*Task {
 func (e *Exploration) RunTask(t *Task) TaskResult {
 	stats := &solver.Stats{}
 	r := &run{
-		net:   e.net,
-		opts:  e.opts,
-		alloc: expr.NewAllocBand(t.seq),
-		stats: stats,
-		memo:  e.satMemo,
+		net:        e.net,
+		opts:       e.opts,
+		alloc:      expr.NewAllocBand(t.seq),
+		stats:      stats,
+		memo:       e.satMemo,
+		progHits:   e.progHits,
+		progMisses: e.progMisses,
+		satNs:      e.satNs,
 	}
 	var res TaskResult
 	if t.init != nil {
@@ -175,6 +192,9 @@ func (e *Exploration) RunTask(t *Task) TaskResult {
 func (r *run) runInjection(st *State, elem *Element, init sefl.Instr, injProg *prog.Program) []*State {
 	st.Ctx = solver.NewContext(r.stats)
 	st.Ctx.SetCache(r.memo)
+	// Clones inherit the histogram, so every path of the run reports its Sat
+	// latencies (no-op when telemetry is off).
+	st.Ctx.SetSatHistogram(r.satNs)
 	var states []*State
 	if injProg != nil {
 		states = r.runProgram(st, injProg)
@@ -233,6 +253,7 @@ func (e *Exploration) Merge(results []TaskResult) error {
 			return e.err
 		}
 	}
+	e.queueDepth.SetMax(int64(len(e.queue)))
 	return nil
 }
 

@@ -89,6 +89,13 @@ func (e *Element) outCodeFor(port int) (sefl.Instr, bool) {
 // keeps one winner and the loser is equivalent (programs are pure
 // compilations of the same AST), so results do not depend on the race.
 func (e *Element) progFor(port int, out bool) (*prog.Program, bool) {
+	p, ok, _ := e.progForHit(port, out)
+	return p, ok
+}
+
+// progForHit is progFor plus whether the program came from the cache (hit)
+// or was compiled on this call, for the engine's telemetry counters.
+func (e *Element) progForHit(port int, out bool) (*prog.Program, bool, bool) {
 	codes := e.InCode
 	if out {
 		codes = e.OutCode
@@ -96,13 +103,13 @@ func (e *Element) progFor(port int, out bool) (*prog.Program, bool) {
 	key := port
 	if _, ok := codes[key]; !ok {
 		if _, ok := codes[WildcardPort]; !ok {
-			return nil, false
+			return nil, false, false
 		}
 		key = WildcardPort
 	}
 	ck := progKey{out: out, port: key}
 	if v, ok := e.progs.Load(ck); ok {
-		return v.(*prog.Program), true
+		return v.(*prog.Program), true, true
 	}
 	dir := "in"
 	if out {
@@ -114,7 +121,7 @@ func (e *Element) progFor(port int, out bool) (*prog.Program, bool) {
 	}
 	p := prog.Compile(codes[key], e.Name, e.Instance, fmt.Sprintf("%s.%s[%s]", e.Name, dir, portLabel))
 	actual, _ := e.progs.LoadOrStore(ck, p)
-	return actual.(*prog.Program), true
+	return actual.(*prog.Program), true, false
 }
 
 // Programs returns the compiled program of every port that has code,

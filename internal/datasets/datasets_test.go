@@ -5,6 +5,7 @@ import (
 
 	"symnet/internal/core"
 	"symnet/internal/sefl"
+	"symnet/internal/solver"
 	"symnet/internal/tables"
 )
 
@@ -108,5 +109,35 @@ func TestSplitTCPTopologyRoundTrip(t *testing.T) {
 	}
 	if len(res.DeliveredAt("client", 0)) != 1 {
 		t.Fatalf("round trip paths: %+v", res.Stats)
+	}
+}
+
+// TestSatHeavyCacheTraffic pins the property the observability smoke and the
+// cache telemetry rest on: the cross-field disjunction chain issues full Sat
+// checks (not compressible to interval sets), and a sequential batch of
+// identical queries over a shared cache misses exactly once per rule and
+// hits on every replay.
+func TestSatHeavyCacheTraffic(t *testing.T) {
+	const rules, queries = 6, 4
+	net, inject := SatHeavy(rules)
+	memo := solver.NewSatCache()
+	var stats solver.Stats
+	for q := 0; q < queries; q++ {
+		res, err := core.Run(net, inject, sefl.NewIPPacket(), core.Options{SatMemo: memo, Stats: &stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Delivered != 1 {
+			t.Fatalf("query %d: delivered = %d, want 1", q, res.Stats.Delivered)
+		}
+	}
+	if stats.SatChecks == 0 {
+		t.Fatal("SatHeavy issued no Sat checks — disjunctions were compressed away")
+	}
+	if h := memo.Hits(); h != int64(queries-1)*memo.Misses() {
+		t.Errorf("hits = %d, misses = %d: want hits = (queries-1)*misses for identical sequential queries", h, memo.Misses())
+	}
+	if memo.Misses() == 0 {
+		t.Error("no cache misses recorded")
 	}
 }

@@ -5,21 +5,56 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"strings"
 	"sync"
+	"time"
 
 	"symnet/internal/core"
+	"symnet/internal/obs"
 )
 
 // workerProc is the coordinator's handle on one worker subprocess.
 type workerProc struct {
-	id    int
-	cmd   *exec.Cmd
-	conn  *conn
-	stdin io.WriteCloser // close to signal end-of-batch
+	id     int
+	cmd    *exec.Cmd
+	conn   *conn
+	stdin  io.WriteCloser // close to signal end-of-batch
+	stderr *tailBuffer    // last stderr bytes, for crash diagnostics
 	// lo, hi is the worker's contiguous shard of the global job slice; recv
 	// marks which of its jobs have reported.
 	lo, hi int
 	recv   []bool
+}
+
+// tailBuffer keeps the last cap bytes written through it — enough stderr to
+// diagnose a crashed worker (panic value, fatal log line) without buffering
+// a chatty worker's full output. Safe for concurrent use: exec copies
+// stderr from a pipe goroutine while the coordinator may read the tail.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+	cap int
+}
+
+func newTailBuffer(capacity int) *tailBuffer { return &tailBuffer{cap: capacity} }
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	t.buf = append(t.buf, p...)
+	if over := len(t.buf) - t.cap; over > 0 {
+		t.buf = append(t.buf[:0], t.buf[over:]...)
+	}
+	t.mu.Unlock()
+	return len(p), nil
+}
+
+// tail returns the captured bytes as a trimmed single-line string (newlines
+// become " | "), empty when the worker wrote nothing.
+func (t *tailBuffer) tail() string {
+	t.mu.Lock()
+	s := strings.TrimSpace(string(t.buf))
+	t.mu.Unlock()
+	return strings.ReplaceAll(s, "\n", " | ")
 }
 
 // runDistributed shards jobs across cfg.Procs worker subprocesses and
@@ -56,11 +91,27 @@ func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) 
 		}
 	}()
 
+	o := cfg.Obs
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Reg
+	}
+	spawned := reg.Counter("dist.worker.spawned")
+	exited := reg.Counter("dist.worker.exited")
+	crashed := reg.Counter("dist.worker.crashed")
+	workerT0 := make([]time.Time, procs)
+
+	finDispatch := o.Span("dispatch", "", -1)
 	for k := 0; k < procs; k++ {
 		lo, hi := shardBounds(len(jobs), k, procs)
 		w, err := spawnWorker(k, cfg)
 		if err != nil {
 			return fmt.Errorf("dist: spawn worker %d: %w", k, err)
+		}
+		w.conn.instrument(reg)
+		spawned.Inc()
+		if o.Enabled() {
+			workerT0[k] = time.Now()
 		}
 		w.lo, w.hi = lo, hi
 		w.recv = make([]bool, hi-lo)
@@ -73,10 +124,11 @@ func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) 
 		if err := w.conn.send(&frame{Kind: frameSetup, SetupRaw: setupRaw}); err != nil {
 			return fmt.Errorf("dist: worker %d setup: %w", k, err)
 		}
-		if err := w.conn.send(&frame{Kind: frameJobs, Jobs: &jobsFrame{Workers: cfg.WorkersPerProc, Jobs: shard}}); err != nil {
+		if err := w.conn.send(&frame{Kind: frameJobs, Jobs: &jobsFrame{Workers: cfg.WorkersPerProc, Shard: k, Jobs: shard}}); err != nil {
 			return fmt.Errorf("dist: worker %d jobs: %w", k, err)
 		}
 	}
+	finDispatch()
 
 	// Collect: one reader per worker. Verdict frames merge into the batch
 	// table and rebroadcast to the other workers (best-effort: a worker that
@@ -107,6 +159,13 @@ func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) 
 						jr.Err = fmt.Errorf("%s", r.Err)
 					}
 					out[r.Index] = jr
+				case frameMetrics:
+					// Worker snapshots merge order-independently; a schema
+					// mismatch (mixed binary versions) is dropped rather than
+					// absorbed as renamed-key noise.
+					if reg != nil && f.Metrics != nil && f.Metrics.Schema == obs.SchemaVersion {
+						reg.Absorb(f.Metrics)
+					}
 				case frameVerdicts:
 					if !cfg.ShareSat || len(f.Verdicts) == 0 {
 						continue
@@ -131,12 +190,32 @@ func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) 
 	}
 	wg.Wait()
 
-	// Account for workers that died mid-shard.
+	// Account for workers that died mid-shard. The worker-lifetime span and
+	// exit counters are emitted here, where the exit status is known.
 	for _, w := range workers {
 		w.stdin.Close()
 		w.stdin = nil
 		werr := w.cmd.Wait()
 		w.cmd = nil
+		if o.Enabled() {
+			dur := time.Since(workerT0[w.id])
+			status := "exited"
+			if werr != nil {
+				status = fmt.Sprintf("crashed: %v", werr)
+			}
+			if o.Trc != nil {
+				o.Trc.Emit(obs.Span{
+					Phase: "worker", Name: status, Worker: -1, Shard: w.id,
+					Start: workerT0[w.id].UnixNano(), Dur: dur.Nanoseconds(),
+				})
+			}
+			reg.Histogram("phase.worker_ns").Observe(dur.Nanoseconds())
+		}
+		if werr != nil {
+			crashed.Inc()
+		} else {
+			exited.Inc()
+		}
 		for i, got := range w.recv {
 			if got {
 				continue
@@ -145,6 +224,12 @@ func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) 
 			detail := "exited before reporting"
 			if werr != nil {
 				detail = fmt.Sprintf("died: %v", werr)
+			}
+			if tail := w.stderr.tail(); tail != "" {
+				// A crashed worker's last stderr lines usually name the cause
+				// (panic value, fatal log); carry them into the shard error so
+				// the failure is diagnosable from the coordinator alone.
+				detail += "; stderr: " + tail
 			}
 			out[idx] = JobResult{Name: jobs[idx].Name, Err: fmt.Errorf("dist: worker %d %s (job %q lost)", w.id, detail, jobs[idx].Name)}
 		}
@@ -166,7 +251,10 @@ func spawnWorker(id int, cfg Config) (*workerProc, error) {
 	cmd := exec.Command(argv[0], argv[1:]...)
 	cmd.Env = append(os.Environ(), workerEnvMarker+"=1")
 	cmd.Env = append(cmd.Env, cfg.WorkerEnv...)
-	cmd.Stderr = os.Stderr
+	// Stderr passes through live and the tail is retained, so a crashed
+	// worker's last words can be folded into its shard's error.
+	tail := newTailBuffer(2048)
+	cmd.Stderr = io.MultiWriter(os.Stderr, tail)
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err
@@ -179,9 +267,10 @@ func spawnWorker(id int, cfg Config) (*workerProc, error) {
 		return nil, err
 	}
 	return &workerProc{
-		id:    id,
-		cmd:   cmd,
-		conn:  newConn(stdout, stdin),
-		stdin: stdin,
+		id:     id,
+		cmd:    cmd,
+		conn:   newConn(stdout, stdin),
+		stdin:  stdin,
+		stderr: tail,
 	}, nil
 }

@@ -30,6 +30,7 @@ import (
 
 	"symnet/internal/core"
 	"symnet/internal/expr"
+	"symnet/internal/obs"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
@@ -123,6 +124,13 @@ type Config struct {
 	WorkerCmd []string
 	// WorkerEnv appends extra environment entries to spawned workers.
 	WorkerEnv []string
+	// Obs attaches coordinator-side observability. With a registry present,
+	// workers are asked to collect metrics too and their end-of-shard
+	// snapshots are absorbed into it, so the coordinator's registry reports
+	// batch-wide totals (merge order cannot matter — see obs.Snapshot.Merge).
+	// Telemetry never crosses into job execution: results are byte-identical
+	// with Obs set or nil.
+	Obs *obs.Obs
 }
 
 // RunBatch runs every job against the network across procs worker
@@ -144,7 +152,7 @@ func RunBatchConfig(net *core.Network, jobs []Job, cfg Config) []JobResult {
 		return out
 	}
 	if cfg.Procs <= 0 {
-		runLocal(net, jobs, cfg.WorkersPerProc, out)
+		runLocal(net, jobs, cfg.WorkersPerProc, cfg.Obs, out)
 		return out
 	}
 	if err := runDistributed(net, jobs, cfg, out); err != nil {
@@ -160,8 +168,8 @@ func RunBatchConfig(net *core.Network, jobs []Job, cfg Config) []JobResult {
 }
 
 // runLocal is the in-process reference path: sched.RunBatch, summarized.
-func runLocal(net *core.Network, jobs []Job, workers int, out []JobResult) {
-	for i, jr := range sched.RunBatch(net, jobs, workers) {
+func runLocal(net *core.Network, jobs []Job, workers int, o *obs.Obs, out []JobResult) {
+	for i, jr := range sched.RunBatchObs(net, jobs, workers, o) {
 		out[i] = fromSched(jr)
 	}
 }
@@ -190,7 +198,10 @@ func buildSetup(net *core.Network, cfg Config) (*setupFrame, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
-	return &setupFrame{Net: wnet, Programs: progs, ShareSat: cfg.ShareSat}, nil
+	return &setupFrame{
+		Net: wnet, Programs: progs, ShareSat: cfg.ShareSat,
+		Metrics: cfg.Obs != nil && cfg.Obs.Reg != nil,
+	}, nil
 }
 
 // buildShard converts one contiguous job range to wire jobs.

@@ -11,6 +11,7 @@ import (
 	"symnet/internal/datasets"
 	"symnet/internal/dist"
 	"symnet/internal/expr"
+	"symnet/internal/obs"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
 )
@@ -291,9 +292,72 @@ func TestWorkerCrashDoesNotPoisonOtherShards(t *testing.T) {
 		if i < half {
 			if r.Err == nil || !strings.Contains(r.Err.Error(), "worker 0") {
 				t.Errorf("job %d (%s) on crashed shard: err = %v", i, r.Name, r.Err)
+				continue
+			}
+			// The lost-job error must carry the crashed worker's stderr tail —
+			// the injected-crash hook announces itself there before exiting, so
+			// the diagnosis names the cause instead of just "exited".
+			msg := r.Err.Error()
+			if !strings.Contains(msg, "stderr:") || !strings.Contains(msg, "injected crash") {
+				t.Errorf("job %d (%s): lost-job error lacks the stderr tail: %v", i, r.Name, r.Err)
 			}
 		} else if r.Err != nil || r.Summary == nil {
 			t.Errorf("job %d (%s) on healthy shard: %+v", i, r.Name, r)
+		}
+	}
+}
+
+// satHeavyJobs builds identical queries over the Sat-check-heavy chain — the
+// one workload whose cross-field disjunctions actually reach the solver's
+// Sat path and therefore the SatCache (single-symbol guards compress to
+// interval sets and never pend).
+func satHeavyJobs(rules, queries int) (*core.Network, []dist.Job) {
+	net, inject := datasets.SatHeavy(rules)
+	jobs := make([]dist.Job, queries)
+	for i := range jobs {
+		jobs[i] = dist.Job{Name: fmt.Sprintf("q%d", i), Inject: inject, Packet: sefl.NewTCPPacket()}
+	}
+	return net, jobs
+}
+
+// TestDistMetricsAbsorbedAndInert pins the two distributed-observability
+// contracts at once: attaching a registry changes no result bytes, and the
+// coordinator's registry ends the run holding the workers' folded telemetry
+// (SatCache traffic shipped via the metrics frame, worker lifecycle and
+// frame-size counters recorded coordinator-side).
+func TestDistMetricsAbsorbedAndInert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	net, jobs := satHeavyJobs(8, 6)
+	cfg := dist.Config{Procs: 2, WorkersPerProc: 2, ShareSat: true}
+	want := canonical(t, dist.RunBatchConfig(net, jobs, cfg))
+
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.New(reg, nil)
+	got := canonical(t, dist.RunBatchConfig(net, jobs, cfg))
+	if string(got) != string(want) {
+		t.Errorf("metrics-on results differ from metrics-off:\n got: %.400s\nwant: %.400s", got, want)
+	}
+
+	snap := reg.Snapshot()
+	if traffic := snap.Counters["solver.satcache.hits"] + snap.Counters["solver.satcache.misses"]; traffic == 0 {
+		t.Errorf("no SatCache traffic absorbed from workers; counters: %v", snap.Counters)
+	}
+	if spawned := snap.Counters["dist.worker.spawned"]; spawned != 2 {
+		t.Errorf("dist.worker.spawned = %d, want 2", spawned)
+	}
+	if exited := snap.Counters["dist.worker.exited"]; exited != 2 {
+		t.Errorf("dist.worker.exited = %d, want 2", exited)
+	}
+	if snap.Counters["dist.frame.bytes_in"] == 0 || snap.Counters["dist.frame.bytes_out"] == 0 {
+		t.Errorf("frame byte counters empty: in=%d out=%d",
+			snap.Counters["dist.frame.bytes_in"], snap.Counters["dist.frame.bytes_out"])
+	}
+	for shard := 0; shard < 2; shard++ {
+		key := fmt.Sprintf("dist.shard%d.wall_ns", shard)
+		if snap.Gauges[key] == 0 {
+			t.Errorf("%s not recorded; gauges: %v", key, snap.Gauges)
 		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"symnet/internal/core"
+	"symnet/internal/obs"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
 )
@@ -37,6 +38,11 @@ const (
 	// frameVerdicts exchanges newly learned satisfiability verdicts in both
 	// directions (only when the batch shares its Sat cache).
 	frameVerdicts
+	// frameMetrics ships the worker's final metrics snapshot (worker →
+	// coordinator, once per shard, only when the batch was set up with
+	// metrics on). Snapshot merging is order-independent, so the coordinator
+	// absorbs shards as they arrive.
+	frameMetrics
 )
 
 // frame is the single message envelope; Kind selects the payload field.
@@ -50,6 +56,7 @@ type frame struct {
 	Jobs     *jobsFrame
 	Result   *resultFrame
 	Verdicts []solver.SatRecord
+	Metrics  *obs.Snapshot
 }
 
 // encodeSetup serializes a setup payload once; decodeSetup is its inverse.
@@ -80,12 +87,18 @@ type setupFrame struct {
 	// workers' verdicts, so the batch-wide memoization of sched.RunBatch
 	// survives the process split.
 	ShareSat bool
+	// Metrics asks each worker to run with a local metrics registry and ship
+	// its snapshot back (frameMetrics) when the shard completes. Purely
+	// observational — results are byte-identical either way.
+	Metrics bool
 }
 
 // jobsFrame is the worker's shard. Workers is the in-process pool size each
-// worker fans its shard across.
+// worker fans its shard across; Shard is this worker's index in the batch
+// (labels the worker's metrics and trace spans).
 type jobsFrame struct {
 	Workers int
+	Shard   int
 	Jobs    []wireJob
 }
 
@@ -136,27 +149,56 @@ type resultFrame struct {
 
 // conn wraps one side of a frame stream: buffered gob encoding with a mutex
 // so result frames and verdict broadcasts (written from different
-// goroutines) never interleave mid-frame.
+// goroutines) never interleave mid-frame. A conn can be instrumented to
+// count raw frame bytes and encode/decode wall time; uninstrumented, the
+// telemetry hooks are nil-pointer branches.
 type conn struct {
+	cr  *countReader
+	cw  *countWriter
 	dec *gob.Decoder
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	enc *gob.Encoder
+	// encNs/decNs observe gob encode/decode wall time per frame (nil when
+	// uninstrumented; decode time includes blocking on the peer, so it is a
+	// frame-latency measure on the read side).
+	encNs *obs.Histogram
+	decNs *obs.Histogram
 }
 
 func newConn(r io.Reader, w io.Writer) *conn {
-	bw := bufio.NewWriter(w)
+	cr := &countReader{r: r}
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
 	return &conn{
-		dec: gob.NewDecoder(bufio.NewReader(r)),
+		cr:  cr,
+		cw:  cw,
+		dec: gob.NewDecoder(bufio.NewReader(cr)),
 		bw:  bw,
 		enc: gob.NewEncoder(bw),
 	}
+}
+
+// instrument attaches wire telemetry: raw bytes received/sent land in
+// dist.frame.bytes_in/bytes_out and per-frame encode/decode wall times in
+// dist.encode_ns/dist.decode_ns. Call before concurrent use of the conn
+// (no-op on a nil registry).
+func (c *conn) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.cr.c = reg.Counter("dist.frame.bytes_in")
+	c.cw.c = reg.Counter("dist.frame.bytes_out")
+	c.encNs = reg.Histogram("dist.encode_ns")
+	c.decNs = reg.Histogram("dist.decode_ns")
 }
 
 // send encodes one frame and flushes it to the peer.
 func (c *conn) send(f *frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	t := c.encNs.Start()
+	defer t.Stop()
 	if err := c.enc.Encode(f); err != nil {
 		return err
 	}
@@ -165,11 +207,38 @@ func (c *conn) send(f *frame) error {
 
 // recv decodes the next frame.
 func (c *conn) recv() (*frame, error) {
+	t := c.decNs.Start()
+	defer t.Stop()
 	var f frame
 	if err := c.dec.Decode(&f); err != nil {
 		return nil, err
 	}
 	return &f, nil
+}
+
+// countReader/countWriter count raw bytes through the frame stream. The
+// counter pointer is nil until instrument attaches one (a nil-counter Add is
+// one branch).
+type countReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.c.Add(int64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.c.Add(int64(n))
+	return n, err
 }
 
 // exchangeStore is the worker-side solver.SatStore of the shared-cache mode:

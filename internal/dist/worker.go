@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"symnet/internal/core"
+	"symnet/internal/obs"
+	"symnet/internal/prog"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
@@ -84,6 +87,25 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 		indices[i] = wj.Index
 	}
 
+	// With metrics on, the worker collects into its own registry — labeled
+	// with its shard index — and ships the snapshot back when the shard
+	// completes. The coordinator absorbs shards in arrival order; totals are
+	// order-independent by construction.
+	var o *obs.Obs
+	var reg *obs.Registry
+	if setup.Metrics {
+		reg = obs.NewRegistry()
+		o = obs.New(reg, nil)
+		o.Shard = shard.Shard
+		prog.RegisterMetrics(reg)
+		// If this process serves -debug-addr (symworker), point the expvar
+		// endpoint at the shard's live registry.
+		obs.SetDebugRegistry(reg)
+		// Frame-byte counting starts here; the setup and jobs frames already
+		// read are the coordinator's to count.
+		c.instrument(reg)
+	}
+
 	// The shared-cache mode backs the shard's SatCache with an exchange
 	// store; inbound verdict frames (the other workers' work, relayed by
 	// the coordinator) are merged by a background reader for the rest of
@@ -93,6 +115,14 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 	if setup.ShareSat {
 		store = newExchangeStore()
 		memo = solver.NewSatCacheWith(store)
+	} else if reg != nil {
+		// Without verdict sharing the shard still wants one batch-wide cache
+		// it can report on (RunBatchStream would otherwise make an anonymous
+		// one).
+		memo = solver.NewSatCache()
+	}
+	memo.RegisterMetrics(reg)
+	if store != nil {
 		go func() {
 			for {
 				f, err := c.recv()
@@ -107,8 +137,12 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 	}
 
 	crashOn := os.Getenv(testExitEnv)
-	sched.RunBatchStream(net, jobs, shard.Workers, memo, func(i int, jr sched.JobResult) {
+	shardT0 := time.Now()
+	sched.RunBatchStream(net, jobs, shard.Workers, memo, o, func(i int, jr sched.JobResult) {
 		if crashOn != "" && jr.Name == crashOn {
+			// Real crashes usually leave last words on stderr; emit some so the
+			// crash tests can pin the coordinator's stderr-tail capture.
+			fmt.Fprintf(os.Stderr, "symnet-dist-worker: injected crash on job %q\n", jr.Name)
 			os.Exit(3)
 		}
 		if store != nil {
@@ -136,6 +170,15 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 	if store != nil {
 		if recs := store.drain(); len(recs) > 0 {
 			c.send(&frame{Kind: frameVerdicts, Verdicts: recs})
+		}
+	}
+	if reg != nil {
+		// Shard wall time rides the snapshot under a per-shard name, so the
+		// coordinator's merged view keeps each shard's wall clock (gauges
+		// merge by max, and the names are distinct anyway).
+		reg.Gauge(fmt.Sprintf("dist.shard%d.wall_ns", shard.Shard)).Set(time.Since(shardT0).Nanoseconds())
+		if err := c.send(&frame{Kind: frameMetrics, Metrics: reg.Snapshot()}); err != nil {
+			return fmt.Errorf("sending metrics: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds observations whose
+// value v (in nanoseconds for latency histograms) satisfies
+// 2^(i-1) <= v < 2^i, with bucket 0 holding v <= 0..1. 64 buckets cover the
+// whole int64 range, so no observation is ever clipped.
+const histBuckets = 64
+
+// Histogram is a log2-bucketed distribution of int64 observations
+// (latencies in nanoseconds, sizes in bytes). Buckets are atomics, so
+// concurrent Observe calls need no lock; snapshots are mergeable by bucket
+// addition, which keeps per-worker histograms combinable in any order. The
+// nil Histogram is a valid no-op instrument.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	b     [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.b[bucketOf(v)].Add(1)
+}
+
+// Timer is an in-flight duration measurement. The zero Timer (from a nil
+// histogram) is a no-op whose Stop does not read the clock.
+type Timer struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins timing an operation. On a nil histogram it returns the zero
+// Timer without reading the clock — the disabled path costs one branch.
+func (h *Histogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, t0: time.Now()}
+}
+
+// Stop records the elapsed time since Start and returns it (zero for the
+// no-op Timer).
+func (t Timer) Stop() time.Duration {
+	if t.h == nil {
+		return 0
+	}
+	d := time.Since(t.t0)
+	t.h.Observe(d.Nanoseconds())
+	return d
+}
+
+// Snapshot captures the histogram's current state (zero value on nil). The
+// capture is not atomic across buckets — concurrent Observe calls may land
+// half-in — which is fine for telemetry: totals are exact once writers
+// quiesce, and merge determinism is over captured values.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.b {
+		if n := h.b[i].Load(); n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]int64)
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// AddSnapshot folds a captured snapshot into the live histogram (the
+// coordinator absorbing a worker's buckets). No-op on nil.
+func (h *Histogram) AddSnapshot(s HistSnapshot) {
+	if h == nil {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum)
+	for i, n := range s.Buckets {
+		if i >= 0 && i < histBuckets {
+			h.b[i].Add(n)
+		}
+	}
+}
+
+// HistSnapshot is the pure-value face of a histogram: total count, total
+// sum, and the non-empty log2 buckets (bucket index -> count; JSON encodes
+// integer keys as sorted strings, so encodings are deterministic).
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// merge adds o into s bucket-wise.
+func (s *HistSnapshot) merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if len(o.Buckets) == 0 {
+		return
+	}
+	if s.Buckets == nil {
+		s.Buckets = make(map[int]int64, len(o.Buckets))
+	}
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+}
+
+// Mean returns the average observation (zero when empty).
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the log2 buckets,
+// returning the upper bound of the bucket the quantile falls in — a
+// factor-of-2 estimate, which is what log bucketing buys. Zero when empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			if i >= 63 {
+				return int64(^uint64(0) >> 1)
+			}
+			return int64(1) << i
+		}
+	}
+	return 0
+}

@@ -2,6 +2,7 @@ package prog
 
 import (
 	"fmt"
+	"time"
 
 	"symnet/internal/expr"
 	"symnet/internal/memory"
@@ -15,11 +16,14 @@ import (
 // (unknown instruction types, bad For patterns) become ops that reproduce
 // the AST interpreter's runtime failure exactly.
 func Compile(code sefl.Instr, elem string, instance int, label string) *Program {
+	t0 := time.Now()
 	c := &compiler{
 		p:     &Program{Elem: elem, Instance: instance, Label: label},
 		conds: make(map[expr.Fp][]*CCond),
 	}
 	c.p.Entry = c.compileSeg([]sefl.Instr{code})
+	compileCount.Add(1)
+	compileNs.Add(time.Since(t0).Nanoseconds())
 	return c.p
 }
 

@@ -164,7 +164,9 @@ func EvalCond(env Env, c *CCond) (expr.Cond, error) {
 		}
 		// The runtime value shapes are not the ones the table was compiled
 		// for (width drift, symbolic group field): fall through to the
-		// reference Or-tree evaluation, which handles every case.
+		// reference Or-tree evaluation, which handles every case. The atomic
+		// is noise next to the tree walk it precedes.
+		itableFallbacks.Add(1)
 	}
 	if c.Memoizable {
 		if key, ok := gatherInputs(env, c); ok {

@@ -59,6 +59,7 @@ func lowerIntervalTable(cc *CCond) {
 	buildITable(it)
 	cc.Kind = CIntervalTable
 	cc.IT = it
+	itableLowered.Add(1)
 }
 
 // itField accepts a compiled expression as a table field: a direct read of a

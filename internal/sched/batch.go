@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 
 	"symnet/internal/core"
+	"symnet/internal/obs"
 	"symnet/internal/sefl"
 	"symnet/internal/solver"
 )
@@ -49,8 +50,14 @@ type JobResult struct {
 // A job whose exploration panics (a buggy model or engine defect) is
 // reported as that job's error; sibling jobs are unaffected.
 func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
+	return RunBatchObs(net, jobs, workers, nil)
+}
+
+// RunBatchObs is RunBatch with observability attached (see RunBatchStream);
+// a nil o is exactly RunBatch.
+func RunBatchObs(net *core.Network, jobs []Job, workers int, o *obs.Obs) []JobResult {
 	out := make([]JobResult, len(jobs))
-	RunBatchStream(net, jobs, workers, nil, func(i int, jr JobResult) {
+	RunBatchStream(net, jobs, workers, nil, o, func(i int, jr JobResult) {
 		out[i] = jr
 	})
 	// Jobs routinely share one Options value, so a caller-supplied stats
@@ -81,11 +88,18 @@ func RunBatch(net *core.Network, jobs []Job, workers int) []JobResult {
 // workers); streaming callers read each Result's own Stats, and RunBatch
 // folds them after the pool drains. RunBatchStream returns after every job
 // has been delivered.
-func RunBatchStream(net *core.Network, jobs []Job, workers int, memo *solver.SatCache, done func(i int, jr JobResult)) {
+//
+// o attaches scheduler telemetry (per-worker task latencies, steals, one
+// "job" span per job) and becomes each job's Options.Obs unless the job
+// brought its own; nil disables instrumentation.
+func RunBatchStream(net *core.Network, jobs []Job, workers int, memo *solver.SatCache, o *obs.Obs, done func(i int, jr JobResult)) {
 	if memo == nil {
 		memo = solver.NewSatCache()
 	}
-	NewPool(workers).Map(len(jobs), func(_, i int) {
+	if o != nil {
+		memo.RegisterMetrics(o.Reg)
+	}
+	NewPool(workers).MapObs(len(jobs), o, func(w, i int) {
 		j := jobs[i]
 		opts := j.Opts
 		opts.Workers = 0
@@ -93,7 +107,12 @@ func RunBatchStream(net *core.Network, jobs []Job, workers int, memo *solver.Sat
 			opts.SatMemo = memo
 		}
 		opts.Stats = nil
+		if opts.Obs == nil {
+			opts.Obs = o
+		}
+		fin := o.Span("job", j.Name, w)
 		res, err := runJob(net, j, opts)
+		fin()
 		done(i, JobResult{Name: j.Name, Result: res, Err: err})
 	})
 }

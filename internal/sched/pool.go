@@ -11,8 +11,11 @@
 package sched
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+
+	"symnet/internal/obs"
 )
 
 // Pool distributes index-addressed tasks over a fixed number of workers
@@ -83,18 +86,45 @@ func (s *span) stealFrom(v *span) bool {
 // [0, Workers()), letting callers keep per-worker accumulators without
 // locking. Map returns when every call has completed.
 func (p *Pool) Map(n int, fn func(worker, i int)) {
+	p.MapObs(n, nil, fn)
+}
+
+// MapObs is Map with scheduler telemetry: each call's wall time lands in the
+// executing worker's "sched.w<k>.task_ns" histogram and every successful
+// steal increments "sched.steals". A nil (or registry-less) o is exactly Map —
+// no clock reads, no instrument resolution. Telemetry never affects which
+// worker runs which task, only what gets recorded about it.
+func (p *Pool) MapObs(n int, o *obs.Obs, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
-	if p.workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Reg
 	}
 	w := p.workers
 	if w > n {
 		w = n
+	}
+	var steals *obs.Counter
+	call := fn
+	if reg != nil {
+		hists := make([]*obs.Histogram, w)
+		for k := range hists {
+			hists[k] = reg.Histogram(fmt.Sprintf("sched.w%d.task_ns", k))
+		}
+		steals = reg.Counter("sched.steals")
+		call = func(k, i int) {
+			t := hists[k].Start()
+			fn(k, i)
+			t.Stop()
+		}
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			call(0, i)
+		}
+		return
 	}
 	spans := make([]*span, w)
 	for k := range spans {
@@ -108,7 +138,7 @@ func (p *Pool) Map(n int, fn func(worker, i int)) {
 			self := spans[k]
 			for {
 				if i, ok := self.take(); ok {
-					fn(k, i)
+					call(k, i)
 					continue
 				}
 				stolen := false
@@ -121,6 +151,7 @@ func (p *Pool) Map(n int, fn func(worker, i int)) {
 				if !stolen {
 					return
 				}
+				steals.Inc()
 			}
 		}(k)
 	}

@@ -14,6 +14,8 @@ import (
 // with them path IDs and fresh-symbol bands) are fixed when a wave is built,
 // before any worker touches it, and waves are merged in frontier order.
 func Run(net *core.Network, inject core.PortRef, init sefl.Instr, opts core.Options, workers int) (*core.Result, error) {
+	o := opts.Obs
+	defer o.Span("explore", inject.String(), -1)()
 	pool := NewPool(workers)
 	if pool.Workers() == 1 {
 		return core.Run(net, inject, init, opts)
@@ -25,7 +27,7 @@ func Run(net *core.Network, inject core.PortRef, init sefl.Instr, opts core.Opti
 	for !e.Done() {
 		tasks := e.Frontier()
 		results := make([]core.TaskResult, len(tasks))
-		pool.Map(len(tasks), func(_, i int) {
+		pool.MapObs(len(tasks), o, func(_, i int) {
 			results[i] = e.RunTask(tasks[i])
 		})
 		if err := e.Merge(results); err != nil {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"symnet/internal/expr"
+	"symnet/internal/obs"
 )
 
 // SatKey identifies one memoizable satisfiability decision: the chained
@@ -72,6 +73,7 @@ type SatCache struct {
 	backing SatStore
 	hits    atomic.Int64
 	misses  atomic.Int64
+	relays  atomic.Int64
 }
 
 const satShards = 64
@@ -95,6 +97,7 @@ func (c *SatCache) lookup(key SatKey) (SatVerdict, bool) {
 	sh.mu.RUnlock()
 	if !ok && c.backing != nil {
 		if e, ok = c.backing.Lookup(key); ok {
+			c.relays.Add(1)
 			// Promote to the local shard so the next lookup is one RLock.
 			c.storeLocal(key, e)
 		}
@@ -130,6 +133,25 @@ func (c *SatCache) Hits() int64 { return c.hits.Load() }
 
 // Misses reports how many lookups fell through to the solver.
 func (c *SatCache) Misses() int64 { return c.misses.Load() }
+
+// Relays reports how many hits were answered by the backing store rather
+// than a local shard — verdicts relayed from other workers in a distributed
+// run. Relays are a subset of Hits.
+func (c *SatCache) Relays() int64 { return c.relays.Load() }
+
+// RegisterMetrics exposes the cache's telemetry counters on reg as
+// snapshot-time counter funcs (solver.satcache.hits / .misses / .relays).
+// The cache's own atomics stay the source of truth, so the hot path pays
+// nothing extra and the live debug endpoint always sees current values.
+// No-op when either receiver or registry is nil.
+func (c *SatCache) RegisterMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("solver.satcache.hits", c.Hits)
+	reg.CounterFunc("solver.satcache.misses", c.Misses)
+	reg.CounterFunc("solver.satcache.relays", c.Relays)
+}
 
 // Len reports the number of locally memoized decisions.
 func (c *SatCache) Len() int {

@@ -70,6 +70,12 @@ func TestSatCacheWriteThrough(t *testing.T) {
 	if c2.Hits() == 0 {
 		t.Fatal("second cache should answer from the backing store")
 	}
+	if c2.Relays() == 0 || c2.Relays() > c2.Hits() {
+		t.Fatalf("store-answered hits should count as relays: relays=%d hits=%d", c2.Relays(), c2.Hits())
+	}
+	if c1.Relays() != 0 {
+		t.Fatalf("first cache never consulted the store successfully, relays=%d", c1.Relays())
+	}
 	// The hit was promoted into c2's local shards: a re-probe must not go
 	// back to the store.
 	before := store.lookups

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"symnet/internal/expr"
+	"symnet/internal/obs"
 )
 
 // pendingCtx builds a context with a branching (pending-Or) workload so Sat
@@ -52,6 +53,26 @@ func TestSatCacheDeterministicStats(t *testing.T) {
 	}
 	if cache.Len() != 1 {
 		t.Fatalf("Len=%d want 1", cache.Len())
+	}
+
+	// Cache telemetry stays out of the live stats (it depends on warmth, so
+	// counting it during a run would break determinism); AddCache folds it in
+	// at the reporting boundary only.
+	if second.CacheHits != 0 || second.CacheMisses != 0 {
+		t.Fatalf("live stats carry cache telemetry: %+v", second)
+	}
+	second.AddCache(cache)
+	if second.CacheHits != 1 || second.CacheMisses != 1 {
+		t.Fatalf("AddCache fold: hits=%d misses=%d, want 1/1", second.CacheHits, second.CacheMisses)
+	}
+	var sum Stats
+	sum.Add(second)
+	if sum.CacheHits != 1 || sum.CacheMisses != 1 {
+		t.Fatalf("Stats.Add dropped cache telemetry: %+v", sum)
+	}
+	sum.AddCache(nil) // nil cache is a no-op
+	if sum.CacheHits != 1 {
+		t.Fatalf("AddCache(nil) moved stats: %+v", sum)
 	}
 }
 
@@ -108,4 +129,29 @@ func TestSatCacheConcurrent(t *testing.T) {
 	if cache.Hits() == 0 {
 		t.Fatal("expected cache hits across goroutines")
 	}
+}
+
+// TestSatCacheRegisterMetrics: the cache's counters surface through an obs
+// registry as snapshot-time funcs reflecting live values.
+func TestSatCacheRegisterMetrics(t *testing.T) {
+	cache := NewSatCache()
+	reg := obs.NewRegistry()
+	cache.RegisterMetrics(reg)
+
+	var s1, s2 Stats
+	pendingCtx(&s1, cache).Sat()
+	pendingCtx(&s2, cache).Sat()
+
+	snap := reg.Snapshot()
+	if snap.Counters["solver.satcache.hits"] != 1 || snap.Counters["solver.satcache.misses"] != 1 {
+		t.Fatalf("registry counters = %v, want hits=1 misses=1", snap.Counters)
+	}
+	if snap.Counters["solver.satcache.relays"] != 0 {
+		t.Fatalf("unbacked cache reported relays: %v", snap.Counters)
+	}
+
+	// Nil receiver and nil registry are both no-ops.
+	var nilCache *SatCache
+	nilCache.RegisterMetrics(reg)
+	cache.RegisterMetrics(nil)
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"symnet/internal/expr"
+	"symnet/internal/obs"
 	"symnet/internal/persist"
 )
 
@@ -15,11 +16,25 @@ import (
 // Counters are deterministic for a given query regardless of worker count
 // or satisfiability-cache warmth: cached Sat decisions replay the branch
 // count of the original computation (see SatCache).
+//
+// CacheHits and CacheMisses are the exception, and the engine therefore
+// never fills them during a run: whether a given check hits depends on
+// which sibling path or worker warmed the cache first, so live-counting
+// them would make Stats diverge across worker counts and break the
+// byte-identical results contract. They are folded in from a SatCache at
+// the reporting boundary (AddCache) — after exploration, by whoever owns
+// the cache — where they describe the whole cache's lifetime rather than
+// one racy interleaving.
 type Stats struct {
 	Adds      int // conditions asserted
 	SatChecks int // full satisfiability decisions
 	Branches  int // DPLL case splits explored
 	Models    int // concrete models generated
+
+	// CacheHits/CacheMisses are SatCache telemetry folded in via AddCache
+	// at reporting time; they stay zero during runs (see type comment).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Add accumulates o into s. Counter sums are order-independent, so merging
@@ -29,6 +44,19 @@ func (s *Stats) Add(o Stats) {
 	s.SatChecks += o.SatChecks
 	s.Branches += o.Branches
 	s.Models += o.Models
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+}
+
+// AddCache folds a cache's lifetime hit/miss counters into the stats. Call
+// it when reporting, after the runs sharing the cache have finished — the
+// CLIs do this before printing their solver block.
+func (s *Stats) AddCache(c *SatCache) {
+	if c == nil {
+		return
+	}
+	s.CacheHits += int(c.Hits())
+	s.CacheMisses += int(c.Misses())
 }
 
 type ufEntry struct {
@@ -100,6 +128,11 @@ type Context struct {
 	nAdds   int32   // conditions chained into fp
 	stats   *Stats
 	cache   *SatCache
+	// satNs, when attached, observes the wall time of every full Sat
+	// decision (hits and misses alike — a hit's latency is the lookup).
+	// It is telemetry only and nil by default: the disabled path costs one
+	// branch and never reads the clock. Clones inherit it.
+	satNs *obs.Histogram
 }
 
 // NewContext returns an empty, satisfiable context sharing the given stats
@@ -132,6 +165,13 @@ func (c *Context) SetStats(s *Stats) {
 // Clones inherit the cache, so attaching it once after NewContext covers
 // every path forked from this context.
 func (c *Context) SetCache(sc *SatCache) { c.cache = sc }
+
+// SetSatHistogram attaches a latency histogram observing every full Sat
+// decision (nil disables, the default). Clones inherit it, so attaching it
+// once after NewContext covers every path forked from this context.
+// Purely observational: it never affects verdicts, statistics, or
+// fingerprints.
+func (c *Context) SetSatHistogram(h *obs.Histogram) { c.satNs = h }
 
 // Cache returns the attached memo cache (nil when memoization is off).
 func (c *Context) Cache() *SatCache { return c.cache }
@@ -583,6 +623,8 @@ func (c *Context) Sat() bool {
 	if c.unsat {
 		return false
 	}
+	t := c.satNs.Start() // zero Timer (no clock read) when no histogram is attached
+	defer t.Stop()
 	if c.cache == nil {
 		_, ok := c.solve(false, 0)
 		return ok

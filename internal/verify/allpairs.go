@@ -40,11 +40,14 @@ func (r *AllPairsReport) Pairs() int { return len(r.Sources) * len(r.Targets) }
 // deterministic: results are merged in source order, and each run is
 // identical to a standalone core.Run.
 func AllPairsReachability(net *core.Network, sources []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, workers int) (*AllPairsReport, error) {
+	o := opts.Obs
+	defer o.Span("solve", "allpairs", -1)()
+	pm := newPairMetrics(o)
 	jobs := make([]sched.Job, len(sources))
 	for i, src := range sources {
 		jobs[i] = sched.Job{Name: src.String(), Inject: src, Packet: packet, Opts: opts}
 	}
-	results := sched.RunBatch(net, jobs, workers)
+	results := sched.RunBatchObs(net, jobs, workers, o)
 	rep := &AllPairsReport{
 		Sources:   sources,
 		Targets:   targets,
@@ -60,9 +63,12 @@ func AllPairsReachability(net *core.Network, sources []core.PortRef, packet sefl
 		rep.Reachable[i] = make([]bool, len(targets))
 		rep.PathCount[i] = make([]int, len(targets))
 		for t, target := range targets {
+			pt := pm.pairNs.Start()
 			paths := jr.Result.DeliveredAt(target, -1)
+			pt.Stop()
 			rep.Reachable[i][t] = len(paths) > 0
 			rep.PathCount[i][t] = len(paths)
+			pm.count(len(paths) > 0)
 		}
 	}
 	return rep, nil

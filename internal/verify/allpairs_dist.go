@@ -35,11 +35,16 @@ func (r *AllPairsDistReport) Pairs() int { return len(r.Sources) * len(r.Targets
 // last-hop positions are part of the deterministic summaries the property
 // tests in internal/dist pin down.
 func AllPairsReachabilityDist(net *core.Network, sources []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int) (*AllPairsDistReport, error) {
+	o := opts.Obs
+	defer o.Span("solve", "allpairs-dist", -1)()
+	pm := newPairMetrics(o)
 	jobs := make([]dist.Job, len(sources))
 	for i, src := range sources {
 		jobs[i] = dist.Job{Name: src.String(), Inject: src, Packet: packet, Opts: opts}
 	}
-	results := dist.RunBatch(net, jobs, procs, workersPerProc)
+	results := dist.RunBatchConfig(net, jobs, dist.Config{
+		Procs: procs, WorkersPerProc: workersPerProc, ShareSat: true, Obs: o,
+	})
 	rep := &AllPairsDistReport{
 		Sources:   sources,
 		Targets:   targets,
@@ -55,9 +60,12 @@ func AllPairsReachabilityDist(net *core.Network, sources []core.PortRef, packet 
 		rep.Reachable[i] = make([]bool, len(targets))
 		rep.PathCount[i] = make([]int, len(targets))
 		for t, target := range targets {
+			pt := pm.pairNs.Start()
 			n := jr.Summary.DeliveredAt(target, -1)
+			pt.Stop()
 			rep.Reachable[i][t] = n > 0
 			rep.PathCount[i][t] = n
+			pm.count(n > 0)
 		}
 	}
 	return rep, nil

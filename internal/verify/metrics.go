@@ -1,0 +1,32 @@
+package verify
+
+import "symnet/internal/obs"
+
+// pairMetrics bundles the per-pair telemetry of an all-pairs run: outcome
+// counters (how many (source, target) pairs were reachable vs. not) and the
+// per-pair classification latency. All fields are nil — one-branch no-ops —
+// when observability is off.
+type pairMetrics struct {
+	delivered   *obs.Counter
+	unreachable *obs.Counter
+	pairNs      *obs.Histogram
+}
+
+func newPairMetrics(o *obs.Obs) pairMetrics {
+	if o == nil || o.Reg == nil {
+		return pairMetrics{}
+	}
+	return pairMetrics{
+		delivered:   o.Reg.Counter("verify.pair.delivered"),
+		unreachable: o.Reg.Counter("verify.pair.unreachable"),
+		pairNs:      o.Reg.Histogram("verify.pair_ns"),
+	}
+}
+
+func (m pairMetrics) count(reachable bool) {
+	if reachable {
+		m.delivered.Inc()
+	} else {
+		m.unreachable.Inc()
+	}
+}
