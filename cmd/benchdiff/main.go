@@ -24,6 +24,12 @@
 //
 //	benchdiff -merge-min run1.json run2.json run3.json > best.json
 //
+// -ns-key points both sides at a specific "*_ns" extra column; -ns-key-new
+// overrides the column for the new side only, so one snapshot passed twice
+// compares two of its own columns (how CI gates the summaries speedup):
+//
+//	benchdiff -ns-key ir_ns -ns-key-new sum_ns -min-speedup 1.2 best.json best.json
+//
 // Snapshots come in two shapes, both accepted everywhere: the legacy row
 // array, and the {"schema","rows","metrics"} envelope symbench emits with
 // -metrics. When both sides of a diff carry a metrics block the blocks are
@@ -67,13 +73,31 @@ type key struct{ experiment, name string }
 // uses it to compare par_ns across worker counts and dist_ns across procs.
 var nsKey string
 
-// ns extracts a row's timing: the -ns-key extra column when set, otherwise
-// ns_per_op falling back to the extra columns batch experiments use (seq_ns
-// for in-process all-pairs, dist_ns for the distributed runner). 0 means
-// the row carries no timing.
-func (r row) ns() int64 {
-	if nsKey != "" {
-		if f, ok := r.Extra[nsKey].(float64); ok {
+// nsKeyNew, when set via -ns-key-new, selects the timing column for the NEW
+// (second) snapshot's rows, defaulting to -ns-key. Pointing the sides at
+// different columns turns the gate into a within-row comparison of one
+// snapshot passed twice — the summaries CI gate runs
+// `-ns-key ir_ns -ns-key-new sum_ns -min-speedup 1.2 best.json best.json`.
+var nsKeyNew string
+
+// ns extracts an old-side row's timing: the -ns-key extra column when set,
+// otherwise ns_per_op falling back to the extra columns batch experiments
+// use (seq_ns for in-process all-pairs, dist_ns for the distributed
+// runner). 0 means the row carries no timing.
+func (r row) ns() int64 { return r.nsFrom(nsKey) }
+
+// nsNew extracts a new-side row's timing: like ns, but -ns-key-new takes
+// precedence when set.
+func (r row) nsNew() int64 {
+	if nsKeyNew != "" {
+		return r.nsFrom(nsKeyNew)
+	}
+	return r.nsFrom(nsKey)
+}
+
+func (r row) nsFrom(key string) int64 {
+	if key != "" {
+		if f, ok := r.Extra[key].(float64); ok {
 			return int64(f)
 		}
 		return 0
@@ -140,6 +164,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any matched row regresses by more than this percent (0 disables)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail (exit 1) when any matched timed row's old/new speedup is below this factor (0 disables; the multicore CI gate uses it to assert parallel/dist wins)")
 	flag.StringVar(&nsKey, "ns-key", "", "read timings from this extra column (e.g. par_ns, dist_ns) instead of the default ns_per_op chain")
+	flag.StringVar(&nsKeyNew, "ns-key-new", "", "read the NEW snapshot's timings from this extra column (defaults to -ns-key); with both set, one snapshot passed twice compares two of its own columns (the summaries gate: -ns-key ir_ns -ns-key-new sum_ns)")
 	validate := flag.Bool("validate", false, "validate the given snapshot files instead of diffing (each must be a non-empty symbench JSON array)")
 	mergeMin := flag.Bool("merge-min", false, "merge the given snapshots row-wise to a best-of-N snapshot on stdout (min of every timing column)")
 	flag.Parse()
@@ -200,7 +225,7 @@ func main() {
 			continue
 		}
 		matched++
-		ons, nns := o.ns(), n.ns()
+		ons, nns := o.ns(), n.nsNew()
 		if ons == 0 || nns == 0 {
 			// Rows without timing (capability tables, scenario checks) are
 			// matched for presence only.
@@ -245,7 +270,7 @@ func main() {
 		return added[i].name < added[j].name
 	})
 	for _, k := range added {
-		fmt.Printf("%-12s %-24s %14s %14s %9s\n", k.experiment, k.name, "added", fmtNs(newRows[k].ns()), "")
+		fmt.Printf("%-12s %-24s %14s %14s %9s\n", k.experiment, k.name, "added", fmtNs(newRows[k].nsNew()), "")
 	}
 	fmt.Printf("\n%d rows matched (%d timed): %d faster, %d slower, %d within noise\n",
 		matched, timed, improved, regressed, timed-improved-regressed)

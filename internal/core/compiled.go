@@ -66,7 +66,29 @@ func (r *run) execPort(st *State, elem *Element, port int, out bool) ([]*State, 
 	} else {
 		r.progMisses.Inc()
 	}
-	return r.runProgram(st, p), true
+	if r.opts.Summaries {
+		se, built := elem.summaryForHit(p, port, out)
+		if built {
+			if se.sum != nil {
+				r.sumBuilt.Inc()
+			} else {
+				r.sumUnsum.Inc()
+			}
+		}
+		if se.sum != nil {
+			r.sumHits.Inc()
+			r.elemHits.inc(elem.Name)
+			t := r.sumApplyNs.Start()
+			states := r.applySummary(st, se.sum)
+			t.Stop()
+			return states, true
+		}
+		r.sumFallbacks.Inc()
+	}
+	t := r.progExecNs.Start()
+	states := r.runProgram(st, p)
+	t.Stop()
+	return states, true
 }
 
 // runProgram executes a compiled program on one state, returning successor
@@ -104,12 +126,47 @@ func (r *run) runSeg(p *prog.Program, id prog.SegID, states []*State, env *progE
 	return states
 }
 
-// applyLinear executes one non-forking op, mutating the state in place.
+// applyLinear executes one non-forking op, mutating the state in place. The
+// three op kinds whose per-visit costs the summary layer hoists (Constrain's
+// failure render, Forward/Fork's port-slice allocation) are handled inline;
+// everything else shares applyLinearRest with the summary executor
+// (summary_exec.go), so linear-op semantics live in exactly one place.
 func (r *run) applyLinear(p *prog.Program, op *prog.Op, s *State, env *progEnv) {
 	if s.traceOn {
 		s.pushTrace(fmt.Sprintf("%s: %s", p.Elem, op.Ins))
 	}
 	env.st = s
+	switch op.Kind {
+	case prog.OpConstrain:
+		cond, err := prog.EvalCond(env, op.C)
+		if err != nil {
+			s.fail(err.Error())
+			return
+		}
+		if !s.Ctx.Add(cond) || (s.Ctx.PendingOrs() > 0 && !s.Ctx.Sat()) {
+			// The failure message renders the original SEFL condition, like
+			// the AST interpreter — lazily, since guards can be enormous.
+			s.fail(fmt.Sprintf("constraint unsatisfiable: %s", op.Ins.(sefl.Constrain).C))
+		}
+
+	case prog.OpForward:
+		s.outPorts = []int{op.Port}
+
+	case prog.OpFork:
+		if len(op.Ports) == 0 {
+			s.fail("Fork with no ports")
+			return
+		}
+		s.outPorts = append([]int(nil), op.Ports...)
+
+	default:
+		r.applyLinearRest(op, s, env)
+	}
+}
+
+// applyLinearRest executes the linear op kinds whose semantics the IR and
+// summary executors share verbatim.
+func (r *run) applyLinearRest(op *prog.Op, s *State, env *progEnv) {
 	switch op.Kind {
 	case prog.OpNoOp:
 
@@ -170,30 +227,8 @@ func (r *run) applyLinear(p *prog.Program, op *prog.Op, s *State, env *progEnv) 
 			s.fail(err.Error())
 		}
 
-	case prog.OpConstrain:
-		cond, err := prog.EvalCond(env, op.C)
-		if err != nil {
-			s.fail(err.Error())
-			return
-		}
-		if !s.Ctx.Add(cond) || (s.Ctx.PendingOrs() > 0 && !s.Ctx.Sat()) {
-			// The failure message renders the original SEFL condition, like
-			// the AST interpreter — lazily, since guards can be enormous.
-			s.fail(fmt.Sprintf("constraint unsatisfiable: %s", op.Ins.(sefl.Constrain).C))
-		}
-
 	case prog.OpFail:
 		s.fail(op.Msg)
-
-	case prog.OpForward:
-		s.outPorts = []int{op.Port}
-
-	case prog.OpFork:
-		if len(op.Ports) == 0 {
-			s.fail("Fork with no ports")
-			return
-		}
-		s.outPorts = append([]int(nil), op.Ports...)
 
 	case prog.OpUnknown:
 		s.fail(op.Msg)

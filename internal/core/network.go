@@ -40,12 +40,24 @@ type Element struct {
 	// the resolved code-map key (a specific port or WildcardPort), so all
 	// ports sharing wildcard code share one compiled program.
 	progs sync.Map // progKey -> *prog.Program
+	// sums caches summarization results (a summary, or the unsummarizable
+	// verdict) under the same keys, invalidated together with progs.
+	sums sync.Map // progKey -> *sumEntry
 }
 
 // progKey identifies one cached compiled program of an element.
 type progKey struct {
 	out  bool
 	port int
+}
+
+// sumEntry is one cached summarization verdict: either a summary, or the
+// reason the program is unsummarizable (sum nil). Caching the negative
+// verdict matters as much as the positive one — fallback elements are
+// visited just as often and must not re-attempt summarization per visit.
+type sumEntry struct {
+	sum    *prog.Summary
+	reason string
 }
 
 // SetInCode attaches code to an input port (WildcardPort for all).
@@ -55,6 +67,7 @@ func (e *Element) SetInCode(port int, code sefl.Instr) *Element {
 	}
 	e.InCode[port] = code
 	e.progs.Delete(progKey{out: false, port: port})
+	e.sums.Delete(progKey{out: false, port: port})
 	return e
 }
 
@@ -65,6 +78,7 @@ func (e *Element) SetOutCode(port int, code sefl.Instr) *Element {
 	}
 	e.OutCode[port] = code
 	e.progs.Delete(progKey{out: true, port: port})
+	e.sums.Delete(progKey{out: true, port: port})
 	return e
 }
 
@@ -122,6 +136,31 @@ func (e *Element) progForHit(port int, out bool) (*prog.Program, bool, bool) {
 	p := prog.Compile(codes[key], e.Name, e.Instance, fmt.Sprintf("%s.%s[%s]", e.Name, dir, portLabel))
 	actual, _ := e.progs.LoadOrStore(ck, p)
 	return actual.(*prog.Program), true, false
+}
+
+// summaryForHit returns the cached summarization verdict for a port's
+// program, summarizing on first use, plus whether this call built it (for
+// the engine's summary.built/.unsummarizable counters). Key resolution
+// mirrors progForHit, so ports sharing wildcard code share one verdict.
+// Like program compilation, concurrent first uses may summarize twice;
+// LoadOrStore keeps one winner and summarization is a pure function of the
+// program, so results do not depend on the race.
+func (e *Element) summaryForHit(p *prog.Program, port int, out bool) (*sumEntry, bool) {
+	codes := e.InCode
+	if out {
+		codes = e.OutCode
+	}
+	key := port
+	if _, ok := codes[key]; !ok {
+		key = WildcardPort
+	}
+	ck := progKey{out: out, port: key}
+	if v, ok := e.sums.Load(ck); ok {
+		return v.(*sumEntry), false
+	}
+	sum, reason := prog.Summarize(p)
+	actual, loaded := e.sums.LoadOrStore(ck, &sumEntry{sum: sum, reason: reason})
+	return actual.(*sumEntry), !loaded
 }
 
 // Programs returns the compiled program of every port that has code,

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sync"
+
+	"symnet/internal/expr"
+	"symnet/internal/obs"
+	"symnet/internal/prog"
+)
+
+// This file is the summary executor: instead of dispatching the compiled IR
+// segment-by-segment per visit, it walks the element's pre-built decision
+// DAG (prog.Summarize) — each root-to-leaf path is one guarded update row,
+// and the walk applies exactly the row the state's constraints select,
+// forking at branch nodes just like the IR's OpIf. Observable behavior is
+// byte-identical to the IR path by construction: steps run through the same
+// evaluators and solver calls in the same per-path order and reuse
+// applyLinearRest for their semantics; the wins are the per-visit costs the
+// DAG hoists — pre-resolved successor-port slices, once-ever renders of
+// trace lines and constraint-failure messages (the IR re-renders the
+// failing guard's full table per visit), and no segment bookkeeping.
+
+// applySummary executes a summary on one state, returning successor states
+// in the IR executor's canonical order.
+func (r *run) applySummary(st *State, sum *prog.Summary) []*State {
+	env := &progEnv{r: r}
+	return r.applyNode(sum.Prog, sum.Root, st, env)
+}
+
+// applyNode walks the DAG from one node. A state that fails or sets its
+// output ports mid-row is done — the IR skips every remaining op for such
+// states, so the walk returns it as-is (position in the output order is
+// preserved by the recursion, matching runSeg's pass-through).
+func (r *run) applyNode(p *prog.Program, n *prog.SumNode, s *State, env *progEnv) []*State {
+	for {
+		for _, step := range n.Steps {
+			if s.Status == Failed || s.forwarding() {
+				return []*State{s}
+			}
+			r.applySumStep(p, step, s, env)
+		}
+		switch n.Term {
+		case prog.TermEnd:
+			return []*State{s}
+		case prog.TermJump:
+			n = n.Next
+		case prog.TermBranch:
+			if s.Status == Failed || s.forwarding() {
+				return []*State{s}
+			}
+			op := n.BrOp
+			if s.traceOn && op.Ins != nil {
+				s.pushTrace(n.BranchTrace(p.Elem))
+			}
+			env.st = s
+			cond, err := prog.EvalCond(env, op.C)
+			if err != nil {
+				s.fail(err.Error())
+				return []*State{s}
+			}
+			thenSt := s.clone()
+			elseSt := s
+			var out []*State
+			if thenSt.Ctx.Add(cond) && (thenSt.Ctx.PendingOrs() == 0 || thenSt.Ctx.Sat()) {
+				out = append(out, r.applyNode(p, n.Then, thenSt, env)...)
+			} else {
+				r.pruned++
+			}
+			if elseSt.Ctx.Add(expr.NewNot(cond)) && (elseSt.Ctx.PendingOrs() == 0 || elseSt.Ctx.Sat()) {
+				out = append(out, r.applyNode(p, n.Else, elseSt, env)...)
+			} else {
+				r.pruned++
+			}
+			return out
+		}
+	}
+}
+
+// applySumStep executes one step, mutating the state in place. It mirrors
+// applyLinear exactly, with the per-visit allocations replaced by the
+// step's shared precomputations.
+func (r *run) applySumStep(p *prog.Program, step *prog.SumStep, s *State, env *progEnv) {
+	op := step.Op
+	if s.traceOn {
+		s.pushTrace(step.TraceLine(p.Elem))
+	}
+	env.st = s
+	switch op.Kind {
+	case prog.OpConstrain:
+		cond, err := prog.EvalCond(env, op.C)
+		if err != nil {
+			s.fail(err.Error())
+			return
+		}
+		if !s.Ctx.Add(cond) || (s.Ctx.PendingOrs() > 0 && !s.Ctx.Sat()) {
+			s.fail(step.ConstrainFailMsg())
+		}
+
+	case prog.OpForward, prog.OpFork:
+		if step.Fwd == nil {
+			// Only an empty Fork precomputes no ports.
+			s.fail("Fork with no ports")
+			return
+		}
+		// The shared slice is safe to hand out: states never mutate outPorts
+		// in place (depart nils it, clone copies it).
+		s.outPorts = step.Fwd
+
+	default:
+		r.applyLinearRest(op, s, env)
+	}
+}
+
+// elemHits maintains the per-element summary-hit counters
+// ("summary.elem_hits.<element>"), resolved lazily since element names are
+// only known at visit time. Shared read-mostly across tasks and workers;
+// counters themselves are atomic.
+type elemHits struct {
+	reg *obs.Registry
+	m   sync.Map // element name -> *obs.Counter
+}
+
+func (h *elemHits) inc(elem string) {
+	if h == nil {
+		return
+	}
+	if v, ok := h.m.Load(elem); ok {
+		v.(*obs.Counter).Inc()
+		return
+	}
+	c := h.reg.Counter("summary.elem_hits." + elem)
+	actual, _ := h.m.LoadOrStore(elem, c)
+	actual.(*obs.Counter).Inc()
+}

@@ -1,0 +1,135 @@
+package core
+
+// Regression tests for the dual cache invalidation contract: SetInCode and
+// SetOutCode must drop BOTH the compiled program and the cached
+// summarization verdict for the rebound port, or a stale summary would keep
+// executing the old code after a rebind.
+
+import (
+	"testing"
+
+	"symnet/internal/sefl"
+)
+
+func summaryCacheFixture() (*Network, *Element) {
+	net := NewNetwork()
+	e := net.AddElement("dut", "dut", 2, 2)
+	e.SetInCode(0, sefl.Forward{Port: 0})
+	e.SetOutCode(1, sefl.NoOp{})
+	return net, e
+}
+
+// populate compiles and summarizes one port, returning the cached entries.
+func populate(t *testing.T, e *Element, port int, out bool) (any, any) {
+	t.Helper()
+	p, ok := e.progFor(port, out)
+	if !ok {
+		t.Fatalf("no code on port %d out=%v", port, out)
+	}
+	se, _ := e.summaryForHit(p, port, out)
+	if se == nil {
+		t.Fatalf("no summary entry on port %d out=%v", port, out)
+	}
+	pv, _ := e.progs.Load(progKey{out: out, port: port})
+	sv, _ := e.sums.Load(progKey{out: out, port: port})
+	if pv == nil || sv == nil {
+		t.Fatalf("caches not populated on port %d out=%v", port, out)
+	}
+	return pv, sv
+}
+
+func TestSetInCodeInvalidatesProgramAndSummary(t *testing.T) {
+	_, e := summaryCacheFixture()
+	populate(t, e, 0, false)
+
+	e.SetInCode(0, sefl.Forward{Port: 1})
+	if _, ok := e.progs.Load(progKey{out: false, port: 0}); ok {
+		t.Error("SetInCode left the compiled program cached")
+	}
+	if _, ok := e.sums.Load(progKey{out: false, port: 0}); ok {
+		t.Error("SetInCode left the summary cached")
+	}
+
+	// The rebound port must recompile and re-summarize to the new code.
+	p, _ := e.progFor(0, false)
+	se, built := e.summaryForHit(p, 0, false)
+	if !built {
+		t.Error("summary not rebuilt after SetInCode")
+	}
+	if se.sum == nil {
+		t.Fatalf("rebound code unsummarizable: %s", se.reason)
+	}
+	root := se.sum.Root
+	last := root.Steps[len(root.Steps)-1]
+	if len(last.Fwd) != 1 || last.Fwd[0] != 1 {
+		t.Errorf("rebuilt summary forwards to %v, want [1] (the new code)", last.Fwd)
+	}
+}
+
+func TestSetOutCodeInvalidatesProgramAndSummary(t *testing.T) {
+	_, e := summaryCacheFixture()
+	populate(t, e, 1, true)
+
+	e.SetOutCode(1, sefl.Constrain{C: sefl.CBool(true)})
+	if _, ok := e.progs.Load(progKey{out: true, port: 1}); ok {
+		t.Error("SetOutCode left the compiled program cached")
+	}
+	if _, ok := e.sums.Load(progKey{out: true, port: 1}); ok {
+		t.Error("SetOutCode left the summary cached")
+	}
+	p, _ := e.progFor(1, true)
+	if _, built := e.summaryForHit(p, 1, true); !built {
+		t.Error("summary not rebuilt after SetOutCode")
+	}
+}
+
+// TestSetCodeInvalidationIsPortScoped pins that rebinding one port leaves
+// the other ports' caches (including wildcard-keyed ones) intact.
+func TestSetCodeInvalidationIsPortScoped(t *testing.T) {
+	_, e := summaryCacheFixture()
+	e.SetInCode(1, sefl.Forward{Port: 0})
+	pv0, sv0 := populate(t, e, 0, false)
+	populate(t, e, 1, false)
+
+	e.SetInCode(1, sefl.Forward{Port: 1})
+	if got, _ := e.progs.Load(progKey{out: false, port: 0}); got != pv0 {
+		t.Error("rebinding port 1 disturbed port 0's compiled program")
+	}
+	if got, _ := e.sums.Load(progKey{out: false, port: 0}); got != sv0 {
+		t.Error("rebinding port 1 disturbed port 0's summary")
+	}
+}
+
+// TestSummaryRebindBehavioral runs the engine across a rebind: results with
+// summaries on must track the new code, proving no stale summary survives
+// end-to-end.
+func TestSummaryRebindBehavioral(t *testing.T) {
+	net := NewNetwork()
+	e := net.AddElement("dut", "dut", 1, 2)
+	e.SetInCode(0, sefl.Forward{Port: 0})
+	a := net.AddElement("a", "sink", 1, 0)
+	a.SetInCode(0, sefl.NoOp{})
+	b := net.AddElement("b", "sink", 1, 0)
+	b.SetInCode(0, sefl.NoOp{})
+	net.MustLink("dut", 0, "a", 0)
+	net.MustLink("dut", 1, "b", 0)
+
+	opts := Options{MaxHops: 4, Summaries: true}
+	inj := PortRef{Elem: "dut", Port: 0}
+	res, err := Run(net, inj, sefl.NoOp{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.DeliveredAt("a", -1)); got != 1 {
+		t.Fatalf("before rebind: delivered at a = %d, want 1", got)
+	}
+
+	e.SetInCode(0, sefl.Forward{Port: 1})
+	res, err = Run(net, inj, sefl.NoOp{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.DeliveredAt("b", -1)); got != 1 {
+		t.Fatalf("after rebind: delivered at b = %d, want 1 — summary went stale", got)
+	}
+}

@@ -66,7 +66,7 @@ func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) 
 	if procs > len(jobs) {
 		procs = len(jobs)
 	}
-	setup, err := buildSetup(net, cfg)
+	setup, err := buildSetup(net, jobs, cfg)
 	if err != nil {
 		return err
 	}

@@ -188,8 +188,8 @@ func shardBounds(jobs, k, n int) (lo, hi int) {
 }
 
 // buildSetup serializes the network and its compiled programs once per
-// batch.
-func buildSetup(net *core.Network, cfg Config) (*setupFrame, error) {
+// batch, plus the summarization verdicts when any job will consume them.
+func buildSetup(net *core.Network, jobs []Job, cfg Config) (*setupFrame, error) {
 	wnet, err := core.EncodeNetwork(net)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
@@ -198,10 +198,19 @@ func buildSetup(net *core.Network, cfg Config) (*setupFrame, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
-	return &setupFrame{
+	s := &setupFrame{
 		Net: wnet, Programs: progs, ShareSat: cfg.ShareSat,
 		Metrics: cfg.Obs != nil && cfg.Obs.Reg != nil,
-	}, nil
+	}
+	for _, j := range jobs {
+		if j.Opts.Summaries {
+			if s.Summaries, err = core.EncodeSummaries(net); err != nil {
+				return nil, fmt.Errorf("dist: %w", err)
+			}
+			break
+		}
+	}
+	return s, nil
 }
 
 // buildShard converts one contiguous job range to wire jobs.

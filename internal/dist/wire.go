@@ -82,6 +82,10 @@ func decodeSetup(raw []byte) (*setupFrame, error) {
 type setupFrame struct {
 	Net      *core.WireNetwork
 	Programs []core.WireProgramEntry
+	// Summaries carries the coordinator's summarization verdicts (present
+	// only when some job runs with Options.Summaries), so workers skip
+	// re-summarization the same way Programs lets them skip recompilation.
+	Summaries []core.WireSummaryEntry
 	// ShareSat enables the coordinator-mediated satisfiability cache:
 	// workers stream newly computed verdicts back and receive the other
 	// workers' verdicts, so the batch-wide memoization of sched.RunBatch
@@ -123,19 +127,20 @@ type wireOptions struct {
 	Trace        bool
 	ASTInterp    bool
 	OrTreeGuards bool
+	Summaries    bool
 }
 
 func toWireOptions(o core.Options) wireOptions {
 	return wireOptions{
 		MaxHops: o.MaxHops, MaxPaths: o.MaxPaths, Loop: o.Loop, Trace: o.Trace,
-		ASTInterp: o.ASTInterp, OrTreeGuards: o.OrTreeGuards,
+		ASTInterp: o.ASTInterp, OrTreeGuards: o.OrTreeGuards, Summaries: o.Summaries,
 	}
 }
 
 func (w wireOptions) options() core.Options {
 	return core.Options{
 		MaxHops: w.MaxHops, MaxPaths: w.MaxPaths, Loop: w.Loop, Trace: w.Trace,
-		ASTInterp: w.ASTInterp, OrTreeGuards: w.OrTreeGuards,
+		ASTInterp: w.ASTInterp, OrTreeGuards: w.OrTreeGuards, Summaries: w.Summaries,
 	}
 }
 

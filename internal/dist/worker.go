@@ -66,6 +66,11 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 	if err := core.InstallPrograms(net, setup.Programs); err != nil {
 		return err
 	}
+	// Summaries rebind to the just-installed programs, so this must follow
+	// InstallPrograms.
+	if err := core.InstallSummaries(net, setup.Summaries); err != nil {
+		return err
+	}
 
 	f, err = c.recv()
 	if err != nil {

@@ -1,0 +1,392 @@
+// Per-element summaries: the compiled IR of an element-port program is
+// pre-walked once into a decision DAG of guarded update rows — every
+// root-to-leaf path is one row: the conjunction of branch guards along the
+// way, the ordered field rewrites (the linear ops) it performs, and the
+// terminator (successor ports, failure, or plain delivery). The engine then
+// applies the DAG per visit instead of dispatching the IR segment machinery:
+// one tight loop over pre-resolved steps, with the per-visit allocations the
+// IR path pays (successor-port slices, constraint-failure renders, trace
+// lines) hoisted into the summary and shared by every visit. This
+// generalizes the expr.SpanTable lowering of PR 5 — a span table is the
+// special case of a guard row set with no rewrites — to full transfer
+// functions, the compositional-summary construction the symbolic-execution
+// literature prescribes for path-explosion-by-revisit.
+//
+// Summaries are observationally identical to IR execution by construction:
+// every step executes through the same evaluators (EvalExpr/EvalCond), the
+// same solver calls in the same per-path order, and renders the same
+// strings. The one discipline the DAG cannot reproduce is the IR's
+// instruction-major interleaving of fresh-symbol mints across sibling
+// states, so Summarize refuses (verdict "unsummarizable") any program where
+// that interleaving is observable — a fresh-symbol mint downstream of a
+// branch point — and any program whose iteration space is data-dependent (a
+// For loop, whose body set depends on runtime metadata). Unsummarizable
+// programs fall back to the IR path, preserving exact semantics; the
+// differential property tests pin byte-identity across both verdicts.
+package prog
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"symnet/internal/sefl"
+)
+
+// MaxSummaryNodes bounds the decision DAG. Continuations are shared across
+// branches (memoized by program counter and continuation stack), so real
+// models stay tiny; the cap is a backstop against pathological nesting where
+// distinct continuation stacks defeat sharing. Programs over the budget get
+// the unsummarizable verdict and run on the IR path.
+const MaxSummaryNodes = 4096
+
+// TermKind is how a SumNode ends.
+type TermKind uint8
+
+const (
+	// TermEnd finishes the row: the state leaves with whatever the steps
+	// established (output ports, failure, or plain delivery).
+	TermEnd TermKind = iota
+	// TermJump continues at Next — the join point where branch rows share
+	// their common continuation.
+	TermJump
+	// TermBranch forks on the guard of an OpIf: the clone takes C into Then,
+	// the original takes ¬C into Else, infeasible successors are pruned —
+	// byte-for-byte the IR's OpIf discipline.
+	TermBranch
+)
+
+// SumStep is one pre-resolved linear operation of a summary row. Op points
+// into the summarized program (summaries never copy IR); OpIdx is its index,
+// which is what crosses the wire. The remaining fields hoist per-visit work
+// out of the apply loop: Fwd is the successor-port slice Forward/Fork would
+// otherwise allocate per visit (states only ever read it — see State.clone),
+// and the trace/fail renders are computed once and shared by every visit,
+// where the IR path re-renders them per failing state (the dominant cost of
+// egress-guard elements, whose failure message prints the whole table).
+type SumStep struct {
+	Op    *Op
+	OpIdx int32
+	// Fwd is the shared successor-port slice of an OpForward/OpFork step
+	// (nil for other kinds, and for the degenerate empty Fork, which fails).
+	Fwd []int
+
+	trace atomic.Pointer[string]
+	fail  atomic.Pointer[string]
+}
+
+// TraceLine returns the step's trace line, rendering it on first use. The
+// render is a pure function of the instruction, so the racing-store is
+// benign: every winner writes the same bytes.
+func (s *SumStep) TraceLine(elem string) string {
+	if p := s.trace.Load(); p != nil {
+		return *p
+	}
+	line := fmt.Sprintf("%s: %s", elem, s.Op.Ins)
+	s.trace.Store(&line)
+	return line
+}
+
+// ConstrainFailMsg returns the failure message of an OpConstrain step,
+// rendering it on first use. The IR path renders this per failing visit —
+// for table-wide egress guards that is the whole forwarding table per
+// visit — so the once-per-step render is the summary layer's headline win.
+func (s *SumStep) ConstrainFailMsg() string {
+	if p := s.fail.Load(); p != nil {
+		return *p
+	}
+	msg := fmt.Sprintf("constraint unsatisfiable: %s", s.Op.Ins.(sefl.Constrain).C)
+	s.fail.Store(&msg)
+	return msg
+}
+
+// SumNode is one node of the decision DAG: a run of linear steps followed by
+// a terminator. Nodes are immutable after construction and shared read-only
+// across workers, like the programs they summarize.
+type SumNode struct {
+	Steps []*SumStep
+	Term  TermKind
+
+	// TermBranch: the OpIf supplying guard and trace line.
+	BrOp    *Op
+	BrIdx   int32
+	Then    *SumNode
+	Else    *SumNode
+	brTrace atomic.Pointer[string]
+
+	// TermJump: the shared continuation.
+	Next *SumNode
+}
+
+// BranchTrace returns the branch's trace line, rendered once and shared.
+func (n *SumNode) BranchTrace(elem string) string {
+	if p := n.brTrace.Load(); p != nil {
+		return *p
+	}
+	line := fmt.Sprintf("%s: %s", elem, n.BrOp.Ins)
+	n.brTrace.Store(&line)
+	return line
+}
+
+// Summary is the compiled transfer function of one element-port program.
+type Summary struct {
+	Prog *Program
+	Root *SumNode
+	// Nodes and Steps size the DAG; Rows counts the guarded update rows
+	// (root-to-leaf paths — the span-table generalization's row count).
+	Nodes int
+	Steps int
+	Rows  int64
+}
+
+// Summarize pre-walks a compiled program into its summary. It returns
+// (nil, reason) when the program is unsummarizable: a For loop (the body
+// set depends on runtime metadata, so rows cannot be pre-expanded), a
+// fresh-symbol mint downstream of a branch point (the IR mints
+// instruction-major across sibling states; a row replay would reorder
+// symbol IDs), or a DAG over the node budget.
+func Summarize(p *Program) (*Summary, string) {
+	b := &sumBuilder{
+		p:       p,
+		memo:    make(map[sumKey]*SumNode),
+		frames:  make(map[sumKey]*sumFrame),
+		segMint: make(map[SegID]bool),
+	}
+	b.buildSuffMints()
+	root := b.node(p.Entry, p.Seg(p.Entry).Lo, nil)
+	if b.reason != "" {
+		return nil, b.reason
+	}
+	s := &Summary{Prog: p, Root: root, Nodes: b.nodes, Steps: b.steps}
+	s.Rows = countRows(root, make(map[*SumNode]int64))
+	return s, ""
+}
+
+// countRows counts root-to-leaf paths, memoized over the shared DAG.
+func countRows(n *SumNode, memo map[*SumNode]int64) int64 {
+	if n == nil {
+		return 0
+	}
+	if v, ok := memo[n]; ok {
+		return v
+	}
+	var v int64
+	switch n.Term {
+	case TermEnd:
+		v = 1
+	case TermJump:
+		v = countRows(n.Next, memo)
+	case TermBranch:
+		v = countRows(n.Then, memo) + countRows(n.Else, memo)
+	}
+	memo[n] = v
+	return v
+}
+
+// sumFrame is one continuation-stack frame of the pre-walk: execution
+// resumes at (seg, idx) when the nested segment below it finishes. Frames
+// are hash-consed (same resume point + same tail = same frame), which is
+// what lets the node memo share join points by pointer identity. mints
+// caches whether anything at or after the resume point can mint a fresh
+// symbol.
+type sumFrame struct {
+	seg   SegID
+	idx   int32
+	next  *sumFrame
+	mints bool
+}
+
+// sumKey identifies a walk position: program counter plus continuation.
+type sumKey struct {
+	seg   SegID
+	idx   int32
+	stack *sumFrame
+}
+
+type sumBuilder struct {
+	p      *Program
+	memo   map[sumKey]*SumNode
+	frames map[sumKey]*sumFrame
+	// suffMint[i] reports whether any op at or after index i within its own
+	// segment can mint a fresh symbol; segMint memoizes whole segments.
+	suffMint []bool
+	segMint  map[SegID]bool
+	nodes    int
+	steps    int
+	reason   string
+}
+
+// buildSuffMints computes per-op suffix mint flags segment by segment.
+// Minting happens only through evaluation (ESym expressions, conditions
+// with HasSym); segments referenced by If/Sub ops contribute transitively.
+func (b *sumBuilder) buildSuffMints() {
+	b.suffMint = make([]bool, len(b.p.Ops))
+	// Process segments so that referenced segments are computed on demand
+	// through opMints -> segMints recursion (the segment graph is a DAG).
+	for id := range b.p.Segs {
+		b.fillSeg(SegID(id))
+	}
+}
+
+func (b *sumBuilder) fillSeg(id SegID) {
+	seg := b.p.Seg(id)
+	mint := false
+	for i := seg.Hi - 1; i >= seg.Lo; i-- {
+		if b.opMints(&b.p.Ops[i]) {
+			mint = true
+		}
+		b.suffMint[i] = mint
+	}
+}
+
+// segMints reports whether any op of the segment can mint, memoized.
+func (b *sumBuilder) segMints(id SegID) bool {
+	if v, ok := b.segMint[id]; ok {
+		return v
+	}
+	// Pre-store false to terminate on (impossible) cycles, then compute.
+	b.segMint[id] = false
+	seg := b.p.Seg(id)
+	mint := false
+	for i := seg.Lo; i < seg.Hi; i++ {
+		if b.opMints(&b.p.Ops[i]) {
+			mint = true
+			break
+		}
+	}
+	b.segMint[id] = mint
+	return mint
+}
+
+// opMints reports whether executing the op can allocate a fresh symbol.
+func (b *sumBuilder) opMints(op *Op) bool {
+	switch op.Kind {
+	case OpAssign, OpCreateTag:
+		return exprMints(op.E)
+	case OpConstrain:
+		return condMints(op.C)
+	case OpIf:
+		return condMints(op.C) || b.segMints(op.Then) || b.segMints(op.Else)
+	case OpSub:
+		return b.segMints(op.Sub)
+	case OpFor:
+		// Bodies are unknown until runtime; irrelevant in practice, since
+		// any For is unsummarizable on its own.
+		return true
+	}
+	return false
+}
+
+// exprMints reports whether evaluating the expression can mint. Folded
+// nodes replay their compile-time value and never evaluate children.
+func exprMints(e *CExpr) bool {
+	if e == nil || e.Folded != nil {
+		return false
+	}
+	switch e.Kind {
+	case ESym:
+		return true
+	case EArith:
+		return exprMints(e.A) || exprMints(e.B)
+	}
+	return false
+}
+
+// condMints reports whether evaluating the condition can mint. Static
+// conditions replay their compile-time value; HasSym marks fresh-symbol
+// nodes anywhere below (computed by the compiler).
+func condMints(c *CCond) bool {
+	return c != nil && !c.HasStatic && c.HasSym
+}
+
+// push returns the hash-consed continuation frame resuming at (seg, idx).
+func (b *sumBuilder) push(seg SegID, idx int32, next *sumFrame) *sumFrame {
+	key := sumKey{seg: seg, idx: idx, stack: next}
+	if f, ok := b.frames[key]; ok {
+		return f
+	}
+	f := &sumFrame{seg: seg, idx: idx, next: next}
+	f.mints = b.suffAt(seg, idx) || (next != nil && next.mints)
+	b.frames[key] = f
+	return f
+}
+
+// suffAt reports whether anything at or after (seg, idx) in that segment
+// can mint.
+func (b *sumBuilder) suffAt(seg SegID, idx int32) bool {
+	if idx >= b.p.Seg(seg).Hi {
+		return false
+	}
+	return b.suffMint[idx]
+}
+
+// node walks the program from (seg, idx) under the given continuation and
+// returns the summary node covering it, memoized so join points (the code
+// after an If, shared by both branches) build once and are shared.
+func (b *sumBuilder) node(seg SegID, idx int32, stack *sumFrame) *SumNode {
+	if b.reason != "" {
+		return nil
+	}
+	key := sumKey{seg: seg, idx: idx, stack: stack}
+	if n, ok := b.memo[key]; ok {
+		return n
+	}
+	if b.nodes >= MaxSummaryNodes {
+		b.reason = fmt.Sprintf("decision DAG exceeds %d nodes", MaxSummaryNodes)
+		return nil
+	}
+	b.nodes++
+	n := &SumNode{}
+	b.memo[key] = n
+	for {
+		if idx >= b.p.Seg(seg).Hi {
+			if stack == nil {
+				n.Term = TermEnd
+				return n
+			}
+			n.Term = TermJump
+			n.Next = b.node(stack.seg, stack.idx, stack.next)
+			return n
+		}
+		op := &b.p.Ops[idx]
+		switch op.Kind {
+		case OpFor:
+			b.reason = "For loop with a data-dependent iteration space"
+			return nil
+		case OpSub:
+			n.Term = TermJump
+			n.Next = b.node(op.Sub, b.p.Seg(op.Sub).Lo, b.push(seg, idx+1, stack))
+			return n
+		case OpIf:
+			if b.suffAt(seg, idx+1) || (stack != nil && stack.mints) {
+				b.reason = "fresh-symbol allocation downstream of a branch point"
+				return nil
+			}
+			cont := b.push(seg, idx+1, stack)
+			n.Term = TermBranch
+			n.BrOp = op
+			n.BrIdx = idx
+			n.Then = b.node(op.Then, b.p.Seg(op.Then).Lo, cont)
+			n.Else = b.node(op.Else, b.p.Seg(op.Else).Lo, cont)
+			return n
+		default:
+			n.Steps = append(n.Steps, newSumStep(op, idx))
+			b.steps++
+			idx++
+		}
+	}
+}
+
+// newSumStep builds one step, precomputing the shared successor-port slice.
+// The builder and the wire decoder share it so step payloads cannot drift.
+func newSumStep(op *Op, idx int32) *SumStep {
+	s := &SumStep{Op: op, OpIdx: idx}
+	switch op.Kind {
+	case OpForward:
+		s.Fwd = []int{op.Port}
+	case OpFork:
+		if len(op.Ports) > 0 {
+			s.Fwd = append([]int(nil), op.Ports...)
+		}
+	}
+	return s
+}

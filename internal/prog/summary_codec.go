@@ -1,0 +1,134 @@
+// Wire codec for summaries. A summary only references IR — its steps point
+// at ops of the program it summarizes, never copies of them — so the wire
+// form is the DAG's shape alone: per node, the op indices of its steps plus
+// the terminator payload (node indices, children before parents, like the
+// condition table in the program codec). The decoder rebuilds against the
+// already-decoded program through the same step constructor Summarize uses,
+// so a shipped summary shares the program's interned conditions, evaluation
+// memos and interval tables exactly like a locally built one.
+package prog
+
+import "fmt"
+
+// WireSummary is the concrete form of one Summary, minus the program it
+// summarizes (shipped separately as a WireProgram and resolved on decode).
+type WireSummary struct {
+	// Nodes lists the DAG's nodes children-before-parents; Root indexes it.
+	Nodes []WireSumNode
+	Root  int32
+}
+
+// WireSumNode is the concrete form of one SumNode. Steps are op indices
+// into the summarized program; Then/Else/Next index Nodes (-1 when absent).
+type WireSumNode struct {
+	Steps []int32
+	Term  TermKind
+	Br    int32
+	Then  int32
+	Else  int32
+	Next  int32
+}
+
+// EncodeSummary converts a summary to its wire form.
+func EncodeSummary(s *Summary) (*WireSummary, error) {
+	w := &WireSummary{Root: -1}
+	idx := make(map[*SumNode]int32)
+	root, err := encodeSumNode(w, idx, s.Root, s.Prog)
+	if err != nil {
+		return nil, err
+	}
+	w.Root = root
+	return w, nil
+}
+
+// encodeSumNode flattens one node (children first) into the table,
+// deduplicating by pointer so shared continuations stay shared.
+func encodeSumNode(w *WireSummary, idx map[*SumNode]int32, n *SumNode, p *Program) (int32, error) {
+	if n == nil {
+		return -1, nil
+	}
+	if i, ok := idx[n]; ok {
+		return i, nil
+	}
+	wn := WireSumNode{Term: n.Term, Br: -1, Then: -1, Else: -1, Next: -1}
+	for _, st := range n.Steps {
+		if st.OpIdx < 0 || int(st.OpIdx) >= len(p.Ops) {
+			return 0, fmt.Errorf("prog: encode summary %s: step references missing op %d", p.Label, st.OpIdx)
+		}
+		wn.Steps = append(wn.Steps, st.OpIdx)
+	}
+	var err error
+	switch n.Term {
+	case TermBranch:
+		wn.Br = n.BrIdx
+		if wn.Then, err = encodeSumNode(w, idx, n.Then, p); err != nil {
+			return 0, err
+		}
+		if wn.Else, err = encodeSumNode(w, idx, n.Else, p); err != nil {
+			return 0, err
+		}
+	case TermJump:
+		if wn.Next, err = encodeSumNode(w, idx, n.Next, p); err != nil {
+			return 0, err
+		}
+	}
+	i := int32(len(w.Nodes))
+	w.Nodes = append(w.Nodes, wn)
+	idx[n] = i
+	return i, nil
+}
+
+// DecodeSummary rebuilds a summary against the decoded program it
+// summarizes. Steps are rebuilt through the same constructor Summarize
+// uses, so shipped and local summaries execute identically; lazy trace and
+// failure renders start cold and warm on first use, like condition memos.
+func DecodeSummary(p *Program, w *WireSummary) (*Summary, error) {
+	if w.Root < 0 || int(w.Root) >= len(w.Nodes) {
+		return nil, fmt.Errorf("prog: decode summary %s: root references missing node %d", p.Label, w.Root)
+	}
+	nodes := make([]*SumNode, len(w.Nodes))
+	steps := 0
+	for i := range w.Nodes {
+		wn := &w.Nodes[i]
+		n := &SumNode{Term: wn.Term}
+		for _, oi := range wn.Steps {
+			if oi < 0 || int(oi) >= len(p.Ops) {
+				return nil, fmt.Errorf("prog: decode summary %s: node %d references missing op %d", p.Label, i, oi)
+			}
+			n.Steps = append(n.Steps, newSumStep(&p.Ops[oi], oi))
+			steps++
+		}
+		resolve := func(ni int32) (*SumNode, error) {
+			if ni < 0 || int(ni) >= i {
+				return nil, fmt.Errorf("prog: decode summary %s: node %d references out-of-order child %d", p.Label, i, ni)
+			}
+			return nodes[ni], nil
+		}
+		var err error
+		switch wn.Term {
+		case TermEnd:
+		case TermJump:
+			if n.Next, err = resolve(wn.Next); err != nil {
+				return nil, err
+			}
+		case TermBranch:
+			if wn.Br < 0 || int(wn.Br) >= len(p.Ops) {
+				return nil, fmt.Errorf("prog: decode summary %s: node %d references missing branch op %d", p.Label, i, wn.Br)
+			}
+			n.BrOp = &p.Ops[wn.Br]
+			n.BrIdx = wn.Br
+			if n.Then, err = resolve(wn.Then); err != nil {
+				return nil, err
+			}
+			if n.Else, err = resolve(wn.Else); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("prog: decode summary %s: node %d has unknown terminator %d", p.Label, i, wn.Term)
+		}
+		nodes[i] = n
+	}
+	s := &Summary{Prog: p, Root: nodes[w.Root], Nodes: len(nodes), Steps: steps}
+	s.Rows = countRows(s.Root, make(map[*SumNode]int64))
+	return s, nil
+}

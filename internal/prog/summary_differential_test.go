@@ -1,0 +1,246 @@
+package prog_test
+
+// Differential property tests for per-element summaries: with
+// Options.Summaries set, every observable — path IDs, statuses, failure
+// messages, histories, traces, final memory, symbol IDs, the constraint
+// context's chained fingerprint, and run statistics — must be byte-identical
+// to the IR reference path, over random programs and the real datasets, at
+// 1/2/8 workers, with every dataset exercising both the summary fast path
+// and the IR fallback (pinned via the summary.* counters).
+
+import (
+	"strings"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/obs"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+)
+
+func init() {
+	// The fallback gate's For body must be wire-constructible so gated
+	// networks also work under dist (package registration happens in every
+	// process that links this test binary).
+	sefl.RegisterForBody("prog.test.sumgate", func(string) func(sefl.Meta) sefl.Instr {
+		return func(sefl.Meta) sefl.Instr { return sefl.NoOp{} }
+	})
+}
+
+// addFallbackGate prepends a one-hop pass-through element whose code starts
+// with a For loop: a runtime no-op (the pattern matches no metadata) that is
+// unsummarizable by construction, guaranteeing the dataset exercises the IR
+// fallback path alongside the summary fast path.
+func addFallbackGate(net *core.Network, inject core.PortRef) core.PortRef {
+	g := net.AddElement("sumgate", "gate", 1, 1)
+	g.SetInCode(0, sefl.Seq(
+		sefl.NewFor("^__none__", "prog.test.sumgate", ""),
+		sefl.Forward{Port: 0},
+	))
+	net.MustLink("sumgate", 0, inject.Elem, inject.Port)
+	return core.PortRef{Elem: "sumgate", Port: 0}
+}
+
+// TestDifferentialSummariesRandom is the core summary property over random
+// SEFL programs: summaries-on results must be byte-identical (full
+// fingerprint, ctx chain and stats included) to summaries-off. The
+// generator's For loops and post-branch Symbolic mints make unsummarizable
+// elements common, so both verdicts are exercised across the seed set.
+func TestDifferentialSummariesRandom(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := 0; seed < seeds; seed++ {
+		g := newGen(int64(seed))
+		net, inj := g.network()
+		init := g.inject()
+		opts := core.Options{MaxHops: 48, MaxPaths: 1 << 14, Trace: seed%4 == 0}
+
+		ref, err := core.Run(net, inj, init, opts)
+		if err != nil {
+			t.Fatalf("seed %d: IR run: %v", seed, err)
+		}
+		want := fingerprint(ref)
+
+		sumOpts := opts
+		sumOpts.Summaries = true
+		res, err := core.Run(net, inj, init, sumOpts)
+		if err != nil {
+			t.Fatalf("seed %d: summaries run: %v", seed, err)
+		}
+		if got := fingerprint(res); got != want {
+			t.Fatalf("seed %d: summaries result differs from IR:\n--- IR ---\n%s--- summaries ---\n%s",
+				seed, diffHead(want, got), diffHead(got, want))
+		}
+		if ref.Stats.Paths == 0 {
+			t.Fatalf("seed %d: no paths explored", seed)
+		}
+	}
+}
+
+// TestDifferentialSummariesWorkers is the acceptance property on the real
+// datasets: summaries-on must match summaries-off byte-for-byte at 1, 2 and
+// 8 workers, and every dataset must report at least one summarized element
+// (summary.built, summary.hits) and at least one IR fallback
+// (summary.unsummarizable, summary.fallbacks) — the fallback gate prepended
+// to each injection point guarantees the latter even on all-summarizable
+// models.
+func TestDifferentialSummariesWorkers(t *testing.T) {
+	type workload struct {
+		name   string
+		net    *core.Network
+		inject core.PortRef
+		packet sefl.Instr
+		opts   core.Options
+	}
+	d := datasets.NewDepartment(datasets.DepartmentConfig{
+		NumAccessSwitches: 3, HostsPerSwitch: 24, Routes: 40, Seed: 5})
+	bb := datasets.StanfordBackbone(6, 50)
+	fh, fhInject := datasets.ForkHeavy(8, 3, 4)
+	sh, shInject := datasets.SatHeavy(24)
+	ws := []workload{
+		{"department", d.Net, core.PortRef{Elem: "asw0", Port: 1}, d.OfficePacket(false), core.Options{MaxHops: 65}},
+		{"backbone", bb.Net, core.PortRef{Elem: bb.Zones[0], Port: 2}, sefl.NewIPPacket(), core.Options{MaxHops: 65}},
+		{"forkheavy", fh, fhInject, sefl.NewTCPPacket(), core.Options{MaxHops: 1 << 12}},
+		{"satheavy", sh, shInject, sefl.NewTCPPacket(), core.Options{MaxHops: 65}},
+	}
+	for _, w := range ws {
+		inj := addFallbackGate(w.net, w.inject)
+
+		ref, err := sched.Run(w.net, inj, w.packet, w.opts, 1)
+		if err != nil {
+			t.Fatalf("%s: IR run: %v", w.name, err)
+		}
+		want := fingerprint(ref)
+		if ref.Stats.Paths == 0 {
+			t.Fatalf("%s: no paths explored", w.name)
+		}
+
+		for _, workers := range []int{1, 2, 8} {
+			reg := obs.NewRegistry()
+			opts := w.opts
+			opts.Summaries = true
+			opts.Obs = obs.New(reg, nil)
+			res, err := sched.Run(w.net, inj, w.packet, opts, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: summaries run: %v", w.name, workers, err)
+			}
+			if got := fingerprint(res); got != want {
+				t.Errorf("%s workers=%d: summaries result differs from IR:\n%s",
+					w.name, workers, diffHead(want, got))
+			}
+			assertSummaryCounters(t, w.name, workers, reg, workers == 1)
+		}
+	}
+}
+
+// assertSummaryCounters pins that a run exercised both execution paths and
+// attributed hits per element. Build counters (summary.built,
+// summary.unsummarizable) move only on the run that first populates the
+// element caches — later runs on the same network reuse them — so they are
+// asserted only on the first run per workload.
+func assertSummaryCounters(t *testing.T, name string, workers int, reg *obs.Registry, first bool) {
+	t.Helper()
+	snap := reg.Snapshot()
+	want := []string{"summary.hits", "summary.fallbacks"}
+	if first {
+		want = append(want, "summary.built", "summary.unsummarizable")
+	}
+	for _, c := range want {
+		if snap.Counters[c] < 1 {
+			t.Errorf("%s workers=%d: counter %s = %d, want >= 1", name, workers, c, snap.Counters[c])
+		}
+	}
+	perElem := int64(0)
+	for k, v := range snap.Counters {
+		if strings.HasPrefix(k, "summary.elem_hits.") {
+			perElem += v
+		}
+	}
+	if perElem != snap.Counters["summary.hits"] {
+		t.Errorf("%s workers=%d: per-element hits sum to %d, summary.hits = %d",
+			name, workers, perElem, snap.Counters["summary.hits"])
+	}
+}
+
+// TestDifferentialSummariesRowSemantics pins the delicate row semantics on
+// handcrafted elements: overlapping guards must apply in program (priority)
+// order, and a row's rewrite must observe the value another arm of the row
+// set wrote earlier on the same path.
+func TestDifferentialSummariesRowSemantics(t *testing.T) {
+	f0 := sefl.Hdr{Off: sefl.At(0), Size: 32, Name: "F0"}
+	f1 := sefl.Hdr{Off: sefl.At(32), Size: 32, Name: "F1"}
+	f2 := sefl.Hdr{Off: sefl.At(64), Size: 32, Name: "F2"}
+	inject := sefl.Seq(
+		sefl.Allocate{LV: f0, Size: 32},
+		sefl.Assign{LV: f0, E: sefl.Symbolic{W: 32, Name: "F0"}},
+		sefl.Allocate{LV: f1, Size: 32},
+		sefl.Assign{LV: f1, E: sefl.C(0)},
+		sefl.Allocate{LV: f2, Size: 32},
+		sefl.Assign{LV: f2, E: sefl.C(0)},
+	)
+	cases := []struct {
+		name string
+		code sefl.Instr
+	}{
+		// Overlapping guards: F0 < 10 implies F0 < 100, so row order (first
+		// match wins along each path) is observable in which port delivers.
+		{"overlapping guard priority", sefl.If{
+			C:    sefl.Lt(sefl.Ref{LV: f0}, sefl.C(10)),
+			Then: sefl.Forward{Port: 0},
+			Else: sefl.If{
+				C:    sefl.Lt(sefl.Ref{LV: f0}, sefl.C(100)),
+				Then: sefl.Forward{Port: 1},
+				Else: sefl.Forward{Port: 2},
+			},
+		}},
+		// Cross-row data flow: the shared continuation reads F1, which each
+		// arm wrote differently — rewrites must compose, not snapshot.
+		{"rewrite reads branch-written field", sefl.Seq(
+			sefl.If{
+				C:    sefl.Eq(sefl.Ref{LV: f0}, sefl.C(5)),
+				Then: sefl.Assign{LV: f1, E: sefl.C(5)},
+				Else: sefl.Assign{LV: f1, E: sefl.C(7)},
+			},
+			sefl.Assign{LV: f2, E: sefl.Add{A: sefl.Ref{LV: f1}, B: sefl.C(1)}},
+			sefl.Constrain{C: sefl.Lt(sefl.Ref{LV: f2}, sefl.C(7))},
+			sefl.Forward{Port: 0},
+		)},
+	}
+	for _, tc := range cases {
+		net := core.NewNetwork()
+		e := net.AddElement("dut", "dut", 1, 3)
+		e.SetInCode(0, tc.code)
+		sink := net.AddElement("sink", "sink", 1, 0)
+		sink.SetInCode(0, sefl.NoOp{})
+		for p := 0; p < 3; p++ {
+			net.MustLink("dut", p, "sink", 0)
+		}
+		inj := core.PortRef{Elem: "dut", Port: 0}
+		opts := core.Options{MaxHops: 8, Trace: true}
+
+		ref, err := core.Run(net, inj, inject, opts)
+		if err != nil {
+			t.Fatalf("%s: IR run: %v", tc.name, err)
+		}
+
+		reg := obs.NewRegistry()
+		sumOpts := opts
+		sumOpts.Summaries = true
+		sumOpts.Obs = obs.New(reg, nil)
+		res, err := core.Run(net, inj, inject, sumOpts)
+		if err != nil {
+			t.Fatalf("%s: summaries run: %v", tc.name, err)
+		}
+		if want, got := fingerprint(ref), fingerprint(res); want != got {
+			t.Errorf("%s: summaries result differs from IR:\n%s", tc.name, diffHead(want, got))
+		}
+		// The device under test must have gone through the summary path, or
+		// the case pinned nothing.
+		if hits := reg.Snapshot().Counters["summary.elem_hits.dut"]; hits < 1 {
+			t.Errorf("%s: dut not executed via summary (hits=%d)", tc.name, hits)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package prog
+
+// White-box tests of the summary builder and its wire codec: verdicts (what
+// summarizes, what falls back and why — with byte-stable reasons), the
+// decision-DAG shape (rows multiply across branches while shared
+// continuations keep the node count linear), the degenerate empty row, and
+// codec round-trips plus byte-stable malformed-stream errors matching the
+// program codec's conventions.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"symnet/internal/sefl"
+)
+
+var (
+	sumF0 = sefl.Hdr{Off: sefl.At(0), Size: 32, Name: "F0"}
+	sumF1 = sefl.Hdr{Off: sefl.At(32), Size: 32, Name: "F1"}
+)
+
+func compileSum(ins sefl.Instr) *Program {
+	return Compile(ins, "e", 0, "e.in[0]")
+}
+
+func TestSummarizeStraightLine(t *testing.T) {
+	p := compileSum(sefl.Seq(
+		sefl.Assign{LV: sumF0, E: sefl.C(1)},
+		sefl.Forward{Port: 3},
+	))
+	s, reason := Summarize(p)
+	if s == nil {
+		t.Fatalf("unsummarizable: %s", reason)
+	}
+	if s.Rows != 1 || s.Nodes != 1 {
+		t.Fatalf("Rows=%d Nodes=%d, want 1/1", s.Rows, s.Nodes)
+	}
+	if s.Steps != 2 {
+		t.Fatalf("Steps=%d, want 2", s.Steps)
+	}
+	last := s.Root.Steps[len(s.Root.Steps)-1]
+	if last.Op.Kind != OpForward || len(last.Fwd) != 1 || last.Fwd[0] != 3 {
+		t.Fatalf("terminal step: kind=%d Fwd=%v, want Forward [3]", last.Op.Kind, last.Fwd)
+	}
+}
+
+// TestSummarizeEmptyRow pins the degenerate case of the row-set
+// generalization: a program with no operations summarizes to a single empty
+// row (no guards, no rewrites, no successor ports).
+func TestSummarizeEmptyRow(t *testing.T) {
+	p := compileSum(sefl.Block{})
+	s, reason := Summarize(p)
+	if s == nil {
+		t.Fatalf("unsummarizable: %s", reason)
+	}
+	if s.Rows != 1 || len(s.Root.Steps) != 0 || s.Root.Term != TermEnd {
+		t.Fatalf("Rows=%d Steps=%d Term=%d, want one empty TermEnd row", s.Rows, len(s.Root.Steps), s.Root.Term)
+	}
+}
+
+// TestSummarizeSharedContinuations pins the DAG sharing that keeps
+// summaries small: k sequential branches yield 2^k guarded rows but only
+// O(k) nodes, because both arms of every branch jump to one shared
+// continuation node.
+func TestSummarizeSharedContinuations(t *testing.T) {
+	const k = 8
+	var is []sefl.Instr
+	for i := 0; i < k; i++ {
+		is = append(is, sefl.If{
+			C:    sefl.Eq(sefl.Ref{LV: sumF0}, sefl.C(uint64(i))),
+			Then: sefl.Assign{LV: sumF1, E: sefl.C(uint64(i))},
+			Else: sefl.NoOp{},
+		})
+	}
+	is = append(is, sefl.Forward{Port: 0})
+	s, reason := Summarize(compileSum(sefl.Seq(is...)))
+	if s == nil {
+		t.Fatalf("unsummarizable: %s", reason)
+	}
+	if want := int64(1) << k; s.Rows != want {
+		t.Fatalf("Rows=%d, want %d", s.Rows, want)
+	}
+	if s.Nodes > 6*k {
+		t.Fatalf("Nodes=%d for %d sequential branches — continuations are not shared", s.Nodes, k)
+	}
+}
+
+func TestSummarizeForFallsBack(t *testing.T) {
+	p := compileSum(sefl.Seq(
+		sefl.For{Pattern: "^m", Body: func(k sefl.Meta) sefl.Instr {
+			return sefl.Assign{LV: k, E: sefl.C(1)}
+		}},
+		sefl.Forward{Port: 0},
+	))
+	s, reason := Summarize(p)
+	if s != nil {
+		t.Fatal("For loop summarized; its iteration space is runtime metadata")
+	}
+	if reason != "For loop with a data-dependent iteration space" {
+		t.Fatalf("reason = %q", reason)
+	}
+}
+
+// TestSummarizeMintOrdering pins the fresh-symbol discipline: a mint inside
+// a branch arm is fine (one state executes it, in the same position either
+// way), but any mint downstream of a branch point is refused — the IR mints
+// instruction-major across the branch's sibling states, an interleaving a
+// row-at-a-time replay cannot reproduce.
+func TestSummarizeMintOrdering(t *testing.T) {
+	cond := sefl.Eq(sefl.Ref{LV: sumF0}, sefl.C(7))
+
+	branchMint := compileSum(sefl.Seq(
+		sefl.If{C: cond, Then: sefl.Assign{LV: sumF1, E: sefl.Symbolic{W: 32, Name: "s"}}, Else: sefl.NoOp{}},
+		sefl.Forward{Port: 0},
+	))
+	if s, reason := Summarize(branchMint); s == nil {
+		t.Fatalf("mint inside a branch arm should summarize: %s", reason)
+	}
+
+	contMint := compileSum(sefl.Seq(
+		sefl.If{C: cond, Then: sefl.Assign{LV: sumF1, E: sefl.C(1)}, Else: sefl.NoOp{}},
+		sefl.Assign{LV: sumF1, E: sefl.Symbolic{W: 32, Name: "s"}},
+		sefl.Forward{Port: 0},
+	))
+	s, reason := Summarize(contMint)
+	if s != nil {
+		t.Fatal("mint downstream of a branch point summarized")
+	}
+	if reason != "fresh-symbol allocation downstream of a branch point" {
+		t.Fatalf("reason = %q", reason)
+	}
+
+	// The same rule through a condition: constraining on a fresh symbol
+	// mints during evaluation.
+	condMint := compileSum(sefl.Seq(
+		sefl.If{C: cond, Then: sefl.NoOp{}, Else: sefl.NoOp{}},
+		sefl.Constrain{C: sefl.Eq(sefl.Symbolic{W: 32, Name: "s"}, sefl.C(3))},
+		sefl.Forward{Port: 0},
+	))
+	if s, _ := Summarize(condMint); s != nil {
+		t.Fatal("condition mint downstream of a branch point summarized")
+	}
+
+	// Straight-line mints before any branch replay in order and summarize.
+	preMint := compileSum(sefl.Seq(
+		sefl.Assign{LV: sumF1, E: sefl.Symbolic{W: 32, Name: "s"}},
+		sefl.If{C: cond, Then: sefl.Forward{Port: 0}, Else: sefl.Forward{Port: 1}},
+	))
+	if s, reason := Summarize(preMint); s == nil {
+		t.Fatalf("straight-line mint before the branch should summarize: %s", reason)
+	}
+}
+
+func TestSummarizeNodeBudget(t *testing.T) {
+	// Sequential branches with *distinct* trailing code defeat continuation
+	// sharing enough to stay linear but large: push past the node budget
+	// with sheer program size.
+	var is []sefl.Instr
+	for i := 0; i < MaxSummaryNodes; i++ {
+		is = append(is, sefl.If{
+			C:    sefl.Eq(sefl.Ref{LV: sumF0}, sefl.C(uint64(i))),
+			Then: sefl.Assign{LV: sumF1, E: sefl.C(uint64(i))},
+			Else: sefl.NoOp{},
+		})
+	}
+	is = append(is, sefl.Forward{Port: 0})
+	s, reason := Summarize(compileSum(sefl.Seq(is...)))
+	if s != nil {
+		t.Fatal("budget-busting program summarized")
+	}
+	if want := fmt.Sprintf("decision DAG exceeds %d nodes", MaxSummaryNodes); reason != want {
+		t.Fatalf("reason = %q, want %q", reason, want)
+	}
+}
+
+// sumShape renders the DAG structurally (op indices, terminators, sharing
+// via node numbering) for round-trip comparison.
+func sumShape(s *Summary) string {
+	var b strings.Builder
+	ids := make(map[*SumNode]int)
+	var walk func(n *SumNode) int
+	walk = func(n *SumNode) int {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[n] = id
+		fmt.Fprintf(&b, "n%d:", id)
+		for _, st := range n.Steps {
+			fmt.Fprintf(&b, " %d", st.OpIdx)
+		}
+		switch n.Term {
+		case TermEnd:
+			b.WriteString(" end\n")
+		case TermJump:
+			fmt.Fprintf(&b, " jump@") // resolved below; jumps print after children
+			b.WriteString("\n")
+			fmt.Fprintf(&b, "n%d.next=n%d\n", id, walk(n.Next))
+		case TermBranch:
+			fmt.Fprintf(&b, " br(%d)\n", n.BrIdx)
+			fmt.Fprintf(&b, "n%d.then=n%d\n", id, walk(n.Then))
+			fmt.Fprintf(&b, "n%d.else=n%d\n", id, walk(n.Else))
+		}
+		return id
+	}
+	walk(s.Root)
+	fmt.Fprintf(&b, "rows=%d steps=%d nodes=%d\n", s.Rows, s.Steps, s.Nodes)
+	return b.String()
+}
+
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	var is []sefl.Instr
+	for i := 0; i < 4; i++ {
+		is = append(is, sefl.If{
+			C:    sefl.Eq(sefl.Ref{LV: sumF0}, sefl.C(uint64(i))),
+			Then: sefl.Assign{LV: sumF1, E: sefl.C(uint64(i))},
+			Else: sefl.NoOp{},
+		})
+	}
+	is = append(is, sefl.Fork{Ports: []int{0, 2}})
+	p := compileSum(sefl.Seq(is...))
+	s, reason := Summarize(p)
+	if s == nil {
+		t.Fatalf("unsummarizable: %s", reason)
+	}
+	w, err := EncodeSummary(s)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := DecodeSummary(p, w)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got, want := sumShape(dec), sumShape(s); got != want {
+		t.Fatalf("decoded DAG differs:\n--- local ---\n%s--- decoded ---\n%s", want, got)
+	}
+	// Decoded steps must point into the program's own op array (summaries
+	// reference IR, never copies), so interned conditions stay shared.
+	if dec.Root.Steps == nil && dec.Root.Term == TermEnd {
+		t.Fatal("decoded root is empty")
+	}
+}
+
+// TestSummaryCodecErrors pins the malformed-stream error messages
+// byte-for-byte, matching the program codec's conventions (label first,
+// then what referenced what).
+func TestSummaryCodecErrors(t *testing.T) {
+	p := compileSum(sefl.Forward{Port: 0})
+	cases := []struct {
+		name string
+		w    *WireSummary
+		want string
+	}{
+		{"missing root", &WireSummary{Root: -1},
+			"prog: decode summary e.in[0]: root references missing node -1"},
+		{"root out of range", &WireSummary{Nodes: []WireSumNode{{Term: TermEnd}}, Root: 5},
+			"prog: decode summary e.in[0]: root references missing node 5"},
+		{"forward child reference", &WireSummary{Nodes: []WireSumNode{{Term: TermJump, Next: 0}}, Root: 0},
+			"prog: decode summary e.in[0]: node 0 references out-of-order child 0"},
+		{"missing op", &WireSummary{Nodes: []WireSumNode{{Steps: []int32{99}, Term: TermEnd}}, Root: 0},
+			"prog: decode summary e.in[0]: node 0 references missing op 99"},
+		{"missing branch op", &WireSummary{Nodes: []WireSumNode{{Term: TermEnd}, {Term: TermBranch, Br: 42, Then: 0, Else: 0}}, Root: 1},
+			"prog: decode summary e.in[0]: node 1 references missing branch op 42"},
+		{"unknown terminator", &WireSummary{Nodes: []WireSumNode{{Term: TermKind(7)}}, Root: 0},
+			"prog: decode summary e.in[0]: node 0 has unknown terminator 7"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeSummary(p, tc.w)
+		if err == nil || err.Error() != tc.want {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
