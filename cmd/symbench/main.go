@@ -17,6 +17,7 @@
 //	symbench -run allpairs-dist  # all-pairs across -procs worker subprocesses
 //	symbench -run forkheavy   # fork-heavy state replication (engine microbench)
 //	symbench -run summaries   # per-element summaries vs IR re-execution (all-pairs on/off)
+//	symbench -run churn       # incremental re-verification per rule delta vs full recompute
 //	symbench -run all
 //
 // With -procs N the allpairs-dist experiment shards across N worker
@@ -34,9 +35,11 @@ import (
 	"hash/fnv"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
+	"symnet/internal/churn"
 	"symnet/internal/core"
 	"symnet/internal/datasets"
 	"symnet/internal/dist"
@@ -132,7 +135,7 @@ func (r *reporter) flush() error {
 var validExperiments = []string{
 	"table1", "fig8", "table2", "table3", "table4", "table5",
 	"splittcp", "dept", "satcache", "allpairs", "allpairs-dist", "forkheavy", "itables",
-	"summaries", "all",
+	"summaries", "churn", "all",
 }
 
 // parseRuns parses the comma-separated -run list, erroring on unknown
@@ -162,7 +165,7 @@ func parseRuns(spec string) (map[string]bool, error) {
 func main() {
 	dist.MaybeWorker() // spawned as a distributed worker: never returns
 
-	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|satcache|allpairs|allpairs-dist|forkheavy|itables|summaries|all)")
+	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|satcache|allpairs|allpairs-dist|forkheavy|itables|summaries|churn|all)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	heavy := flag.Bool("heavy", false, "larger workloads for allpairs/allpairs-dist (amortizes distributed setup; used by the multicore CI gate)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
@@ -253,6 +256,9 @@ func main() {
 	}
 	if want("summaries") {
 		summaries(rep, *quick, *heavy, o)
+	}
+	if want("churn") {
+		churnBench(rep, *quick, *heavy, *workers, o)
 	}
 	if *metrics {
 		rep.metrics = reg.Snapshot()
@@ -989,4 +995,166 @@ func allpairsRow(rep *reporter, name string, net *core.Network, srcs []core.Port
 			"memo_hits": seqMemo.Hits(), "memo_misses": seqMemo.Misses(),
 		},
 	})
+}
+
+// churnBench measures incremental verification under rule churn: a resident
+// churn.Service absorbs a deterministic delta stream (the symgen -gen churn
+// generator) and the per-delta absorption latency is compared against what a
+// non-incremental verifier pays per control-plane event — model regeneration
+// plus a cold from-scratch all-pairs run. The injected packets are
+// destination-constrained so deltas stay localized, which is the regime the
+// dependency tracker exploits: full_ns / delta_ns is the CI speedup gate.
+func churnBench(rep *reporter, quick, heavy bool, workers int, o *obs.Obs) {
+	rep.printf("== Incremental verification under rule churn: per-delta vs full recompute ==\n")
+	rep.printf("%-22s %-8s %-8s %-12s %-12s %-9s %s\n",
+		"Dataset", "Deltas", "Dirty", "Delta(med)", "Full", "Speedup", "Actions")
+
+	var reg *obs.Registry
+	if o != nil {
+		reg = o.Reg
+	}
+	nDeltas := 30
+	if quick {
+		nDeltas = 10
+	}
+
+	// Backbone: route churn on the last zone's FIB while the verified
+	// traffic is pinned to zone0's /16 — only the churned zone's own source
+	// ever attempts its egress guards.
+	zones, perZone := allpairsBackboneSize(quick, heavy)
+	churned := fmt.Sprintf("zone%d", zones-1)
+	bb := datasets.StanfordBackbone(zones, perZone)
+	bbSrcs, bbTargets := bb.AllPairs()
+	bbPacket := sefl.Seq(
+		sefl.NewIPPacket(),
+		sefl.Constrain{C: sefl.Prefix{E: sefl.Ref{LV: sefl.IPDst}, Value: sefl.IPToNumber("10.0.0.0"), Len: 16}},
+	)
+	// Inserts draw from the RFC 2544 benchmark range: at paper scale the
+	// zone's own /16 is fully populated. Localization is unaffected — the
+	// dirty set depends on whose guards change, not on the prefix.
+	bbDeltas, err := churn.GenFIBDeltas(churned, bb.FIBs[churned], "198.18.0.0/15", nDeltas, 3)
+	if err != nil {
+		fail(err)
+	}
+	churnRow(rep, "stanford backbone",
+		func() *core.Network { return datasets.StanfordBackbone(zones, perZone).Net },
+		func(svc *churn.Service) {
+			for name, fib := range bb.FIBs {
+				svc.RegisterRouter(name, fib)
+			}
+		},
+		bbSrcs, bbPacket, bbTargets, core.Options{}, bbDeltas, workers, quick, reg)
+
+	// Department: MAC churn on one access switch while the verified traffic
+	// is pinned to the ASA's MAC (the first IP hop) — sibling access
+	// switches' guards kill every other source's exploration at the
+	// aggregation layer.
+	deptCfg := datasets.DefaultDepartment()
+	if quick {
+		deptCfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 5}
+	}
+	if heavy {
+		deptCfg = datasets.HeavyDepartment()
+	}
+	d := datasets.NewDepartment(deptCfg)
+	deptSrcs, deptTargets := d.AllPairs()
+	deptPacket := sefl.Seq(
+		sefl.NewTCPPacket(),
+		sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.EtherDst}, sefl.CW(sefl.MACToNumber(d.ASAMac), sefl.MACWidth))},
+	)
+	deptDeltas, err := churn.GenMACDeltas("asw1", d.MACTables["asw1"], nDeltas, 5)
+	if err != nil {
+		fail(err)
+	}
+	churnRow(rep, "department",
+		func() *core.Network { return datasets.NewDepartment(deptCfg).Net },
+		func(svc *churn.Service) {
+			for name, tbl := range d.MACTables {
+				svc.RegisterSwitch(name, tbl)
+			}
+			for name, fib := range d.FIBs {
+				svc.RegisterRouter(name, fib)
+			}
+		},
+		deptSrcs, deptPacket, deptTargets, core.Options{MaxHops: 64}, deptDeltas, workers, quick, reg)
+	rep.printf("\n")
+}
+
+// churnRow measures one dataset: best-of-N cold full recomputes (fresh
+// network, fresh memo — what every delta costs without incrementality), then
+// a resident service absorbing the delta stream. full_ns and delta_ns are
+// columns of the same row so benchdiff can gate their ratio; the result
+// columns (dirty, reverified, action tiers) are deterministic and survive
+// -stable for differential runs.
+func churnRow(rep *reporter, name string, fresh func() *core.Network, register func(*churn.Service),
+	srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options,
+	deltas []churn.Delta, workers int, quick bool, reg *obs.Registry) {
+	fullReps := 3
+	if quick {
+		fullReps = 2
+	}
+	var fullBest time.Duration
+	for i := 0; i < fullReps; i++ {
+		fo := opts
+		fo.SatMemo = solver.NewSatCache()
+		t0 := time.Now()
+		if _, err := verify.AllPairsReachability(fresh(), srcs, packet, targets, fo, workers); err != nil {
+			fail(err)
+		}
+		if d := time.Since(t0); fullBest == 0 || d < fullBest {
+			fullBest = d
+		}
+	}
+
+	svc := churn.NewService(churn.Config{
+		Net: fresh(), Sources: srcs, Targets: targets,
+		Packet: packet, Opts: opts, Workers: workers, Reg: reg,
+	})
+	register(svc)
+	t0 := time.Now()
+	if err := svc.Init(); err != nil {
+		fail(err)
+	}
+	initDur := time.Since(t0)
+
+	lat := make([]time.Duration, 0, len(deltas))
+	actions := map[churn.Action]int{}
+	dirtyTotal, reverified := 0, 0
+	for _, d := range deltas {
+		res, err := svc.Apply(d)
+		if err != nil {
+			fail(err)
+		}
+		lat = append(lat, res.Elapsed)
+		actions[res.Action]++
+		dirtyTotal += res.DirtySources
+		reverified += res.CellsReverified
+	}
+	med := medianDur(lat)
+	speedup := float64(fullBest) / float64(med)
+	rep.printf("%-22s %-8d %-8d %-12v %-12v %-9s patch=%d recompile=%d rebuild=%d noop=%d\n",
+		name, len(deltas), dirtyTotal, med.Round(time.Microsecond), fullBest.Round(time.Millisecond),
+		fmt.Sprintf("%.1fx", speedup),
+		actions[churn.ActionPatched], actions[churn.ActionRecompiled],
+		actions[churn.ActionRebuilt], actions[churn.ActionNoop])
+	rep.add(jsonRow{
+		Experiment: "churn",
+		Name:       name,
+		NsPerOp:    med.Nanoseconds(),
+		Extra: map[string]any{
+			"deltas": len(deltas), "dirty_total": dirtyTotal,
+			"cells_total": svc.TotalCells(), "cells_reverified": reverified,
+			"patched": actions[churn.ActionPatched], "recompiled": actions[churn.ActionRecompiled],
+			"rebuilt": actions[churn.ActionRebuilt], "noop": actions[churn.ActionNoop],
+			"full_ns": fullBest.Nanoseconds(), "delta_ns": med.Nanoseconds(), "init_ns": initDur.Nanoseconds(),
+			"speedup": speedup, "workers": workers,
+		},
+	})
+}
+
+// medianDur returns the median of a non-empty latency sample.
+func medianDur(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }

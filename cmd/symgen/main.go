@@ -10,6 +10,13 @@
 //	symgen -asa config.txt                     # ASA pipeline from a config
 //	symgen -gen mac -entries 1000 -seed 42     # deterministic MAC-table snapshot
 //	symgen -gen fib -entries 5000 -seed 7      # deterministic FIB snapshot
+//
+// -gen churn emits a deterministic rule-delta stream (JSON lines, the format
+// cmd/symnetd replays) over an existing snapshot: route or MAC entry
+// inserts, deletes and port modifies that are always applicable in order.
+//
+//	symgen -gen churn -fib routes.txt -elem rt -entries 100 -seed 3
+//	symgen -gen churn -mac table.txt -elem sw -entries 100 -seed 3
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"os"
 
 	"symnet/internal/asa"
+	"symnet/internal/churn"
 	"symnet/internal/core"
 	"symnet/internal/datasets"
 	"symnet/internal/models"
@@ -39,7 +47,40 @@ func generate(w io.Writer, kind string, entries, ports int, seed int64) error {
 		_, err := datasets.CoreFIB(entries, ports, seed).WriteTo(w)
 		return err
 	}
-	return fmt.Errorf("unknown -gen kind %q (want mac|fib)", kind)
+	return fmt.Errorf("unknown -gen kind %q (want mac|fib|churn)", kind)
+}
+
+// generateChurn writes a deterministic delta stream over a base snapshot:
+// baseKind selects the parser ("fib" or "mac"), elem names the target
+// element in every delta, and carrier is the prefix pool for route inserts.
+func generateChurn(w io.Writer, base io.Reader, baseKind, elem, carrier string, entries int, seed int64) error {
+	if entries <= 0 {
+		return fmt.Errorf("need -entries > 0 (got %d)", entries)
+	}
+	var ds []churn.Delta
+	switch baseKind {
+	case "fib":
+		fib, err := tables.ParseFIB(base)
+		if err != nil {
+			return err
+		}
+		ds, err = churn.GenFIBDeltas(elem, fib, carrier, entries, seed)
+		if err != nil {
+			return err
+		}
+	case "mac":
+		tbl, err := tables.ParseMACTable(base)
+		if err != nil {
+			return err
+		}
+		ds, err = churn.GenMACDeltas(elem, tbl, entries, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("-gen churn needs a base snapshot: -fib FILE or -mac FILE")
+	}
+	return churn.EncodeDeltas(w, ds)
 }
 
 func main() {
@@ -47,11 +88,35 @@ func main() {
 	fibPath := flag.String("fib", "", "router forwarding-table snapshot")
 	asaPath := flag.String("asa", "", "ASA configuration")
 	styleName := flag.String("style", "egress", "model style: basic|ingress|egress")
-	gen := flag.String("gen", "", "generate a synthetic snapshot to stdout: mac|fib")
+	gen := flag.String("gen", "", "generate a synthetic snapshot to stdout: mac|fib|churn")
 	entries := flag.Int("entries", 1000, "entries to generate with -gen")
 	ports := flag.Int("ports", 16, "output ports to spread -gen entries over")
 	seed := flag.Int64("seed", 1, "deterministic seed for -gen (same seed, same bytes)")
+	elem := flag.String("elem", "rt", "element name stamped on -gen churn deltas")
+	carrier := flag.String("carrier", "10.128.0.0/9", "prefix pool for -gen churn route inserts")
 	flag.Parse()
+
+	if *gen == "churn" {
+		baseKind, basePath := "", ""
+		switch {
+		case *fibPath != "":
+			baseKind, basePath = "fib", *fibPath
+		case *macPath != "":
+			baseKind, basePath = "mac", *macPath
+		}
+		f, err := os.Open(basePath)
+		if err != nil {
+			if basePath == "" {
+				err = fmt.Errorf("-gen churn needs a base snapshot: -fib FILE or -mac FILE")
+			}
+			fatal(err)
+		}
+		defer f.Close()
+		if err := generateChurn(os.Stdout, f, baseKind, *elem, *carrier, *entries, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *gen != "" {
 		if err := generate(os.Stdout, *gen, *entries, *ports, *seed); err != nil {

@@ -1,0 +1,229 @@
+// Command symnetd is a long-lived incremental verification daemon: it holds
+// a compiled network and its all-pairs reachability report resident, accepts
+// rule deltas over HTTP, and re-verifies only what each delta can affect
+// (internal/churn). This is the deployment mode the paper's static-analysis
+// speed enables: verification keeping pace with rule churn instead of
+// recomputing from scratch per control-plane event.
+//
+//	symnetd -network department -listen 127.0.0.1:7080
+//	symnetd -network backbone -quick -debug-addr 127.0.0.1:7081
+//
+// Endpoints:
+//
+//	GET  /healthz  liveness ("ok" once the initial verification is resident)
+//	POST /delta    JSON-lines rule deltas (the symgen -gen churn format);
+//	               applies them in order, responds with per-delta absorption
+//	               reports (action tier, dirty sources, cells re-verified,
+//	               verdicts evicted, latency)
+//	GET  /report   the resident reachability matrix and path counts
+//
+// -debug-addr serves expvar under /debug/vars with the churn.* instruments
+// (churn.delta_ns, churn.cells.dirty, churn.cells.reverified, ...) and the
+// shared solver.satcache.* counters, plus net/http/pprof.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"symnet/internal/churn"
+	"symnet/internal/core"
+	"symnet/internal/datasets"
+	"symnet/internal/obs"
+	"symnet/internal/sefl"
+)
+
+// buildService constructs the resident workload for a named topology. The
+// injected packet is destination-constrained (one monitored zone / the
+// department's first IP hop) so deltas stay localized — the regime the
+// incremental service is built for.
+func buildService(network string, quick, heavy bool, workers int, reg *obs.Registry) (*churn.Service, string, error) {
+	opts := core.Options{}
+	switch network {
+	case "backbone":
+		zones, perZone := 8, 100
+		if quick {
+			zones, perZone = 4, 24
+		}
+		if heavy {
+			zones, perZone = 14, 300
+		}
+		b := datasets.StanfordBackbone(zones, perZone)
+		sources, targets := b.AllPairs()
+		packet := sefl.Seq(
+			sefl.NewIPPacket(),
+			sefl.Constrain{C: sefl.Prefix{E: sefl.Ref{LV: sefl.IPDst}, Value: sefl.IPToNumber("10.0.0.0"), Len: 16}},
+		)
+		svc := churn.NewService(churn.Config{
+			Net: b.Net, Sources: sources, Targets: targets,
+			Packet: packet, Opts: opts, Workers: workers, Reg: reg,
+		})
+		for name, fib := range b.FIBs {
+			svc.RegisterRouter(name, fib)
+		}
+		desc := fmt.Sprintf("stanford backbone (%d zones, %d routes/zone, %d rules)", zones, perZone, b.Rules)
+		return svc, desc, nil
+	case "department":
+		cfg := datasets.DefaultDepartment()
+		if quick {
+			cfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 11}
+		}
+		if heavy {
+			cfg = datasets.HeavyDepartment()
+		}
+		d := datasets.NewDepartment(cfg)
+		sources, targets := d.AllPairs()
+		packet := sefl.Seq(
+			sefl.NewTCPPacket(),
+			sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.EtherDst}, sefl.CW(sefl.MACToNumber(d.ASAMac), sefl.MACWidth))},
+		)
+		svc := churn.NewService(churn.Config{
+			Net: d.Net, Sources: sources, Targets: targets,
+			Packet: packet, Opts: opts, Workers: workers, Reg: reg,
+		})
+		for name, tbl := range d.MACTables {
+			svc.RegisterSwitch(name, tbl)
+		}
+		for name, fib := range d.FIBs {
+			svc.RegisterRouter(name, fib)
+		}
+		desc := fmt.Sprintf("department (%d access switches, %d MAC entries, %d routes)",
+			cfg.NumAccessSwitches, d.MACEntries, d.RouteEntries)
+		return svc, desc, nil
+	}
+	return nil, "", fmt.Errorf("unknown -network %q (want department|backbone)", network)
+}
+
+// server serializes deltas onto the resident service (which is not safe for
+// concurrent use) and exposes the HTTP API.
+type server struct {
+	mu  sync.Mutex
+	svc *churn.Service
+}
+
+// deltaReport is the wire shape of one absorbed delta.
+type deltaReport struct {
+	Delta           churn.Delta  `json:"delta"`
+	Action          churn.Action `json:"action"`
+	DirtySources    int          `json:"dirty_sources"`
+	CellsReverified int          `json:"cells_reverified"`
+	SatEvicted      int          `json:"sat_evicted"`
+	ElapsedNs       int64        `json:"elapsed_ns"`
+}
+
+func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	ds, err := churn.DecodeDeltas(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(ds) == 0 {
+		http.Error(w, "empty delta stream", http.StatusBadRequest)
+		return
+	}
+	var reports []deltaReport
+	s.mu.Lock()
+	for _, d := range ds {
+		res, err := s.svc.Apply(d)
+		if err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"applied": reports,
+				"error":   fmt.Sprintf("delta %s: %v", d, err),
+			})
+			return
+		}
+		reports = append(reports, deltaReport{
+			Delta: res.Delta, Action: res.Action,
+			DirtySources: res.DirtySources, CellsReverified: res.CellsReverified,
+			SatEvicted: res.SatEvicted, ElapsedNs: res.Elapsed.Nanoseconds(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"applied": reports})
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rep := s.svc.Report()
+	srcs := make([]string, len(rep.Sources))
+	for i, p := range rep.Sources {
+		srcs[i] = p.String()
+	}
+	out := map[string]any{
+		"sources":    srcs,
+		"targets":    rep.Targets,
+		"reachable":  rep.Reachable,
+		"path_count": rep.PathCount,
+		"cells":      s.svc.TotalCells(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/delta", s.handleDelta)
+	mux.HandleFunc("/report", s.handleReport)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("symnetd: encode response: %v", err)
+	}
+}
+
+func main() {
+	network := flag.String("network", "department", "resident topology: department|backbone")
+	quick := flag.Bool("quick", false, "small topology (CI smoke)")
+	heavy := flag.Bool("heavy", false, "paper-scale-plus topology")
+	workers := flag.Int("workers", 0, "re-verification worker pool (0: GOMAXPROCS)")
+	listen := flag.String("listen", "127.0.0.1:7080", "HTTP listen address")
+	debugAddr := flag.String("debug-addr", "", "serve expvar metrics and pprof on this address")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			log.Fatalf("symnetd: debug server: %v", err)
+		}
+		log.Printf("symnetd: metrics at http://%s/debug/vars", addr)
+	}
+
+	svc, desc, err := buildService(*network, *quick, *heavy, *workers, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symnetd:", err)
+		os.Exit(2)
+	}
+	log.Printf("symnetd: compiling %s", desc)
+	start := time.Now()
+	if err := svc.Init(); err != nil {
+		log.Fatalf("symnetd: initial verification: %v", err)
+	}
+	log.Printf("symnetd: resident report ready in %v (%d cells)", time.Since(start).Round(time.Millisecond), svc.TotalCells())
+
+	s := &server{svc: svc}
+	log.Printf("symnetd: listening on %s", *listen)
+	if err := http.ListenAndServe(*listen, s.mux()); err != nil {
+		log.Fatalf("symnetd: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"symnet/internal/obs"
+)
+
+func newTestServer(t *testing.T, network string) (*server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	svc, _, err := buildService(network, true, false, 2, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return &server{svc: svc}, reg
+}
+
+// TestDaemonDeltaRoundTrip drives the HTTP API end to end on the quick
+// backbone: health, a localized route delta on a non-monitored zone, and the
+// resident report afterwards.
+func TestDaemonDeltaRoundTrip(t *testing.T) {
+	s, reg := newTestServer(t, "backbone")
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: %d", resp.StatusCode)
+	}
+
+	// zone1 owns 10.1.0.0/16 with /24s for .0 to .23; .77 is free. The
+	// monitored packet targets zone0's /16, so only zone1's own source
+	// attempts zone1's changed egress guard.
+	deltas := `{"elem":"zone1","op":"insert","prefix":"10.1.77.0/24","port":2}
+{"elem":"zone1","op":"delete","prefix":"10.1.3.0/24"}
+`
+	resp, err = http.Post(ts.URL+"/delta", "application/json", strings.NewReader(deltas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/delta: %d", resp.StatusCode)
+	}
+	var out struct {
+		Applied []deltaReport `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Applied) != 2 {
+		t.Fatalf("applied %d deltas, want 2", len(out.Applied))
+	}
+	for i, r := range out.Applied {
+		if r.DirtySources != 1 {
+			t.Fatalf("delta %d dirtied %d sources, want 1 (localized)", i, r.DirtySources)
+		}
+		if r.CellsReverified >= s.svc.TotalCells() {
+			t.Fatalf("delta %d reverified %d cells, want < %d", i, r.CellsReverified, s.svc.TotalCells())
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep struct {
+		Sources   []string `json:"sources"`
+		Targets   []string `json:"targets"`
+		Reachable [][]bool `json:"reachable"`
+		Cells     int      `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sources) == 0 || len(rep.Reachable) != len(rep.Sources) || rep.Cells != len(rep.Sources)*len(rep.Targets) {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["churn.deltas.applied"] != 2 || snap.Counters["churn.cells.reverified"] == 0 {
+		t.Fatalf("churn metrics not exported: %v", snap.Counters)
+	}
+}
+
+// TestDaemonRejectsBadDeltas: malformed streams and inapplicable deltas get
+// 4xx responses and leave the resident state untouched.
+func TestDaemonRejectsBadDeltas(t *testing.T) {
+	s, _ := newTestServer(t, "department")
+	ts := httptest.NewServer(s.mux())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{"", http.StatusBadRequest},
+		{"{not json}\n", http.StatusBadRequest},
+		{`{"elem":"asw0","op":"teleport","mac":"02:00:00:00:00:00"}` + "\n", http.StatusBadRequest},
+		{`{"elem":"nosuch","op":"delete","mac":"02:00:00:00:00:00"}` + "\n", http.StatusUnprocessableEntity},
+		{`{"elem":"asw0","op":"delete","mac":"06:ff:ff:ff:ff:ff"}` + "\n", http.StatusUnprocessableEntity},
+	} {
+		resp, err := http.Post(ts.URL+"/delta", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /delta: %d, want 405", resp.StatusCode)
+	}
+}

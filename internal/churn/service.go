@@ -1,0 +1,595 @@
+package churn
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"symnet/internal/core"
+	"symnet/internal/expr"
+	"symnet/internal/models"
+	"symnet/internal/obs"
+	"symnet/internal/prog"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+	"symnet/internal/tables"
+	"symnet/internal/verify"
+)
+
+// Config describes the resident verification workload: the network, the
+// all-pairs query (sources, packet, targets), run options, and batch
+// parallelism for re-verification.
+type Config struct {
+	Net     *core.Network
+	Sources []core.PortRef
+	Targets []string
+	Packet  sefl.Instr
+	Opts    core.Options
+	// Workers bounds the re-verification batch pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Reg receives the churn.* instruments and the shared SatCache's
+	// counters; nil allocates a private registry (see Service.Registry).
+	Reg *obs.Registry
+}
+
+// Action classifies how a delta was absorbed, cheapest first.
+type Action string
+
+const (
+	// ActionNoop: the delta changed nothing (e.g. modify to the same port).
+	ActionNoop Action = "noop"
+	// ActionPatched: every affected guard's span table was patched in place.
+	ActionPatched Action = "patched"
+	// ActionRecompiled: at least one affected port's guard was recompiled
+	// from the rebuilt rule list (guard not lowered, or not yet compiled).
+	ActionRecompiled Action = "recompiled"
+	// ActionRebuilt: the element's port set changed, forcing a full model
+	// regeneration (new fork list, all guards).
+	ActionRebuilt Action = "rebuilt"
+)
+
+// DeltaResult reports how one delta was absorbed.
+type DeltaResult struct {
+	Delta           Delta
+	Action          Action
+	DirtySources    int
+	CellsReverified int
+	SatEvicted      int
+	Elapsed         time.Duration
+}
+
+// Service is a resident incremental verifier: Init runs the full all-pairs
+// query once; Apply absorbs one rule delta, patching the affected compiled
+// guard in place and re-running only the sources whose explorations
+// traversed the touched port. The resident report is always byte-identical
+// to a from-scratch verification of the current rule set.
+//
+// Service is not safe for concurrent use; the daemon serializes deltas.
+type Service struct {
+	cfg      Config
+	memo     *solver.SatCache
+	reg      *obs.Registry
+	routers  map[string]tables.FIB
+	switches map[string]tables.MACTable
+	report   *verify.AllPairsReport
+
+	// visited[p] is the set of source indices whose exploration recorded
+	// output-port p in some path history — exactly the sources whose results
+	// can depend on p's guard, since the set of paths attempting a guard is
+	// decided by the upstream fork, not by the guard's content. visitedElem
+	// is the coarser per-element set used when a port-set change forces a
+	// model rebuild.
+	visited     map[core.PortRef]map[int]bool
+	visitedElem map[string]map[int]bool
+
+	deltaNs         *obs.Histogram
+	cellsDirty      *obs.Counter
+	cellsReverified *obs.Counter
+	deltasApplied   *obs.Counter
+	patchedPorts    *obs.Counter
+	recompiledPorts *obs.Counter
+	rebuiltElems    *obs.Counter
+}
+
+// NewService prepares a service; call RegisterRouter/RegisterSwitch for
+// every element that will receive deltas, then Init.
+func NewService(cfg Config) *Service {
+	reg := cfg.Reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	memo := solver.NewSatCache()
+	memo.EnableTracking()
+	memo.RegisterMetrics(reg)
+	cfg.Opts.SatMemo = memo
+	s := &Service{
+		cfg:             cfg,
+		memo:            memo,
+		reg:             reg,
+		routers:         make(map[string]tables.FIB),
+		switches:        make(map[string]tables.MACTable),
+		visited:         make(map[core.PortRef]map[int]bool),
+		visitedElem:     make(map[string]map[int]bool),
+		deltaNs:         reg.Histogram("churn.delta_ns"),
+		cellsDirty:      reg.Counter("churn.cells.dirty"),
+		cellsReverified: reg.Counter("churn.cells.reverified"),
+		deltasApplied:   reg.Counter("churn.deltas.applied"),
+		patchedPorts:    reg.Counter("churn.ports.patched"),
+		recompiledPorts: reg.Counter("churn.ports.recompiled"),
+		rebuiltElems:    reg.Counter("churn.elems.rebuilt"),
+	}
+	return s
+}
+
+// RegisterRouter hands the service the authoritative FIB of a router element
+// (Egress style). The service owns its copy; deltas mutate it.
+func (s *Service) RegisterRouter(elem string, fib tables.FIB) {
+	s.routers[elem] = append(tables.FIB(nil), fib...)
+}
+
+// RegisterSwitch hands the service the authoritative MAC table of a switch
+// element (Egress style, MAC-only matching).
+func (s *Service) RegisterSwitch(elem string, tbl tables.MACTable) {
+	s.switches[elem] = append(tables.MACTable(nil), tbl...)
+}
+
+// Registry returns the registry carrying the churn.* and solver.satcache.*
+// instruments (the configured one, or the private fallback).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Report returns the resident all-pairs report. It is live: Apply splices
+// re-verified rows in place.
+func (s *Service) Report() *verify.AllPairsReport { return s.report }
+
+// TotalCells returns the report's (source, target) pair count.
+func (s *Service) TotalCells() int { return len(s.cfg.Sources) * len(s.cfg.Targets) }
+
+// CurrentFIB returns a copy of a registered router's current table.
+func (s *Service) CurrentFIB(elem string) (tables.FIB, bool) {
+	f, ok := s.routers[elem]
+	return append(tables.FIB(nil), f...), ok
+}
+
+// CurrentMACTable returns a copy of a registered switch's current table.
+func (s *Service) CurrentMACTable(elem string) (tables.MACTable, bool) {
+	t, ok := s.switches[elem]
+	return append(tables.MACTable(nil), t...), ok
+}
+
+// Init runs the full all-pairs verification and builds the dependency index.
+func (s *Service) Init() error {
+	rep, err := verify.AllPairsReachability(s.cfg.Net, s.cfg.Sources, s.cfg.Packet, s.cfg.Targets, s.cfg.Opts, s.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	s.report = rep
+	s.reg.Gauge("churn.cells.total").Set(int64(s.TotalCells()))
+	for i, res := range rep.Results {
+		s.indexSource(i, res)
+	}
+	return nil
+}
+
+// Apply absorbs one rule delta: update the authoritative table, patch or
+// rebuild the affected guards, evict dependent satisfiability verdicts, and
+// re-verify exactly the sources whose explorations traversed the touched
+// ports.
+func (s *Service) Apply(d Delta) (*DeltaResult, error) {
+	if s.report == nil {
+		return nil, fmt.Errorf("churn: Apply before Init")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e, ok := s.cfg.Net.Element(d.Elem)
+	if !ok {
+		return nil, fmt.Errorf("churn: unknown element %q", d.Elem)
+	}
+	var (
+		res *DeltaResult
+		err error
+	)
+	switch {
+	case d.Prefix != "":
+		if _, reg := s.routers[d.Elem]; !reg {
+			return nil, fmt.Errorf("churn: element %q is not a registered router", d.Elem)
+		}
+		res, err = s.applyFIB(e, d)
+	default:
+		if _, reg := s.switches[d.Elem]; !reg {
+			return nil, fmt.Errorf("churn: element %q is not a registered switch", d.Elem)
+		}
+		res, err = s.applyMAC(e, d)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	s.deltasApplied.Inc()
+	s.deltaNs.Observe(res.Elapsed.Nanoseconds())
+	return res, nil
+}
+
+// applyFIB updates a router's table and reconciles its egress guards.
+// Every membership change caused by one (prefix, len) delta — including
+// exclusion changes on containing or contained routes — is confined to the
+// prefix's own address window, so a windowed span-table patch per changed
+// port is exact.
+func (s *Service) applyFIB(e *core.Element, d Delta) (*DeltaResult, error) {
+	pfx, plen, err := ParsePrefixSafe(d.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	oldFib := s.routers[d.Elem]
+	idx := -1
+	for i, r := range oldFib {
+		if r.Prefix == pfx && r.Len == plen {
+			idx = i
+			break
+		}
+	}
+	newFib := append(tables.FIB(nil), oldFib...)
+	switch d.Op {
+	case OpInsert:
+		if idx >= 0 {
+			return nil, fmt.Errorf("churn: %s already has route %s", d.Elem, d.Prefix)
+		}
+		newFib = append(newFib, tables.Route{Prefix: pfx, Len: plen, Port: d.Port})
+	case OpDelete:
+		if idx < 0 {
+			return nil, fmt.Errorf("churn: %s has no route %s", d.Elem, d.Prefix)
+		}
+		newFib = append(newFib[:idx], newFib[idx+1:]...)
+	case OpModify:
+		if idx < 0 {
+			return nil, fmt.Errorf("churn: %s has no route %s", d.Elem, d.Prefix)
+		}
+		if newFib[idx].Port == d.Port {
+			return &DeltaResult{Delta: d, Action: ActionNoop}, nil
+		}
+		newFib[idx].Port = d.Port
+	}
+	res := &DeltaResult{Delta: d}
+	dirty := make(map[int]bool)
+	if !equalInts(oldFib.Ports(), newFib.Ports()) {
+		// Fork list changes: regenerate the whole model. Evict the verdicts
+		// that depended on the old guards first, while the old programs are
+		// still resident.
+		for _, p := range oldFib.Ports() {
+			res.SatEvicted += s.evictPortTables(e, p)
+		}
+		if err := models.Router(e, newFib, models.Egress); err != nil {
+			return nil, err
+		}
+		s.rebuiltElems.Inc()
+		res.Action = ActionRebuilt
+		for i := range s.visitedElem[d.Elem] {
+			dirty[i] = true
+		}
+	} else {
+		oldPer := models.GroupRoutes(tables.CompileLPM(oldFib))
+		newPer := models.GroupRoutes(tables.CompileLPM(newFib))
+		lo := pfx
+		hi := pfx | hostBits(plen, 32)
+		for _, p := range newFib.Ports() {
+			if equalCompiled(oldPer[p], newPer[p]) {
+				continue
+			}
+			rows := routeRows(newPer[p])
+			guard := models.RouterEgressGuard(newPer[p])
+			action, evicted := s.reconcilePort(e, p, rows, 32, lo, hi, guard)
+			res.SatEvicted += evicted
+			res.Action = worse(res.Action, action)
+			for i := range s.visited[core.PortRef{Elem: d.Elem, Port: p, Out: true}] {
+				dirty[i] = true
+			}
+		}
+		if res.Action == "" {
+			res.Action = ActionNoop
+		}
+	}
+	s.routers[d.Elem] = newFib
+	if err := s.reverify(dirty, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// applyMAC updates a switch's table and reconciles its egress guards. A MAC
+// delta's membership changes are confined to the single address [mac, mac].
+func (s *Service) applyMAC(e *core.Element, d Delta) (*DeltaResult, error) {
+	mac, err := ParseMAC(d.MAC)
+	if err != nil {
+		return nil, err
+	}
+	oldTbl := s.switches[d.Elem]
+	idx := -1
+	for i, en := range oldTbl {
+		if en.MAC == mac {
+			idx = i
+			break
+		}
+	}
+	newTbl := append(tables.MACTable(nil), oldTbl...)
+	switch d.Op {
+	case OpInsert:
+		if idx >= 0 {
+			return nil, fmt.Errorf("churn: %s already has MAC %s", d.Elem, d.MAC)
+		}
+		newTbl = append(newTbl, tables.MACEntry{MAC: mac, Port: d.Port})
+	case OpDelete:
+		if idx < 0 {
+			return nil, fmt.Errorf("churn: %s has no MAC %s", d.Elem, d.MAC)
+		}
+		newTbl = append(newTbl[:idx], newTbl[idx+1:]...)
+	case OpModify:
+		if idx < 0 {
+			return nil, fmt.Errorf("churn: %s has no MAC %s", d.Elem, d.MAC)
+		}
+		if newTbl[idx].Port == d.Port {
+			return &DeltaResult{Delta: d, Action: ActionNoop}, nil
+		}
+		newTbl[idx].Port = d.Port
+	}
+	res := &DeltaResult{Delta: d}
+	dirty := make(map[int]bool)
+	if !equalInts(oldTbl.Ports(), newTbl.Ports()) {
+		for _, p := range oldTbl.Ports() {
+			res.SatEvicted += s.evictPortTables(e, p)
+		}
+		if err := models.Switch(e, newTbl, models.Egress); err != nil {
+			return nil, err
+		}
+		s.rebuiltElems.Inc()
+		res.Action = ActionRebuilt
+		for i := range s.visitedElem[d.Elem] {
+			dirty[i] = true
+		}
+	} else {
+		oldBy := oldTbl.ByPort()
+		newBy := newTbl.ByPort()
+		for _, p := range newTbl.Ports() {
+			if equalU64s(oldBy[p], newBy[p]) {
+				continue
+			}
+			rows := macRows(newBy[p])
+			guard := models.SwitchEgressGuard(newBy[p])
+			action, evicted := s.reconcilePort(e, p, rows, sefl.MACWidth, mac, mac, guard)
+			res.SatEvicted += evicted
+			res.Action = worse(res.Action, action)
+			for i := range s.visited[core.PortRef{Elem: d.Elem, Port: p, Out: true}] {
+				dirty[i] = true
+			}
+		}
+		if res.Action == "" {
+			res.Action = ActionNoop
+		}
+	}
+	s.switches[d.Elem] = newTbl
+	if err := s.reverify(dirty, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// reconcilePort installs a changed port guard by the cheapest sound means:
+// patch the resident compiled program's span table inside the delta's
+// address window when the guard is lowered and stays lowerable, otherwise
+// fall back to recompilation (with targeted verdict eviction either way).
+func (s *Service) reconcilePort(e *core.Element, port int, rows []prog.ITRow, w int, lo, hi uint64, guard sefl.Instr) (Action, int) {
+	cp, ok := e.CachedProgram(port, true)
+	if !ok {
+		// Never compiled (or already invalidated): the next run compiles the
+		// new guard lazily; there is nothing resident to patch or evict.
+		e.SetOutCode(port, guard)
+		s.recompiledPorts.Inc()
+		return ActionRecompiled, 0
+	}
+	its := prog.GuardTables(cp)
+	// The patch tier needs the fresh compile's shape to be one lowered
+	// non-grouped table: itMinEntries gates lowering at 4 rows.
+	if len(its) == 1 && !its[0].Grouped && its[0].Table != nil && its[0].W == w && len(rows) >= 4 {
+		oldFp := its[0].Table.Fp()
+		window := solver.FromRange(lo, hi, w)
+		var repl []expr.Span
+		for _, r := range rows {
+			if r.V > hi || r.V|rowSpread(r, w) < lo {
+				continue
+			}
+			repl = append(repl, prog.RowSolutionSet(r, w).Intersect(window).Intervals()...)
+		}
+		table := its[0].Table.PatchWindow(lo, hi, repl)
+		if n := prog.PatchGuard(cp, prog.PatchSpec{OldFp: oldFp, Rows: rows, Table: table, Ins: guard}); n > 0 {
+			e.PatchedOutCode(port, guard)
+			s.patchedPorts.Inc()
+			return ActionPatched, s.memo.EvictByFp(oldFp)
+		}
+	}
+	evicted := s.evictPortTables(e, port)
+	e.SetOutCode(port, guard)
+	s.recompiledPorts.Inc()
+	return ActionRecompiled, evicted
+}
+
+// evictPortTables drops every cached satisfiability verdict that consulted a
+// span table of the port's resident compiled program (no-op when none is
+// resident). Eviction is hygiene, not correctness: replacement guards carry
+// new table fingerprints, so stale entries could never be consulted again.
+func (s *Service) evictPortTables(e *core.Element, port int) int {
+	cp, ok := e.CachedProgram(port, true)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, it := range prog.GuardTables(cp) {
+		if it.Table != nil {
+			n += s.memo.EvictByFp(it.Table.Fp())
+		}
+	}
+	return n
+}
+
+// reverify re-runs the dirty sources and splices their rows into the
+// resident report.
+func (s *Service) reverify(dirty map[int]bool, res *DeltaResult) error {
+	res.DirtySources = len(dirty)
+	s.cellsDirty.Add(int64(len(dirty) * len(s.cfg.Targets)))
+	if len(dirty) == 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(dirty))
+	for i := range dirty {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	jobs := make([]sched.Job, len(idx))
+	for k, i := range idx {
+		src := s.cfg.Sources[i]
+		jobs[k] = sched.Job{Name: src.String(), Inject: src, Packet: s.cfg.Packet, Opts: s.cfg.Opts}
+	}
+	results := sched.RunBatch(s.cfg.Net, jobs, s.cfg.Workers)
+	for k, i := range idx {
+		jr := results[k]
+		if jr.Err != nil {
+			return fmt.Errorf("churn: re-verify source %s: %w", jr.Name, jr.Err)
+		}
+		s.spliceSource(i, jr.Result)
+	}
+	res.CellsReverified = len(idx) * len(s.cfg.Targets)
+	s.cellsReverified.Add(int64(res.CellsReverified))
+	return nil
+}
+
+// spliceSource replaces one source's row in the resident report and
+// refreshes the dependency index for it.
+func (s *Service) spliceSource(i int, res *core.Result) {
+	s.report.Results[i] = res
+	row := make([]bool, len(s.cfg.Targets))
+	cnt := make([]int, len(s.cfg.Targets))
+	for t, target := range s.cfg.Targets {
+		paths := res.DeliveredAt(target, -1)
+		row[t] = len(paths) > 0
+		cnt[t] = len(paths)
+	}
+	s.report.Reachable[i] = row
+	s.report.PathCount[i] = cnt
+	for _, set := range s.visited {
+		delete(set, i)
+	}
+	for _, set := range s.visitedElem {
+		delete(set, i)
+	}
+	s.indexSource(i, res)
+}
+
+// indexSource records which output ports and elements source i's paths
+// traversed. Every path counts, whatever its status: the engine pushes the
+// output-port visit before executing the guard, so failed paths carry the
+// port whose guard killed them — exactly the dependency that matters.
+func (s *Service) indexSource(i int, res *core.Result) {
+	for _, p := range res.Paths {
+		for _, pr := range p.History() {
+			if pr.Out {
+				set := s.visited[pr]
+				if set == nil {
+					set = make(map[int]bool)
+					s.visited[pr] = set
+				}
+				set[i] = true
+			}
+			es := s.visitedElem[pr.Elem]
+			if es == nil {
+				es = make(map[int]bool)
+				s.visitedElem[pr.Elem] = es
+			}
+			es[i] = true
+		}
+	}
+}
+
+// routeRows converts compiled routes (CompileLPM order) to guard rows, the
+// shape a fresh compile of the egress guard lowers.
+func routeRows(rs []tables.CompiledRoute) []prog.ITRow {
+	rows := make([]prog.ITRow, len(rs))
+	for i, r := range rs {
+		row := prog.ITRow{Kind: prog.ITPrefix, V: r.Prefix, Len: r.Len}
+		for _, ex := range r.Exclusions {
+			row.Excl = append(row.Excl, prog.ITExcl{V: ex.Prefix, Len: ex.Len})
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// macRows converts a port's sorted MAC list to guard rows.
+func macRows(macs []uint64) []prog.ITRow {
+	rows := make([]prog.ITRow, len(macs))
+	for i, m := range macs {
+		rows[i] = prog.ITRow{Kind: prog.ITEq, V: m}
+	}
+	return rows
+}
+
+// rowSpread returns the host-bits mask of a row's base match (its reach
+// above V); exclusions only shrink within it.
+func rowSpread(r prog.ITRow, w int) uint64 {
+	if r.Kind == prog.ITPrefix {
+		return hostBits(r.Len, w)
+	}
+	return 0
+}
+
+func hostBits(plen, w int) uint64 {
+	return expr.Mask(w) &^ expr.PrefixMask(plen, w)
+}
+
+func worse(a, b Action) Action {
+	rank := map[Action]int{"": 0, ActionNoop: 0, ActionPatched: 1, ActionRecompiled: 2, ActionRebuilt: 3}
+	if rank[b] > rank[a] {
+		return b
+	}
+	return a
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalU64s(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalCompiled(a, b []tables.CompiledRoute) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Route != b[i].Route || len(a[i].Exclusions) != len(b[i].Exclusions) {
+			return false
+		}
+		for j := range a[i].Exclusions {
+			if a[i].Exclusions[j] != b[i].Exclusions[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -82,6 +82,42 @@ func (e *Element) SetOutCode(port int, code sefl.Instr) *Element {
 	return e
 }
 
+// PatchedOutCode records that an output port's code was updated by an
+// in-place patch of its already-compiled program (prog.PatchGuard): the
+// source AST is replaced so a later cache invalidation recompiles the new
+// rules, and the summary entry is dropped (summaries pre-execute the guard,
+// so they must rebuild from the patched program) — but the compiled-program
+// cache entry is kept, because the cached program object is the one that was
+// just patched. Callers must not be executing the element concurrently.
+func (e *Element) PatchedOutCode(port int, code sefl.Instr) {
+	if e.OutCode == nil {
+		e.OutCode = make(map[int]sefl.Instr)
+	}
+	e.OutCode[port] = code
+	e.sums.Delete(progKey{out: true, port: port})
+}
+
+// CachedProgram returns the compiled program cached for a port, without
+// compiling on miss — the handle an incremental updater patches in place.
+// The bool reports whether a compiled program was resident.
+func (e *Element) CachedProgram(port int, out bool) (*prog.Program, bool) {
+	codes := e.InCode
+	if out {
+		codes = e.OutCode
+	}
+	key := port
+	if _, ok := codes[key]; !ok {
+		if _, ok := codes[WildcardPort]; !ok {
+			return nil, false
+		}
+		key = WildcardPort
+	}
+	if v, ok := e.progs.Load(progKey{out: out, port: key}); ok {
+		return v.(*prog.Program), true
+	}
+	return nil, false
+}
+
 func (e *Element) inCodeFor(port int) (sefl.Instr, bool) {
 	if c, ok := e.InCode[port]; ok {
 		return c, true

@@ -33,6 +33,13 @@ type Department struct {
 	MACEntries     int
 	RouteEntries   int
 
+	// MACTables and FIBs hold every learned-table element's rule state by
+	// element name (access switches, agg, m2 / m1, exit) — what an
+	// incremental verification service (internal/churn) registers so it can
+	// absorb rule deltas against the same tables the models were built from.
+	MACTables map[string]tables.MACTable
+	FIBs      map[string]tables.FIB
+
 	// Well-known addresses.
 	ASAMac   string
 	PublicIP string
@@ -69,11 +76,13 @@ func hostMAC(sw, host int) uint64 {
 // NewDepartment builds the network.
 func NewDepartment(cfg DepartmentConfig) *Department {
 	d := &Department{
-		Net:      core.NewNetwork(),
-		Fixed:    cfg.Fixed,
-		ASAMac:   "02:aa:00:00:00:01",
-		PublicIP: "141.85.37.2",
-		MgmtCIDR: "192.168.137.0/24",
+		Net:       core.NewNetwork(),
+		Fixed:     cfg.Fixed,
+		ASAMac:    "02:aa:00:00:00:01",
+		PublicIP:  "141.85.37.2",
+		MgmtCIDR:  "192.168.137.0/24",
+		MACTables: make(map[string]tables.MACTable),
+		FIBs:      make(map[string]tables.FIB),
 	}
 	net := d.Net
 	asaMACNum := sefl.MACToNumber(d.ASAMac)
@@ -93,6 +102,7 @@ func NewDepartment(cfg DepartmentConfig) *Department {
 		if err := models.Switch(e, tbl, models.Egress); err != nil {
 			panic(err)
 		}
+		d.MACTables[name] = tbl
 	}
 
 	// --- Aggregation switch: port s per access switch, port N upstream.
@@ -109,6 +119,7 @@ func NewDepartment(cfg DepartmentConfig) *Department {
 	if err := models.Switch(agg, aggTbl, models.Egress); err != nil {
 		panic(err)
 	}
+	d.MACTables["agg"] = aggTbl
 
 	// --- M2 master switch: agg on port 0, ASA on port 1, cluster on 2,
 	// management leg on 3.
@@ -126,6 +137,7 @@ func NewDepartment(cfg DepartmentConfig) *Department {
 	if err := models.Switch(m2, m2Tbl, models.Egress); err != nil {
 		panic(err)
 	}
+	d.MACTables["m2"] = m2Tbl
 
 	// --- ASA: inside (VLAN side) <-> outside (M1 side).
 	asaCfg, err := asa.ParseConfig(strings.NewReader(`
@@ -164,6 +176,7 @@ tcp-options strip-sack-http
 	if err := models.Router(m1, m1FIB, models.Egress); err != nil {
 		panic(err)
 	}
+	d.FIBs["m1"] = m1FIB
 
 	// --- Exit router: port 0 -> M1, port 1 -> Internet.
 	exitFIB := tables.FIB{
@@ -175,6 +188,7 @@ tcp-options strip-sack-http
 	if err := models.Router(exit, exitFIB, models.Egress); err != nil {
 		panic(err)
 	}
+	d.FIBs["exit"] = exitFIB
 
 	// --- Leaf segments.
 	internet := net.AddElement("internet", "sink", 1, 0)

@@ -19,6 +19,10 @@ type Backbone struct {
 	Zones []string
 	Cores []string
 	Rules int
+	// FIBs holds every router's forwarding table by element name (zones and
+	// cores) — the authoritative rule state an incremental verification
+	// service (internal/churn) registers to absorb route deltas.
+	FIBs map[string]tables.FIB
 }
 
 // AllPairs returns the canonical batch-verification scenario for the
@@ -38,7 +42,7 @@ func StanfordBackbone(nZones, perZone int) *Backbone {
 	if nZones > 200 {
 		panic("datasets: too many zones")
 	}
-	b := &Backbone{Net: core.NewNetwork(), HNet: hsa.NewNetwork()}
+	b := &Backbone{Net: core.NewNetwork(), HNet: hsa.NewNetwork(), FIBs: make(map[string]tables.FIB)}
 	zoneFIB := make([]tables.FIB, nZones)
 	for z := 0; z < nZones; z++ {
 		name := fmt.Sprintf("zone%d", z)
@@ -76,12 +80,15 @@ func StanfordBackbone(nZones, perZone int) *Backbone {
 		if err := models.Router(e, zoneFIB[z], models.Egress); err != nil {
 			panic(err)
 		}
+		b.FIBs[name] = zoneFIB[z]
 	}
 	for _, name := range cores {
 		e := b.Net.AddElement(name, "router", nZones+1, nZones+1)
-		if err := models.Router(e, bbFIB(), models.Egress); err != nil {
+		fib := bbFIB()
+		if err := models.Router(e, fib, models.Egress); err != nil {
 			panic(err)
 		}
+		b.FIBs[name] = fib
 		b.Rules += nZones + 1
 	}
 	// HSA boxes from the same FIBs.

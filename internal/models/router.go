@@ -8,6 +8,13 @@ import (
 	"symnet/internal/tables"
 )
 
+// GroupRoutes splits compiled routes by output port, preserving the
+// most-specific-first order within each port — the grouping the Egress
+// style's per-port guards are built from.
+func GroupRoutes(cs []tables.CompiledRoute) map[int][]tables.CompiledRoute {
+	return groupRoutes(cs)
+}
+
 // Router installs an IP longest-prefix-match router model onto e.
 //
 // Basic: one If per prefix, most-specific first (branching factor = number
@@ -66,6 +73,14 @@ func Router(e *core.Element, fib tables.FIB, style Style) error {
 		return fmt.Errorf("models: unknown router style %v", style)
 	}
 	return nil
+}
+
+// RouterEgressGuard returns the output-port guard instruction the Egress
+// router style installs for one port's compiled routes — exported so an
+// incremental updater can rebuild a single port's guard after a FIB delta
+// without re-running the whole model construction.
+func RouterEgressGuard(rs []tables.CompiledRoute) sefl.Instr {
+	return sefl.Constrain{C: routeDisjunction(sefl.Ref{LV: sefl.IPDst}, rs)}
 }
 
 // groupRoutes splits compiled routes by output port, preserving the

@@ -90,6 +90,14 @@ func Switch(e *core.Element, t tables.MACTable, style Style) error {
 	return nil
 }
 
+// SwitchEgressGuard returns the output-port guard instruction the Egress
+// switch style installs for one port's sorted MAC list — exported so an
+// incremental updater can rebuild a single port's guard after a MAC-table
+// delta without re-running the whole model construction.
+func SwitchEgressGuard(macs []uint64) sefl.Instr {
+	return sefl.Constrain{C: macDisjunction(sefl.Ref{LV: sefl.EtherDst}, macs)}
+}
+
 func macDisjunction(ref sefl.Expr, macs []uint64) sefl.Cond {
 	cs := make([]sefl.Cond, len(macs))
 	for i, m := range macs {

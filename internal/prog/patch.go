@@ -1,0 +1,134 @@
+package prog
+
+// In-place guard patching for rule churn.
+//
+// A compiled program is normally immutable; an incremental verification
+// service is the sanctioned exception. When one forwarding rule changes, the
+// only part of an egress-style port program that changes is its lowered
+// guard's interval table — the Fork list, segments, and every other op are
+// untouched. PatchGuard swaps the table of the affected guard node in place
+// (between runs: callers must guarantee no exploration is executing the
+// program) and recomputes everything the compiler derives from it, so the
+// patched program is indistinguishable from a fresh compile of the updated
+// guard: same table fingerprint (the caller built the new table with
+// expr.SpanTable patching, whose canonical form is construction-order
+// independent), same rebuilt fallback children, same memo gating and inputs,
+// and the same lazily-rendered source instruction for traces and failure
+// messages.
+
+import (
+	"symnet/internal/expr"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+// PatchSpec describes one guard-table replacement inside a compiled program.
+type PatchSpec struct {
+	// OldFp is the fingerprint of the span table being replaced; every
+	// non-grouped lowered guard currently carrying it is patched.
+	OldFp expr.Fp
+	// Rows is the guard's new row list, in the order a fresh model build
+	// would emit (table order for MACs, CompileLPM order for routes) — the
+	// rebuilt fallback children must match a from-scratch compile exactly.
+	Rows []ITRow
+	// Table is the new merged span table, typically produced by patching the
+	// old one (expr.SpanTable.PatchWindow) rather than re-merging all rows.
+	Table *expr.SpanTable
+	// Ins is the rebuilt source instruction (e.g. models.SwitchEgressGuard).
+	// Trace lines and constraint-failure messages render the op's original
+	// instruction lazily, so every OpConstrain whose guard is patched must
+	// have its Ins replaced or resident traces would show the stale rules.
+	Ins sefl.Instr
+}
+
+// forEachCond visits every distinct condition node reachable from the
+// program's ops (conditions are hash-consed, so shared nodes visit once).
+func forEachCond(p *Program, fn func(*CCond)) {
+	seen := make(map[*CCond]bool)
+	var walk func(cc *CCond)
+	walk = func(cc *CCond) {
+		if cc == nil || seen[cc] {
+			return
+		}
+		seen[cc] = true
+		fn(cc)
+		for _, sub := range cc.Cs {
+			walk(sub)
+		}
+		walk(cc.C)
+	}
+	for i := range p.Ops {
+		walk(p.Ops[i].C)
+	}
+}
+
+// GuardTables returns the payload of every lowered guard node in the
+// program, deduplicated, in op order. An incremental service uses it to map
+// each (element, port) program to the table fingerprints it depends on.
+func GuardTables(p *Program) []*ITable {
+	var out []*ITable
+	forEachCond(p, func(cc *CCond) {
+		if cc.Kind == CIntervalTable && cc.IT != nil {
+			out = append(out, cc.IT)
+		}
+	})
+	return out
+}
+
+// RowSolutionSet returns one guard row's solution set over a w-bit field —
+// the same set construction lowering merges into the span table. Exported so
+// delta application can compute a changed rule's replacement spans without
+// re-merging the whole table.
+func RowSolutionSet(r ITRow, w int) *solver.IntervalSet { return itRowSet(r, w) }
+
+// BuildGuardTable merges a full row list into its span table (the from-
+// scratch construction lowering performs). Incremental callers use it only
+// to cross-check or to rebuild after non-local changes; the per-delta path
+// goes through expr.SpanTable.PatchWindow.
+func BuildGuardTable(rows []ITRow, w int) *expr.SpanTable {
+	it := &ITable{W: w, Rows: rows}
+	buildITable(it)
+	return it.Table
+}
+
+// PatchGuard applies spec to p in place, returning the number of guard nodes
+// patched (0 when no non-grouped lowered guard carries spec.OldFp — grouped
+// two-field tables are not patchable and must be recompiled). The program
+// must not be executing concurrently. For each matched node it installs the
+// new rows and table, rebuilds the fallback Or-tree children with the same
+// hash-consing construction the compiler and wire decoder use, recomputes
+// the node fingerprint and derived state (static fold, size, memo gating,
+// input set), clears the evaluation memo, and swaps the rendered source
+// instruction on every OpConstrain guarded by the node.
+func PatchGuard(p *Program, spec PatchSpec) int {
+	patched := make(map[*CCond]bool)
+	forEachCond(p, func(cc *CCond) {
+		if cc.Kind != CIntervalTable || cc.IT == nil || cc.IT.Grouped {
+			return
+		}
+		if cc.IT.Table == nil || cc.IT.Table.Fp() != spec.OldFp {
+			return
+		}
+		it := &ITable{F: cc.IT.F, W: cc.IT.W, Rows: spec.Rows, Table: spec.Table}
+		cc.IT = it
+		b := &itBuilder{conds: make(map[expr.Fp][]*CCond)}
+		cc.Cs = b.children(it)
+		cc.FP = fpCond(cc)
+		cc.Inputs = nil
+		cc.memo.Store(nil)
+		finishCond(cc)
+		patched[cc] = true
+	})
+	if len(patched) == 0 {
+		return 0
+	}
+	if spec.Ins != nil {
+		for i := range p.Ops {
+			op := &p.Ops[i]
+			if op.Kind == OpConstrain && patched[op.C] {
+				op.Ins = spec.Ins
+			}
+		}
+	}
+	return len(patched)
+}

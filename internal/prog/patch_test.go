@@ -1,0 +1,207 @@
+package prog
+
+import (
+	"fmt"
+	"testing"
+
+	"symnet/internal/expr"
+	"symnet/internal/sefl"
+	"symnet/internal/solver"
+)
+
+func patchMACGuard(macs []uint64) sefl.Instr {
+	ref := sefl.Ref{LV: sefl.EtherDst}
+	cs := make([]sefl.Cond, len(macs))
+	for i, m := range macs {
+		cs[i] = sefl.Eq(ref, sefl.CW(m, sefl.MACWidth))
+	}
+	return sefl.Constrain{C: sefl.OrC(cs...)}
+}
+
+type patchPrefixRow struct {
+	v    uint64
+	len  int
+	excl []ITExcl
+}
+
+func patchPrefixGuard(rows []patchPrefixRow) sefl.Instr {
+	dst := sefl.Ref{LV: sefl.IPDst}
+	cs := make([]sefl.Cond, len(rows))
+	for i, r := range rows {
+		match := sefl.Cond(sefl.Prefix{E: dst, Value: r.v, Len: r.len})
+		if len(r.excl) > 0 {
+			conj := []sefl.Cond{match}
+			for _, e := range r.excl {
+				conj = append(conj, sefl.NotC(sefl.Prefix{E: dst, Value: e.V, Len: e.Len}))
+			}
+			match = sefl.AndC(conj...)
+		}
+		cs[i] = match
+	}
+	return sefl.Constrain{C: sefl.OrC(cs...)}
+}
+
+func guardNode(t *testing.T, p *Program) *CCond {
+	t.Helper()
+	var node *CCond
+	forEachCond(p, func(cc *CCond) {
+		if cc.Kind == CIntervalTable {
+			node = cc
+		}
+	})
+	if node == nil {
+		t.Fatal("no lowered guard in program")
+	}
+	return node
+}
+
+func constrainIns(p *Program) sefl.Instr {
+	for _, op := range p.Ops {
+		if op.Kind == OpConstrain {
+			return op.Ins
+		}
+	}
+	return nil
+}
+
+// deepEqualCond is structural equality across two programs' hash-consing
+// domains (equalCCond compares children by pointer, which only works within
+// one compile). Node fingerprints cover the leaf expressions.
+func deepEqualCond(a, b *CCond) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.FP != b.FP || a.HasStatic != b.HasStatic ||
+		a.StaticErr != b.StaticErr || a.Words != b.Words || a.HasSym != b.HasSym ||
+		a.Memoizable != b.Memoizable || len(a.Inputs) != len(b.Inputs) {
+		return false
+	}
+	if a.Op != b.Op || a.Val != b.Val || a.Mask != b.Mask ||
+		a.PLen != b.PLen || a.PW != b.PW || a.B != b.B || a.Key != b.Key {
+		return false
+	}
+	if len(a.Cs) != len(b.Cs) {
+		return false
+	}
+	for i := range a.Cs {
+		if !deepEqualCond(a.Cs[i], b.Cs[i]) {
+			return false
+		}
+	}
+	return deepEqualCond(a.C, b.C)
+}
+
+// requireSameAsFresh pins the core patching contract: after PatchGuard the
+// program's guard node must be indistinguishable from a fresh compile of the
+// updated guard — structure, fingerprints, memo state, and the rendered
+// source instruction.
+func requireSameAsFresh(t *testing.T, patched *Program, freshGuard sefl.Instr) {
+	t.Helper()
+	fresh := Compile(freshGuard, "el", 0, "el.out[1]")
+	pn, fn := guardNode(t, patched), guardNode(t, fresh)
+	if pn.FP != fn.FP {
+		t.Fatalf("node fingerprint mismatch: %v vs %v", pn.FP, fn.FP)
+	}
+	if !pn.IT.Table.Equal(fn.IT.Table) || pn.IT.Table.Fp() != fn.IT.Table.Fp() {
+		t.Fatalf("table mismatch: %v (fp %v) vs %v (fp %v)",
+			pn.IT.Table, pn.IT.Table.Fp(), fn.IT.Table, fn.IT.Table.Fp())
+	}
+	if !deepEqualCond(pn, fn) {
+		t.Fatal("patched guard node not structurally equal to fresh compile")
+	}
+	if pn.Memoizable != fn.Memoizable || len(pn.Inputs) != len(fn.Inputs) {
+		t.Fatalf("derived state mismatch: memoizable %v/%v inputs %d/%d",
+			pn.Memoizable, fn.Memoizable, len(pn.Inputs), len(fn.Inputs))
+	}
+	if pn.Words != fn.Words || pn.HasSym != fn.HasSym {
+		t.Fatalf("size mismatch: words %d/%d hasSym %v/%v", pn.Words, fn.Words, pn.HasSym, fn.HasSym)
+	}
+	if got, want := fmt.Sprint(constrainIns(patched)), fmt.Sprint(constrainIns(fresh)); got != want {
+		t.Fatalf("rendered instruction mismatch:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestPatchGuardMACInsert(t *testing.T) {
+	macs := []uint64{0x10, 0x20, 0x30, 0x40, 0x50}
+	p := Compile(patchMACGuard(macs), "el", 0, "el.out[1]")
+	node := guardNode(t, p)
+	oldFp := node.IT.Table.Fp()
+	if node.memo.Load() == nil && node.Memoizable {
+		// Warm the memo path indirectly: nothing to do, just assert gating on.
+		_ = node
+	}
+
+	newMacs := []uint64{0x10, 0x20, 0x25, 0x30, 0x40, 0x50}
+	rows := make([]ITRow, len(newMacs))
+	for i, m := range newMacs {
+		rows[i] = ITRow{Kind: ITEq, V: m}
+	}
+	table := node.IT.Table.InsertValue(0x25)
+	if !table.Equal(BuildGuardTable(rows, sefl.MACWidth)) {
+		t.Fatal("incrementally patched table differs from full rebuild")
+	}
+	if n := PatchGuard(p, PatchSpec{OldFp: oldFp, Rows: rows, Table: table, Ins: patchMACGuard(newMacs)}); n != 1 {
+		t.Fatalf("PatchGuard patched %d nodes, want 1", n)
+	}
+	requireSameAsFresh(t, p, patchMACGuard(newMacs))
+
+	// The old table fingerprint no longer matches anything.
+	if n := PatchGuard(p, PatchSpec{OldFp: oldFp, Rows: rows, Table: table}); n != 0 {
+		t.Fatalf("stale-fp patch matched %d nodes, want 0", n)
+	}
+}
+
+func TestPatchGuardPrefixDeleteWithExclusions(t *testing.T) {
+	const w = 32
+	oldRows := []patchPrefixRow{
+		{v: 0x0A000000, len: 8, excl: []ITExcl{{V: 0x0A010000, Len: 16}}},
+		{v: 0x0A010000, len: 16},
+		{v: 0x14000000, len: 8},
+		{v: 0x1E000000, len: 8},
+		{v: 0x28000000, len: 8},
+	}
+	p := Compile(patchPrefixGuard(oldRows), "el", 0, "el.out[1]")
+	node := guardNode(t, p)
+	oldFp := node.IT.Table.Fp()
+
+	// Delete the 10.1/16 route: the containing /8 loses its exclusion, so
+	// membership inside the deleted prefix's window is now covered by the /8.
+	newRows := []patchPrefixRow{
+		{v: 0x0A000000, len: 8},
+		{v: 0x14000000, len: 8},
+		{v: 0x1E000000, len: 8},
+		{v: 0x28000000, len: 8},
+	}
+	itRows := make([]ITRow, len(newRows))
+	for i, r := range newRows {
+		itRows[i] = ITRow{Kind: ITPrefix, V: r.v, Len: r.len, Excl: r.excl}
+	}
+	// Recompute only the deleted prefix's window, the way delta application
+	// does: replacement spans = union of the new rows' sets clipped to it.
+	lo := uint64(0x0A010000)
+	hi := lo | (uint64(1)<<16 - 1)
+	window := solver.FromRange(lo, hi, w)
+	var repl []expr.Span
+	for _, r := range itRows {
+		repl = append(repl, RowSolutionSet(r, w).Intersect(window).Intervals()...)
+	}
+	table := node.IT.Table.PatchWindow(lo, hi, repl)
+	if !table.Equal(BuildGuardTable(itRows, w)) || table.Fp() != BuildGuardTable(itRows, w).Fp() {
+		t.Fatal("windowed patch differs from full rebuild")
+	}
+	if n := PatchGuard(p, PatchSpec{OldFp: oldFp, Rows: itRows, Table: table, Ins: patchPrefixGuard(newRows)}); n != 1 {
+		t.Fatalf("PatchGuard patched %d nodes, want 1", n)
+	}
+	requireSameAsFresh(t, p, patchPrefixGuard(newRows))
+}
+
+func TestGuardTables(t *testing.T) {
+	p := Compile(patchMACGuard([]uint64{1, 2, 3, 4}), "el", 0, "el.out[0]")
+	its := GuardTables(p)
+	if len(its) != 1 || its[0].Table == nil {
+		t.Fatalf("GuardTables returned %d tables", len(its))
+	}
+	if its[0].Table.Fp() != guardNode(t, p).IT.Table.Fp() {
+		t.Fatal("GuardTables returned a different table than the guard node")
+	}
+}

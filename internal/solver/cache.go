@@ -74,6 +74,17 @@ type SatCache struct {
 	hits    atomic.Int64
 	misses  atomic.Int64
 	relays  atomic.Int64
+	evicted atomic.Int64
+
+	// Dependency tracking for targeted eviction under rule churn (opt-in,
+	// EnableTracking): table fingerprint → the keys whose Add sequences
+	// asserted a membership test against that table. A long-lived service
+	// patches a span table, then evicts exactly the verdicts that consulted
+	// the old table instead of dropping the whole cache. Off by default —
+	// batch runs never pay the index.
+	tracking atomic.Bool
+	trackMu  sync.Mutex
+	track    map[expr.Fp][]SatKey
 }
 
 const satShards = 64
@@ -139,6 +150,67 @@ func (c *SatCache) Misses() int64 { return c.misses.Load() }
 // run. Relays are a subset of Hits.
 func (c *SatCache) Relays() int64 { return c.relays.Load() }
 
+// Evicted reports how many memoized decisions EvictByFp has dropped.
+func (c *SatCache) Evicted() int64 { return c.evicted.Load() }
+
+// EnableTracking turns on the table-fingerprint dependency index. Contexts
+// attached to this cache start recording which span tables each Add sequence
+// consulted, and every stored verdict is indexed under those tables'
+// fingerprints so EvictByFp can find it. Enable before the runs whose
+// verdicts should be evictable; there is no way to turn it back off.
+func (c *SatCache) EnableTracking() { c.tracking.Store(true) }
+
+// TrackingEnabled reports whether the dependency index is on.
+func (c *SatCache) TrackingEnabled() bool { return c.tracking.Load() }
+
+// registerDeps indexes key under each table fingerprint it depends on.
+// Called at store time: every context asserting the same Add sequence
+// consults the same tables, so indexing once per stored verdict covers all
+// future hits on it.
+func (c *SatCache) registerDeps(key SatKey, fps []expr.Fp) {
+	if len(fps) == 0 || !c.tracking.Load() {
+		return
+	}
+	c.trackMu.Lock()
+	if c.track == nil {
+		c.track = make(map[expr.Fp][]SatKey)
+	}
+	for _, fp := range fps {
+		c.track[fp] = append(c.track[fp], key)
+	}
+	c.trackMu.Unlock()
+}
+
+// EvictByFp drops every memoized decision whose Add sequence consulted the
+// span table with the given fingerprint, returning how many entries were
+// removed. Requires EnableTracking to have been on when the verdicts were
+// stored; with tracking off it removes nothing. Eviction is hygiene, not
+// correctness: verdicts are pure functions of the assertion chain, and a
+// patched table has a new fingerprint, so stale entries could never be
+// looked up again — but a long-lived daemon must not grow its cache with
+// every delta, and the evicted count makes invalidation observable.
+func (c *SatCache) EvictByFp(fp expr.Fp) int {
+	if c == nil {
+		return 0
+	}
+	c.trackMu.Lock()
+	keys := c.track[fp]
+	delete(c.track, fp)
+	c.trackMu.Unlock()
+	n := 0
+	for _, key := range keys {
+		sh := &c.shards[key.Fp.Hi&(satShards-1)]
+		sh.mu.Lock()
+		if _, ok := sh.m[key]; ok {
+			delete(sh.m, key)
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	c.evicted.Add(int64(n))
+	return n
+}
+
 // RegisterMetrics exposes the cache's telemetry counters on reg as
 // snapshot-time counter funcs (solver.satcache.hits / .misses / .relays).
 // The cache's own atomics stay the source of truth, so the hot path pays
@@ -151,6 +223,7 @@ func (c *SatCache) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterFunc("solver.satcache.hits", c.Hits)
 	reg.CounterFunc("solver.satcache.misses", c.Misses)
 	reg.CounterFunc("solver.satcache.relays", c.Relays)
+	reg.CounterFunc("solver.satcache.evicted", c.Evicted)
 }
 
 // Len reports the number of locally memoized decisions.

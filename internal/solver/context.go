@@ -100,6 +100,7 @@ const (
 	ownDiseqs uint8 = 1 << iota
 	ownRels
 	ownPending
+	ownTableFps
 )
 
 func symHash(s expr.SymID) uint64 { return persist.Mix64(uint64(s)) }
@@ -122,12 +123,18 @@ type Context struct {
 	diseqs  []diseq
 	rels    []relCmp
 	pending []expr.Cond // unresolved Or conditions
-	owns    uint8
-	unsat   bool
-	fp      expr.Fp // chained fingerprint of the Add sequence
-	nAdds   int32   // conditions chained into fp
-	stats   *Stats
-	cache   *SatCache
+	// tableFps records the fingerprints of span tables consulted by the Add
+	// sequence, in order, when the attached cache has dependency tracking on
+	// (see SatCache.EnableTracking). Sat registers them with each stored
+	// verdict so churn-time eviction can target exactly the decisions a
+	// table patch invalidates. Empty (and never appended) otherwise.
+	tableFps []expr.Fp
+	owns     uint8
+	unsat    bool
+	fp       expr.Fp // chained fingerprint of the Add sequence
+	nAdds    int32   // conditions chained into fp
+	stats    *Stats
+	cache    *SatCache
 	// satNs, when attached, observes the wall time of every full Sat
 	// decision (hits and misses alike — a hit's latency is the lookup).
 	// It is telemetry only and nil by default: the disabled path costs one
@@ -228,6 +235,43 @@ func (c *Context) appendPending(cond expr.Cond) {
 	c.pending = append(c.pending, cond)
 }
 
+func (c *Context) appendTableFp(fp expr.Fp) {
+	// Egress guards re-assert the same table along a path (loop bodies,
+	// repeated visits); one index entry per table per chain is enough.
+	for _, have := range c.tableFps {
+		if have == fp {
+			return
+		}
+	}
+	if c.owns&ownTableFps == 0 {
+		nf := make([]expr.Fp, len(c.tableFps), len(c.tableFps)+4)
+		copy(nf, c.tableFps)
+		c.tableFps = nf
+		c.owns |= ownTableFps
+	}
+	c.tableFps = append(c.tableFps, fp)
+}
+
+// collectTableFps records every span table the condition tests membership
+// against, wherever the InSet sits in the structure (negations, And/Or
+// combinations — the compiled guard shapes models emit).
+func (c *Context) collectTableFps(cond expr.Cond) {
+	switch v := cond.(type) {
+	case expr.InSet:
+		c.appendTableFp(v.T.Fp())
+	case expr.Not:
+		c.collectTableFps(v.C)
+	case expr.And:
+		for _, sub := range v.Cs {
+			c.collectTableFps(sub)
+		}
+	case expr.Or:
+		for _, sub := range v.Cs {
+			c.collectTableFps(sub)
+		}
+	}
+}
+
 // find returns the root of s and the offset such that
 // value(s) = value(root) + off. Unseen symbols become their own root with
 // the given width. find is iterative and performs full path compression:
@@ -325,6 +369,9 @@ func (c *Context) Add(cond expr.Cond) bool {
 	cond, h := expr.Intern(cond)
 	c.fp = c.fp.Chain(h)
 	c.nAdds++
+	if c.cache != nil && c.cache.TrackingEnabled() {
+		c.collectTableFps(cond)
+	}
 	c.assert(cond, false)
 	return !c.unsat
 }
@@ -637,6 +684,7 @@ func (c *Context) Sat() bool {
 	before := c.stats.Branches
 	_, ok := c.solve(false, 0)
 	c.cache.store(key, SatVerdict{Sat: ok, Branches: c.stats.Branches - before})
+	c.cache.registerDeps(key, c.tableFps)
 	return ok
 }
 

@@ -1,0 +1,103 @@
+package solver
+
+import (
+	"testing"
+
+	"symnet/internal/expr"
+)
+
+func TestSatCacheEvictByFp(t *testing.T) {
+	tblA := expr.NewSpanTable(16, []expr.Span{{Lo: 10, Hi: 20}, {Lo: 40, Hi: 50}})
+	tblB := expr.NewSpanTable(16, []expr.Span{{Lo: 100, Hi: 200}})
+	x := expr.Lin{Sym: 1, Width: 16}
+	y := expr.Lin{Sym: 2, Width: 16}
+
+	cache := NewSatCache()
+	cache.EnableTracking()
+
+	check := func(conds ...expr.Cond) {
+		c := NewContext(nil)
+		c.SetCache(cache)
+		for _, cond := range conds {
+			c.Add(cond)
+		}
+		c.Sat()
+	}
+	check(expr.NewInSet(x, tblA))
+	check(expr.NewInSet(x, tblA), expr.NewInSet(y, tblB))
+	check(expr.NewInSet(y, tblB))
+	// InSet nested under Not and Or must be indexed too.
+	check(expr.NewNot(expr.NewInSet(x, tblA)), expr.Or{Cs: []expr.Cond{
+		expr.NewInSet(y, tblB), expr.NewCmp(expr.Eq, x, expr.Const(7, 16)),
+	}})
+	if n := cache.Len(); n != 4 {
+		t.Fatalf("expected 4 cached verdicts, have %d", n)
+	}
+
+	// Evicting A's table drops exactly the three chains that consulted it.
+	if n := cache.EvictByFp(tblA.Fp()); n != 3 {
+		t.Fatalf("EvictByFp(A) removed %d entries, want 3", n)
+	}
+	if n := cache.Len(); n != 1 {
+		t.Fatalf("expected 1 surviving verdict, have %d", n)
+	}
+	if got := cache.Evicted(); got != 3 {
+		t.Fatalf("Evicted() = %d, want 3", got)
+	}
+	// Second eviction of the same table: nothing left under that fp.
+	if n := cache.EvictByFp(tblA.Fp()); n != 0 {
+		t.Fatalf("repeat EvictByFp(A) removed %d entries, want 0", n)
+	}
+	// The surviving chain still answers from cache.
+	h0 := cache.Hits()
+	check(expr.NewInSet(y, tblB))
+	if cache.Hits() != h0+1 {
+		t.Fatal("surviving verdict was not served from cache")
+	}
+	// And it can still be evicted by B's table.
+	if n := cache.EvictByFp(tblB.Fp()); n != 1 {
+		t.Fatalf("EvictByFp(B) removed %d entries, want 1", n)
+	}
+}
+
+func TestSatCacheTrackingOffByDefault(t *testing.T) {
+	tbl := expr.NewSpanTable(16, []expr.Span{{Lo: 10, Hi: 20}})
+	cache := NewSatCache()
+	c := NewContext(nil)
+	c.SetCache(cache)
+	c.Add(expr.NewInSet(expr.Lin{Sym: 1, Width: 16}, tbl))
+	c.Sat()
+	if n := cache.EvictByFp(tbl.Fp()); n != 0 {
+		t.Fatalf("tracking off: EvictByFp removed %d entries, want 0", n)
+	}
+	if cache.Len() != 1 {
+		t.Fatal("verdict should survive eviction attempts when tracking is off")
+	}
+}
+
+func TestTableFpsCloneIsolation(t *testing.T) {
+	tblA := expr.NewSpanTable(16, []expr.Span{{Lo: 10, Hi: 20}})
+	tblB := expr.NewSpanTable(16, []expr.Span{{Lo: 30, Hi: 40}})
+	cache := NewSatCache()
+	cache.EnableTracking()
+
+	base := NewContext(nil)
+	base.SetCache(cache)
+	base.Add(expr.NewInSet(expr.Lin{Sym: 1, Width: 16}, tblA))
+
+	// Two clones diverge; each must record only its own tables.
+	c1 := base.Clone()
+	c2 := base.Clone()
+	c1.Add(expr.NewInSet(expr.Lin{Sym: 2, Width: 16}, tblB))
+	if len(c2.tableFps) != 1 || c2.tableFps[0] != tblA.Fp() {
+		t.Fatalf("clone observed sibling's table fps: %v", c2.tableFps)
+	}
+	if len(c1.tableFps) != 2 {
+		t.Fatalf("c1 should have 2 table fps, has %d", len(c1.tableFps))
+	}
+	// Re-asserting the same table must not duplicate the index entry.
+	c1.Add(expr.NewInSet(expr.Lin{Sym: 3, Width: 16}, tblB))
+	if len(c1.tableFps) != 2 {
+		t.Fatalf("duplicate table fp recorded: %v", c1.tableFps)
+	}
+}
