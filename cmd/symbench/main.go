@@ -1036,13 +1036,13 @@ func churnBench(rep *reporter, quick, heavy bool, workers int, o *obs.Obs) {
 	if err != nil {
 		fail(err)
 	}
-	churnRow(rep, "stanford backbone",
-		func() *core.Network { return datasets.StanfordBackbone(zones, perZone).Net },
-		func(svc *churn.Service) {
-			for name, fib := range bb.FIBs {
-				svc.RegisterRouter(name, fib)
-			}
-		},
+	bbFresh := func() *core.Network { return datasets.StanfordBackbone(zones, perZone).Net }
+	bbRegister := func(svc *churn.Service) {
+		for name, fib := range bb.FIBs {
+			svc.RegisterRouter(name, fib)
+		}
+	}
+	churnRow(rep, "stanford backbone", bbFresh, bbRegister,
 		bbSrcs, bbPacket, bbTargets, core.Options{}, bbDeltas, workers, quick, reg)
 
 	// Department: MAC churn on one access switch while the verified traffic
@@ -1066,18 +1066,94 @@ func churnBench(rep *reporter, quick, heavy bool, workers int, o *obs.Obs) {
 	if err != nil {
 		fail(err)
 	}
-	churnRow(rep, "department",
-		func() *core.Network { return datasets.NewDepartment(deptCfg).Net },
-		func(svc *churn.Service) {
-			for name, tbl := range d.MACTables {
-				svc.RegisterSwitch(name, tbl)
-			}
-			for name, fib := range d.FIBs {
-				svc.RegisterRouter(name, fib)
-			}
-		},
+	deptFresh := func() *core.Network { return datasets.NewDepartment(deptCfg).Net }
+	deptRegister := func(svc *churn.Service) {
+		for name, tbl := range d.MACTables {
+			svc.RegisterSwitch(name, tbl)
+		}
+		for name, fib := range d.FIBs {
+			svc.RegisterRouter(name, fib)
+		}
+	}
+	churnRow(rep, "department", deptFresh, deptRegister,
 		deptSrcs, deptPacket, deptTargets, core.Options{MaxHops: 64}, deptDeltas, workers, quick, reg)
 	rep.printf("\n")
+
+	// Batched variant: the same-table burst absorbed one delta at a time
+	// (N patch + re-verify passes) vs staged and committed as one coalesced
+	// batch (one patch pass, one re-verification over the union dirty set) —
+	// the serving layer's delta-coalescing claim.
+	rep.printf("== Delta batching: 10-delta same-table burst, sequential vs coalesced ==\n")
+	rep.printf("%-22s %-8s %-12s %-12s %-9s %s\n",
+		"Dataset", "Deltas", "Seq", "Batch", "Speedup", "Batch result")
+	bbBurst, err := churn.GenFIBDeltas(churned, bb.FIBs[churned], "198.19.0.0/16", 10, 17)
+	if err != nil {
+		fail(err)
+	}
+	churnBurstRow(rep, "stanford backbone", bbFresh, bbRegister,
+		bbSrcs, bbPacket, bbTargets, core.Options{}, bbBurst, workers, reg)
+	deptBurst, err := churn.GenMACDeltas("asw1", d.MACTables["asw1"], 10, 13)
+	if err != nil {
+		fail(err)
+	}
+	churnBurstRow(rep, "department", deptFresh, deptRegister,
+		deptSrcs, deptPacket, deptTargets, core.Options{MaxHops: 64}, deptBurst, workers, reg)
+	rep.printf("\n")
+}
+
+// churnBurstRow measures delta coalescing on one dataset: a fresh resident
+// service absorbs the burst one Apply at a time (what a naive serving loop
+// pays), a second fresh service absorbs the identical burst as one
+// ApplyBatch. seq_burst_ns and batch_burst_ns are columns of the same row,
+// so benchdiff can gate their ratio; the final reports are byte-identical
+// (pinned by TestBatchCoalescingSameTable in internal/churn).
+func churnBurstRow(rep *reporter, name string, fresh func() *core.Network, register func(*churn.Service),
+	srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options,
+	deltas []churn.Delta, workers int, reg *obs.Registry) {
+	build := func() *churn.Service {
+		svc := churn.NewService(churn.Config{
+			Net: fresh(), Sources: srcs, Targets: targets,
+			Packet: packet, Opts: opts, Workers: workers, Reg: reg,
+		})
+		register(svc)
+		if err := svc.Init(); err != nil {
+			fail(err)
+		}
+		return svc
+	}
+
+	seqSvc := build()
+	t0 := time.Now()
+	for _, d := range deltas {
+		if _, err := seqSvc.Apply(d); err != nil {
+			fail(err)
+		}
+	}
+	seqDur := time.Since(t0)
+
+	batchSvc := build()
+	t0 = time.Now()
+	br, err := batchSvc.ApplyBatch(deltas)
+	if err != nil {
+		fail(err)
+	}
+	batchDur := time.Since(t0)
+
+	speedup := float64(seqDur) / float64(batchDur)
+	rep.printf("%-22s %-8d %-12v %-12v %-9s elems=%d dirty=%d reverified=%d\n",
+		name, len(deltas), seqDur.Round(time.Microsecond), batchDur.Round(time.Microsecond),
+		fmt.Sprintf("%.1fx", speedup), br.Elems, br.DirtySources, br.CellsReverified)
+	rep.add(jsonRow{
+		Experiment: "churn",
+		Name:       name + " burst",
+		NsPerOp:    batchDur.Nanoseconds(),
+		Extra: map[string]any{
+			"deltas": len(deltas), "elems": br.Elems,
+			"dirty_sources": br.DirtySources, "cells_reverified": br.CellsReverified,
+			"seq_burst_ns": seqDur.Nanoseconds(), "batch_burst_ns": batchDur.Nanoseconds(),
+			"speedup": speedup, "workers": workers,
+		},
+	})
 }
 
 // churnRow measures one dataset: best-of-N cold full recomputes (fresh

@@ -1,0 +1,238 @@
+package churn
+
+import (
+	"fmt"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/sefl"
+	"symnet/internal/verify"
+)
+
+func newDiffService(t *testing.T, workers int) *Service {
+	t.Helper()
+	svc := NewService(Config{
+		Net:     buildDiffNet(t, diffFIB(), diffMACs()),
+		Sources: []core.PortRef{{Elem: "sw", Port: 1}, {Elem: "sw", Port: 2}},
+		Targets: []string{"hosts", "net0", "net1", "net2"},
+		Packet:  sefl.NewTCPPacket(),
+		Opts:    core.Options{Trace: true},
+		Workers: workers,
+	})
+	svc.RegisterRouter("rt", diffFIB())
+	svc.RegisterSwitch("sw", diffMACs())
+	if err := svc.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestBatchDifferentialVersions is the serving-layer soundness pin: a mixed
+// FIB/MAC delta stream absorbed in coalesced batches must (a) publish
+// exactly one monotonically increasing version per batch and (b) leave every
+// published version byte-identical — results, traces, histories, solver
+// stats — to a from-scratch verification of the network at that delta
+// prefix, at every worker count.
+func TestBatchDifferentialVersions(t *testing.T) {
+	fds, err := GenFIBDeltas("rt", diffFIB(), "10.128.0.0/9", 12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mds, err := GenMACDeltas("sw", diffMACs(), 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []Delta
+	for i := range fds {
+		deltas = append(deltas, fds[i], mds[i])
+	}
+
+	workerCounts := []int{1, 2, 8}
+	svcs := make([]*Service, len(workerCounts))
+	for k, w := range workerCounts {
+		svcs[k] = newDiffService(t, w)
+		if got := svcs[k].Version(); got != 1 {
+			t.Fatalf("workers=%d: Init published version %d, want 1", w, got)
+		}
+	}
+
+	check := func(step string) {
+		t.Helper()
+		fib, _ := svcs[0].CurrentFIB("rt")
+		tbl, _ := svcs[0].CurrentMACTable("sw")
+		fresh, err := verify.AllPairsReachability(
+			buildDiffNet(t, fib, tbl),
+			svcs[0].cfg.Sources, svcs[0].cfg.Packet, svcs[0].cfg.Targets, svcs[0].cfg.Opts, 2)
+		if err != nil {
+			t.Fatalf("%s: fresh verification: %v", step, err)
+		}
+		for k, w := range workerCounts {
+			compareReports(t, fmt.Sprintf("%s workers=%d", step, w), svcs[k].Current().Report, fresh)
+		}
+	}
+
+	// Absorb in coalesced chunks of growing size: 1, 2, 3, ... deltas per
+	// batch, mixing the two tables within a chunk.
+	var wantVersion uint64 = 1
+	for size, off := 1, 0; off < len(deltas); size++ {
+		end := off + size
+		if end > len(deltas) {
+			end = len(deltas)
+		}
+		chunk := deltas[off:end]
+		var first *BatchResult
+		for k, w := range workerCounts {
+			br, err := svcs[k].ApplyBatch(chunk)
+			if err != nil {
+				t.Fatalf("batch [%d:%d) workers=%d: %v", off, end, w, err)
+			}
+			if br.Deltas != len(chunk) {
+				t.Fatalf("batch [%d:%d): absorbed %d deltas, want %d", off, end, br.Deltas, len(chunk))
+			}
+			if k == 0 {
+				first = br
+			} else if br.Action != first.Action || br.DirtySources != first.DirtySources {
+				t.Fatalf("batch [%d:%d): divergent absorption across worker counts: %+v vs %+v", off, end, br, first)
+			}
+		}
+		wantVersion++
+		for k, w := range workerCounts {
+			pr := svcs[k].Current()
+			if pr.Version != wantVersion {
+				t.Fatalf("batch [%d:%d) workers=%d: version %d, want %d", off, end, w, pr.Version, wantVersion)
+			}
+			if svcs[k].Report() != pr.Report {
+				t.Fatalf("batch [%d:%d) workers=%d: Report() diverges from Current().Report", off, end, w)
+			}
+		}
+		if first.Version != wantVersion {
+			t.Fatalf("batch [%d:%d): BatchResult.Version %d, want %d", off, end, first.Version, wantVersion)
+		}
+		check(fmt.Sprintf("batch [%d:%d)", off, end))
+		off = end
+	}
+}
+
+// TestBatchCoalescingSameTable pins the coalescing contract: N deltas to one
+// table commit as a single pass — one version bump, a union dirty set no
+// larger than the per-delta sum, and a final state byte-identical to
+// absorbing the same deltas one at a time.
+func TestBatchCoalescingSameTable(t *testing.T) {
+	fds, err := GenFIBDeltas("rt", diffFIB(), "10.128.0.0/9", 10, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq := newDiffService(t, 2)
+	var seqDirty int
+	for _, d := range fds {
+		res, err := seq.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqDirty += res.DirtySources
+	}
+	if got := seq.Version(); got != uint64(1+len(fds)) {
+		t.Fatalf("sequential: version %d after %d deltas, want %d", got, len(fds), 1+len(fds))
+	}
+
+	bat := newDiffService(t, 2)
+	br, err := bat.ApplyBatch(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.Version() != 2 {
+		t.Fatalf("batched: version %d, want 2 (one publish per batch)", bat.Version())
+	}
+	if br.Elems != 1 || br.Deltas != len(fds) {
+		t.Fatalf("batched: elems=%d deltas=%d, want 1/%d", br.Elems, br.Deltas, len(fds))
+	}
+	if br.DirtySources > seqDirty {
+		t.Fatalf("batched dirty %d exceeds sequential total %d", br.DirtySources, seqDirty)
+	}
+	compareReports(t, "batched vs sequential", bat.Current().Report, seq.Current().Report)
+
+	// And byte-identical to a from-scratch run of the final rule set.
+	fib, _ := bat.CurrentFIB("rt")
+	tbl, _ := bat.CurrentMACTable("sw")
+	fresh, err := verify.AllPairsReachability(
+		buildDiffNet(t, fib, tbl),
+		bat.cfg.Sources, bat.cfg.Packet, bat.cfg.Targets, bat.cfg.Opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareReports(t, "batched vs fresh", bat.Current().Report, fresh)
+}
+
+// TestStagePerDeltaAtomicity: an inapplicable delta fails Add without
+// corrupting the stage; the remaining deltas still stage and commit.
+func TestStagePerDeltaAtomicity(t *testing.T) {
+	svc := newDiffService(t, 1)
+	st := svc.NewStage()
+	if err := st.Add(Delta{Elem: "rt", Op: OpInsert, Prefix: "99.0.0.0/8", Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add(Delta{Elem: "rt", Op: OpInsert, Prefix: "99.0.0.0/8", Port: 2}); err == nil {
+		t.Fatal("duplicate insert staged without error")
+	}
+	if err := st.Add(Delta{Elem: "rt", Op: OpDelete, Prefix: "1.2.3.0/24"}); err == nil {
+		t.Fatal("delete of missing route staged without error")
+	}
+	if err := st.Add(Delta{Elem: "nosuch", Op: OpDelete, Prefix: "10.0.0.0/8"}); err == nil {
+		t.Fatal("unknown element staged without error")
+	}
+	if err := st.Add(Delta{Elem: "rt", Op: OpModify, Prefix: "99.0.0.0/8", Port: 2}); err != nil {
+		t.Fatalf("modify of staged insert: %v", err)
+	}
+	if st.Deltas() != 2 {
+		t.Fatalf("staged %d deltas, want 2", st.Deltas())
+	}
+	br, err := st.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Deltas != 2 {
+		t.Fatalf("committed %d deltas, want 2", br.Deltas)
+	}
+	fib, _ := svc.CurrentFIB("rt")
+	found := false
+	for _, r := range fib {
+		if r.Prefix == 0x63000000 && r.Len == 8 {
+			found = r.Port == 2
+		}
+	}
+	if !found {
+		t.Fatalf("staged insert+modify did not land: %v", fib)
+	}
+
+	// Empty commit publishes nothing.
+	before := svc.Version()
+	if br, err := svc.NewStage().Commit(); err != nil || br.Deltas != 0 {
+		t.Fatalf("empty commit: %+v, %v", br, err)
+	}
+	if svc.Version() != before {
+		t.Fatalf("empty commit bumped version %d -> %d", before, svc.Version())
+	}
+}
+
+// TestApplyBatchAllOrNothing: ApplyBatch (unlike Resident.Submit) rejects
+// the whole batch when any delta fails to stage, leaving state untouched.
+func TestApplyBatchAllOrNothing(t *testing.T) {
+	svc := newDiffService(t, 1)
+	before := svc.Version()
+	fibBefore, _ := svc.CurrentFIB("rt")
+	_, err := svc.ApplyBatch([]Delta{
+		{Elem: "rt", Op: OpInsert, Prefix: "99.0.0.0/8", Port: 1},
+		{Elem: "rt", Op: OpDelete, Prefix: "1.2.3.0/24"}, // not present
+	})
+	if err == nil {
+		t.Fatal("batch with inapplicable delta committed")
+	}
+	if svc.Version() != before {
+		t.Fatal("failed batch bumped the version")
+	}
+	fibAfter, _ := svc.CurrentFIB("rt")
+	if len(fibAfter) != len(fibBefore) {
+		t.Fatal("failed batch mutated the FIB")
+	}
+}

@@ -168,6 +168,47 @@ func DecodeDeltas(r io.Reader) ([]Delta, error) {
 	return out, nil
 }
 
+// LineError records one undecodable or invalid line in a delta stream.
+type LineError struct {
+	// Line is the 1-based line number in the stream.
+	Line int `json:"line"`
+	// Err is the decode or validation failure.
+	Err string `json:"error"`
+}
+
+// DecodeDeltasLenient reads a JSON-lines delta stream like DecodeDeltas but
+// collects malformed or invalid lines instead of failing the whole stream,
+// so a serving endpoint can apply the good lines and report the bad ones
+// per-line. The error return is reserved for stream-level I/O failures.
+func DecodeDeltasLenient(r io.Reader) ([]Delta, []LineError, error) {
+	var out []Delta
+	var bad []LineError
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		var d Delta
+		if err := json.Unmarshal([]byte(s), &d); err != nil {
+			bad = append(bad, LineError{Line: line, Err: err.Error()})
+			continue
+		}
+		if err := d.Validate(); err != nil {
+			bad = append(bad, LineError{Line: line, Err: err.Error()})
+			continue
+		}
+		out = append(out, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return out, bad, nil
+}
+
 // GenFIBDeltas generates a deterministic stream of n applicable FIB deltas
 // for one router: ~40% inserts of fresh /24s drawn from carrier, ~30%
 // deletes, ~30% port modifies of existing routes. It tracks the evolving

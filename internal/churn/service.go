@@ -3,11 +3,11 @@ package churn
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"symnet/internal/core"
 	"symnet/internal/expr"
-	"symnet/internal/models"
 	"symnet/internal/obs"
 	"symnet/internal/prog"
 	"symnet/internal/sched"
@@ -60,12 +60,17 @@ type DeltaResult struct {
 }
 
 // Service is a resident incremental verifier: Init runs the full all-pairs
-// query once; Apply absorbs one rule delta, patching the affected compiled
-// guard in place and re-running only the sources whose explorations
-// traversed the touched port. The resident report is always byte-identical
-// to a from-scratch verification of the current rule set.
+// query once; Apply (or a coalescing Stage/Commit batch) absorbs rule
+// deltas, patching the affected compiled guards in place and re-running only
+// the sources whose explorations traversed the touched ports. Every
+// absorption publishes a fresh copy-on-write report snapshot under a
+// monotonically increasing version; each published version is byte-identical
+// to a from-scratch verification of the rule set at that point.
 //
-// Service is not safe for concurrent use; the daemon serializes deltas.
+// Mutations (Apply, Stage.Commit, RestoreState) are single-writer and not
+// safe for concurrent use — Resident serializes them behind a bounded intake
+// queue. The read side (Current, Version, Watch, TransitionsSince) is safe
+// from any goroutine and never blocks on the writer.
 type Service struct {
 	cfg      Config
 	memo     *solver.SatCache
@@ -73,6 +78,8 @@ type Service struct {
 	routers  map[string]tables.FIB
 	switches map[string]tables.MACTable
 	report   *verify.AllPairsReport
+	cur      atomic.Pointer[PublishedReport]
+	hub      *hub
 
 	// visited[p] is the set of source indices whose exploration recorded
 	// output-port p in some path history — exactly the sources whose results
@@ -84,9 +91,14 @@ type Service struct {
 	visitedElem map[string]map[int]bool
 
 	deltaNs         *obs.Histogram
+	batchNs         *obs.Histogram
+	batchSize       *obs.Histogram
+	batchMax        *obs.Gauge
+	versionGauge    *obs.Gauge
 	cellsDirty      *obs.Counter
 	cellsReverified *obs.Counter
 	deltasApplied   *obs.Counter
+	batchesApplied  *obs.Counter
 	patchedPorts    *obs.Counter
 	recompiledPorts *obs.Counter
 	rebuiltElems    *obs.Counter
@@ -111,10 +123,16 @@ func NewService(cfg Config) *Service {
 		switches:        make(map[string]tables.MACTable),
 		visited:         make(map[core.PortRef]map[int]bool),
 		visitedElem:     make(map[string]map[int]bool),
+		hub:             newHub(reg),
 		deltaNs:         reg.Histogram("churn.delta_ns"),
+		batchNs:         reg.Histogram("churn.batch_ns"),
+		batchSize:       reg.Histogram("churn.batch_size"),
+		batchMax:        reg.Gauge("churn.batch.max_size"),
+		versionGauge:    reg.Gauge("churn.version"),
 		cellsDirty:      reg.Counter("churn.cells.dirty"),
 		cellsReverified: reg.Counter("churn.cells.reverified"),
 		deltasApplied:   reg.Counter("churn.deltas.applied"),
+		batchesApplied:  reg.Counter("churn.batches.applied"),
 		patchedPorts:    reg.Counter("churn.ports.patched"),
 		recompiledPorts: reg.Counter("churn.ports.recompiled"),
 		rebuiltElems:    reg.Counter("churn.elems.rebuilt"),
@@ -138,8 +156,8 @@ func (s *Service) RegisterSwitch(elem string, tbl tables.MACTable) {
 // instruments (the configured one, or the private fallback).
 func (s *Service) Registry() *obs.Registry { return s.reg }
 
-// Report returns the resident all-pairs report. It is live: Apply splices
-// re-verified rows in place.
+// Report returns the latest published all-pairs report (the writer's view;
+// concurrent readers should prefer Current, which also carries the version).
 func (s *Service) Report() *verify.AllPairsReport { return s.report }
 
 // TotalCells returns the report's (source, target) pair count.
@@ -157,7 +175,8 @@ func (s *Service) CurrentMACTable(elem string) (tables.MACTable, bool) {
 	return append(tables.MACTable(nil), t...), ok
 }
 
-// Init runs the full all-pairs verification and builds the dependency index.
+// Init runs the full all-pairs verification, builds the dependency index,
+// and publishes report version 1.
 func (s *Service) Init() error {
 	rep, err := verify.AllPairsReachability(s.cfg.Net, s.cfg.Sources, s.cfg.Packet, s.cfg.Targets, s.cfg.Opts, s.cfg.Workers)
 	if err != nil {
@@ -165,213 +184,43 @@ func (s *Service) Init() error {
 	}
 	s.report = rep
 	s.reg.Gauge("churn.cells.total").Set(int64(s.TotalCells()))
-	for i, res := range rep.Results {
-		s.indexSource(i, res)
-	}
+	s.reindex(rep)
+	s.publish(rep, 0)
 	return nil
 }
 
+// reindex rebuilds the dependency index from scratch for a full report.
+func (s *Service) reindex(rep *verify.AllPairsReport) {
+	s.visited = make(map[core.PortRef]map[int]bool)
+	s.visitedElem = make(map[string]map[int]bool)
+	for i, res := range rep.Results {
+		s.indexSource(i, res)
+	}
+}
+
 // Apply absorbs one rule delta: update the authoritative table, patch or
-// rebuild the affected guards, evict dependent satisfiability verdicts, and
+// rebuild the affected guards, evict dependent satisfiability verdicts,
 // re-verify exactly the sources whose explorations traversed the touched
-// ports.
+// ports, and publish the next report version. It is a batch of one — see
+// NewStage/ApplyBatch for coalescing several deltas into one re-verification
+// pass.
 func (s *Service) Apply(d Delta) (*DeltaResult, error) {
-	if s.report == nil {
-		return nil, fmt.Errorf("churn: Apply before Init")
-	}
-	if err := d.Validate(); err != nil {
+	st := s.NewStage()
+	if err := st.Add(d); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	e, ok := s.cfg.Net.Element(d.Elem)
-	if !ok {
-		return nil, fmt.Errorf("churn: unknown element %q", d.Elem)
-	}
-	var (
-		res *DeltaResult
-		err error
-	)
-	switch {
-	case d.Prefix != "":
-		if _, reg := s.routers[d.Elem]; !reg {
-			return nil, fmt.Errorf("churn: element %q is not a registered router", d.Elem)
-		}
-		res, err = s.applyFIB(e, d)
-	default:
-		if _, reg := s.switches[d.Elem]; !reg {
-			return nil, fmt.Errorf("churn: element %q is not a registered switch", d.Elem)
-		}
-		res, err = s.applyMAC(e, d)
-	}
+	br, err := st.Commit()
 	if err != nil {
 		return nil, err
 	}
-	res.Elapsed = time.Since(start)
-	s.deltasApplied.Inc()
-	s.deltaNs.Observe(res.Elapsed.Nanoseconds())
-	return res, nil
-}
-
-// applyFIB updates a router's table and reconciles its egress guards.
-// Every membership change caused by one (prefix, len) delta — including
-// exclusion changes on containing or contained routes — is confined to the
-// prefix's own address window, so a windowed span-table patch per changed
-// port is exact.
-func (s *Service) applyFIB(e *core.Element, d Delta) (*DeltaResult, error) {
-	pfx, plen, err := ParsePrefixSafe(d.Prefix)
-	if err != nil {
-		return nil, err
-	}
-	oldFib := s.routers[d.Elem]
-	idx := -1
-	for i, r := range oldFib {
-		if r.Prefix == pfx && r.Len == plen {
-			idx = i
-			break
-		}
-	}
-	newFib := append(tables.FIB(nil), oldFib...)
-	switch d.Op {
-	case OpInsert:
-		if idx >= 0 {
-			return nil, fmt.Errorf("churn: %s already has route %s", d.Elem, d.Prefix)
-		}
-		newFib = append(newFib, tables.Route{Prefix: pfx, Len: plen, Port: d.Port})
-	case OpDelete:
-		if idx < 0 {
-			return nil, fmt.Errorf("churn: %s has no route %s", d.Elem, d.Prefix)
-		}
-		newFib = append(newFib[:idx], newFib[idx+1:]...)
-	case OpModify:
-		if idx < 0 {
-			return nil, fmt.Errorf("churn: %s has no route %s", d.Elem, d.Prefix)
-		}
-		if newFib[idx].Port == d.Port {
-			return &DeltaResult{Delta: d, Action: ActionNoop}, nil
-		}
-		newFib[idx].Port = d.Port
-	}
-	res := &DeltaResult{Delta: d}
-	dirty := make(map[int]bool)
-	if !equalInts(oldFib.Ports(), newFib.Ports()) {
-		// Fork list changes: regenerate the whole model. Evict the verdicts
-		// that depended on the old guards first, while the old programs are
-		// still resident.
-		for _, p := range oldFib.Ports() {
-			res.SatEvicted += s.evictPortTables(e, p)
-		}
-		if err := models.Router(e, newFib, models.Egress); err != nil {
-			return nil, err
-		}
-		s.rebuiltElems.Inc()
-		res.Action = ActionRebuilt
-		for i := range s.visitedElem[d.Elem] {
-			dirty[i] = true
-		}
-	} else {
-		oldPer := models.GroupRoutes(tables.CompileLPM(oldFib))
-		newPer := models.GroupRoutes(tables.CompileLPM(newFib))
-		lo := pfx
-		hi := pfx | hostBits(plen, 32)
-		for _, p := range newFib.Ports() {
-			if equalCompiled(oldPer[p], newPer[p]) {
-				continue
-			}
-			rows := routeRows(newPer[p])
-			guard := models.RouterEgressGuard(newPer[p])
-			action, evicted := s.reconcilePort(e, p, rows, 32, lo, hi, guard)
-			res.SatEvicted += evicted
-			res.Action = worse(res.Action, action)
-			for i := range s.visited[core.PortRef{Elem: d.Elem, Port: p, Out: true}] {
-				dirty[i] = true
-			}
-		}
-		if res.Action == "" {
-			res.Action = ActionNoop
-		}
-	}
-	s.routers[d.Elem] = newFib
-	if err := s.reverify(dirty, res); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// applyMAC updates a switch's table and reconciles its egress guards. A MAC
-// delta's membership changes are confined to the single address [mac, mac].
-func (s *Service) applyMAC(e *core.Element, d Delta) (*DeltaResult, error) {
-	mac, err := ParseMAC(d.MAC)
-	if err != nil {
-		return nil, err
-	}
-	oldTbl := s.switches[d.Elem]
-	idx := -1
-	for i, en := range oldTbl {
-		if en.MAC == mac {
-			idx = i
-			break
-		}
-	}
-	newTbl := append(tables.MACTable(nil), oldTbl...)
-	switch d.Op {
-	case OpInsert:
-		if idx >= 0 {
-			return nil, fmt.Errorf("churn: %s already has MAC %s", d.Elem, d.MAC)
-		}
-		newTbl = append(newTbl, tables.MACEntry{MAC: mac, Port: d.Port})
-	case OpDelete:
-		if idx < 0 {
-			return nil, fmt.Errorf("churn: %s has no MAC %s", d.Elem, d.MAC)
-		}
-		newTbl = append(newTbl[:idx], newTbl[idx+1:]...)
-	case OpModify:
-		if idx < 0 {
-			return nil, fmt.Errorf("churn: %s has no MAC %s", d.Elem, d.MAC)
-		}
-		if newTbl[idx].Port == d.Port {
-			return &DeltaResult{Delta: d, Action: ActionNoop}, nil
-		}
-		newTbl[idx].Port = d.Port
-	}
-	res := &DeltaResult{Delta: d}
-	dirty := make(map[int]bool)
-	if !equalInts(oldTbl.Ports(), newTbl.Ports()) {
-		for _, p := range oldTbl.Ports() {
-			res.SatEvicted += s.evictPortTables(e, p)
-		}
-		if err := models.Switch(e, newTbl, models.Egress); err != nil {
-			return nil, err
-		}
-		s.rebuiltElems.Inc()
-		res.Action = ActionRebuilt
-		for i := range s.visitedElem[d.Elem] {
-			dirty[i] = true
-		}
-	} else {
-		oldBy := oldTbl.ByPort()
-		newBy := newTbl.ByPort()
-		for _, p := range newTbl.Ports() {
-			if equalU64s(oldBy[p], newBy[p]) {
-				continue
-			}
-			rows := macRows(newBy[p])
-			guard := models.SwitchEgressGuard(newBy[p])
-			action, evicted := s.reconcilePort(e, p, rows, sefl.MACWidth, mac, mac, guard)
-			res.SatEvicted += evicted
-			res.Action = worse(res.Action, action)
-			for i := range s.visited[core.PortRef{Elem: d.Elem, Port: p, Out: true}] {
-				dirty[i] = true
-			}
-		}
-		if res.Action == "" {
-			res.Action = ActionNoop
-		}
-	}
-	s.switches[d.Elem] = newTbl
-	if err := s.reverify(dirty, res); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &DeltaResult{
+		Delta:           d,
+		Action:          br.Action,
+		DirtySources:    br.DirtySources,
+		CellsReverified: br.CellsReverified,
+		SatEvicted:      br.SatEvicted,
+		Elapsed:         br.Elapsed,
+	}, nil
 }
 
 // reconcilePort installs a changed port guard by the cheapest sound means:
@@ -431,9 +280,12 @@ func (s *Service) evictPortTables(e *core.Element, port int) int {
 	return n
 }
 
-// reverify re-runs the dirty sources and splices their rows into the
-// resident report.
-func (s *Service) reverify(dirty map[int]bool, res *DeltaResult) error {
+// reverify re-runs the dirty sources, splices their rows into a
+// copy-on-write clone of the resident report, and installs the clone as the
+// writer's working report (publication happens in Commit). Unchanged rows
+// stay shared with the previously published snapshot, which concurrent
+// readers keep traversing untouched.
+func (s *Service) reverify(dirty map[int]bool, res *BatchResult) error {
 	res.DirtySources = len(dirty)
 	s.cellsDirty.Add(int64(len(dirty) * len(s.cfg.Targets)))
 	if len(dirty) == 0 {
@@ -450,22 +302,24 @@ func (s *Service) reverify(dirty map[int]bool, res *DeltaResult) error {
 		jobs[k] = sched.Job{Name: src.String(), Inject: src, Packet: s.cfg.Packet, Opts: s.cfg.Opts}
 	}
 	results := sched.RunBatch(s.cfg.Net, jobs, s.cfg.Workers)
+	next := s.report.CloneShallow()
 	for k, i := range idx {
 		jr := results[k]
 		if jr.Err != nil {
 			return fmt.Errorf("churn: re-verify source %s: %w", jr.Name, jr.Err)
 		}
-		s.spliceSource(i, jr.Result)
+		s.spliceSource(next, i, jr.Result)
 	}
+	s.report = next
 	res.CellsReverified = len(idx) * len(s.cfg.Targets)
 	s.cellsReverified.Add(int64(res.CellsReverified))
 	return nil
 }
 
-// spliceSource replaces one source's row in the resident report and
+// spliceSource replaces one source's row in the given report clone and
 // refreshes the dependency index for it.
-func (s *Service) spliceSource(i int, res *core.Result) {
-	s.report.Results[i] = res
+func (s *Service) spliceSource(rep *verify.AllPairsReport, i int, res *core.Result) {
+	rep.Results[i] = res
 	row := make([]bool, len(s.cfg.Targets))
 	cnt := make([]int, len(s.cfg.Targets))
 	for t, target := range s.cfg.Targets {
@@ -473,8 +327,8 @@ func (s *Service) spliceSource(i int, res *core.Result) {
 		row[t] = len(paths) > 0
 		cnt[t] = len(paths)
 	}
-	s.report.Reachable[i] = row
-	s.report.PathCount[i] = cnt
+	rep.Reachable[i] = row
+	rep.PathCount[i] = cnt
 	for _, set := range s.visited {
 		delete(set, i)
 	}

@@ -1,0 +1,162 @@
+package churn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"symnet/internal/models"
+	"symnet/internal/tables"
+	"symnet/internal/verify"
+)
+
+// StateSchema versions the snapshot wire format.
+const StateSchema = 1
+
+// State is a serializable snapshot of the resident state: the authoritative
+// tables plus the published version. It deliberately omits the report — a
+// restore re-runs the full verification, so the restored report is
+// from-scratch-fresh by construction and the byte-identity invariant holds
+// trivially at the restored version.
+type State struct {
+	Schema        int                        `json:"schema"`
+	Version       uint64                     `json:"version"`
+	DeltasApplied uint64                     `json:"deltas_applied"`
+	Routers       map[string]tables.FIB      `json:"routers,omitempty"`
+	Switches      map[string]tables.MACTable `json:"switches,omitempty"`
+}
+
+// ExportState captures the current tables and version. Single-writer; the
+// Resident serializes it with absorption (Resident.Export).
+func (s *Service) ExportState() *State {
+	st := &State{
+		Schema:   StateSchema,
+		Routers:  make(map[string]tables.FIB, len(s.routers)),
+		Switches: make(map[string]tables.MACTable, len(s.switches)),
+	}
+	if pr := s.Current(); pr != nil {
+		st.Version = pr.Version
+		st.DeltasApplied = pr.DeltasApplied
+	}
+	for name, fib := range s.routers {
+		st.Routers[name] = append(tables.FIB(nil), fib...)
+	}
+	for name, tbl := range s.switches {
+		st.Switches[name] = append(tables.MACTable(nil), tbl...)
+	}
+	return st
+}
+
+// WriteTo serializes the state as JSON.
+func (st *State) WriteTo(w io.Writer) (int64, error) {
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	b = append(b, '\n')
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ReadState deserializes and validates a snapshot.
+func ReadState(r io.Reader) (*State, error) {
+	var st State
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("churn: snapshot decode: %w", err)
+	}
+	if st.Schema != StateSchema {
+		return nil, fmt.Errorf("churn: snapshot schema %d, want %d", st.Schema, StateSchema)
+	}
+	return &st, nil
+}
+
+// RestoreState replaces the resident tables with the snapshot's, regenerates
+// every affected element model, re-runs the full verification, and publishes
+// the restored report as the next version. The snapshot must cover exactly
+// the elements registered with the service (same topology, different rules).
+// Versions stay monotone: the published version is one past the maximum of
+// the current and snapshot versions, and watchers see the real transitions
+// between the pre- and post-restore reports.
+func (s *Service) RestoreState(st *State) (*PublishedReport, error) {
+	if st.Schema != StateSchema {
+		return nil, fmt.Errorf("churn: snapshot schema %d, want %d", st.Schema, StateSchema)
+	}
+	if err := keySetsMatch("router", keysFIB(s.routers), keysFIB(st.Routers)); err != nil {
+		return nil, err
+	}
+	if err := keySetsMatch("switch", keysMAC(s.switches), keysMAC(st.Switches)); err != nil {
+		return nil, err
+	}
+	// Evict resident verdicts while the old programs are still installed,
+	// then regenerate every model from the snapshot tables.
+	for name, fib := range st.Routers {
+		e, ok := s.cfg.Net.Element(name)
+		if !ok {
+			return nil, fmt.Errorf("churn: unknown element %q in snapshot", name)
+		}
+		for _, p := range s.routers[name].Ports() {
+			s.evictPortTables(e, p)
+		}
+		if err := models.Router(e, fib, models.Egress); err != nil {
+			return nil, err
+		}
+		s.routers[name] = append(tables.FIB(nil), fib...)
+	}
+	for name, tbl := range st.Switches {
+		e, ok := s.cfg.Net.Element(name)
+		if !ok {
+			return nil, fmt.Errorf("churn: unknown element %q in snapshot", name)
+		}
+		for _, p := range s.switches[name].Ports() {
+			s.evictPortTables(e, p)
+		}
+		if err := models.Switch(e, tbl, models.Egress); err != nil {
+			return nil, err
+		}
+		s.switches[name] = append(tables.MACTable(nil), tbl...)
+	}
+	rep, err := verify.AllPairsReachability(s.cfg.Net, s.cfg.Sources, s.cfg.Packet, s.cfg.Targets, s.cfg.Opts, s.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	s.report = rep
+	s.reindex(rep)
+	// Lift the version past the snapshot's so a restore never rewinds the
+	// counter watchers and long-pollers rely on.
+	ver := st.Version + 1
+	if cur := s.cur.Load(); cur != nil && cur.Version >= ver {
+		ver = cur.Version + 1
+	}
+	return s.publishAs(rep, ver, st.DeltasApplied), nil
+}
+
+func keysFIB(m map[string]tables.FIB) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysMAC(m map[string]tables.MACTable) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keySetsMatch(kind string, have, want []string) error {
+	if len(have) != len(want) {
+		return fmt.Errorf("churn: snapshot %s set %v does not match registered %v", kind, want, have)
+	}
+	for i := range have {
+		if have[i] != want[i] {
+			return fmt.Errorf("churn: snapshot %s set %v does not match registered %v", kind, want, have)
+		}
+	}
+	return nil
+}

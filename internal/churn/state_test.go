@@ -1,0 +1,103 @@
+package churn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStateRoundTrip: export after churn, restore into a fresh service of the
+// same topology, and pin the restored report byte-identical to the donor's —
+// which itself is byte-identical to from-scratch (differential tests), so
+// the invariant carries through snapshot/restore.
+func TestStateRoundTrip(t *testing.T) {
+	donor := newDiffService(t, 2)
+	fds, err := GenFIBDeltas("rt", diffFIB(), "10.128.0.0/9", 8, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.ApplyBatch(fds); err != nil {
+		t.Fatal(err)
+	}
+
+	st := donor.ExportState()
+	if st.Schema != StateSchema || st.Version != donor.Version() {
+		t.Fatalf("export: %+v vs version %d", st, donor.Version())
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ReadState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newDiffService(t, 2) // still at the seed tables, version 1
+	pub, err := fresh.RestoreState(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Version lifted past the snapshot's (2): restore publishes 3.
+	if pub.Version != st.Version+1 {
+		t.Fatalf("restored version %d, want %d", pub.Version, st.Version+1)
+	}
+	if fresh.Current() != pub {
+		t.Fatal("restore did not publish")
+	}
+	compareReports(t, "restored vs donor", pub.Report, donor.Current().Report)
+
+	// Tables round-tripped exactly.
+	df, _ := donor.CurrentFIB("rt")
+	ff, _ := fresh.CurrentFIB("rt")
+	if len(df) != len(ff) {
+		t.Fatalf("restored FIB has %d routes, donor %d", len(ff), len(df))
+	}
+
+	// Restore keeps versions monotone even when the snapshot is older than
+	// the target's current version.
+	for i := 0; i < 4; i++ {
+		if _, err := fresh.Apply(Delta{Elem: "rt", Op: OpInsert, Prefix: "200.0.0.0/8", Port: 0}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fresh.Apply(Delta{Elem: "rt", Op: OpDelete, Prefix: "200.0.0.0/8"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := fresh.Version()
+	pub2, err := fresh.RestoreState(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub2.Version != before+1 {
+		t.Fatalf("restore rewound version: %d after %d", pub2.Version, before)
+	}
+	compareReports(t, "re-restored vs donor", pub2.Report, donor.Current().Report)
+
+	// Deltas keep applying after a restore.
+	if _, err := fresh.Apply(Delta{Elem: "rt", Op: OpInsert, Prefix: "201.0.0.0/8", Port: 1}); err != nil {
+		t.Fatalf("apply after restore: %v", err)
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	svc := newDiffService(t, 1)
+
+	if _, err := ReadState(strings.NewReader(`{"schema":99}`)); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch accepted: %v", err)
+	}
+	if _, err := ReadState(strings.NewReader(`{garbage`)); err == nil {
+		t.Fatal("malformed snapshot accepted")
+	}
+
+	st := svc.ExportState()
+	delete(st.Routers, "rt")
+	if _, err := svc.RestoreState(st); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("router set mismatch accepted: %v", err)
+	}
+	st2 := svc.ExportState()
+	st2.Schema = 7
+	if _, err := svc.RestoreState(st2); err == nil {
+		t.Fatal("wrong-schema restore accepted")
+	}
+}

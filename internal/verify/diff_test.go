@@ -1,0 +1,80 @@
+package verify
+
+import (
+	"reflect"
+	"testing"
+
+	"symnet/internal/core"
+)
+
+func diffFixture() *AllPairsReport {
+	return &AllPairsReport{
+		Sources:   []core.PortRef{{Elem: "a", Port: 0}, {Elem: "b", Port: 1}},
+		Targets:   []string{"x", "y", "z"},
+		Reachable: [][]bool{{true, false, true}, {false, true, true}},
+		PathCount: [][]int{{1, 0, 2}, {0, 3, 1}},
+		Results:   []*core.Result{nil, nil},
+	}
+}
+
+func TestCloneShallowAliasesRows(t *testing.T) {
+	r := diffFixture()
+	c := r.CloneShallow()
+	if &c.Reachable[0][0] != &r.Reachable[0][0] || &c.PathCount[1][0] != &r.PathCount[1][0] {
+		t.Fatal("clone rows do not alias the original")
+	}
+	// Replacing a clone row leaves the original untouched.
+	c.Reachable[0] = []bool{false, false, false}
+	if !r.Reachable[0][0] {
+		t.Fatal("row replacement on the clone mutated the original")
+	}
+}
+
+func TestDiffReports(t *testing.T) {
+	old := diffFixture()
+
+	// Pure COW clone: all rows alias, diff is empty.
+	if d := DiffReports(old, old.CloneShallow()); len(d) != 0 {
+		t.Fatalf("aliased clone diffed: %+v", d)
+	}
+
+	// Replace one row with a flip and a path-count change.
+	next := old.CloneShallow()
+	next.Reachable[0] = []bool{true, true, true} // y flips false->true
+	next.PathCount[0] = []int{1, 4, 3}           // z count 2->3
+	got := DiffReports(old, next)
+	want := []CellDelta{
+		{Src: 0, Dst: 1, FromReachable: false, ToReachable: true, FromPaths: 0, ToPaths: 4},
+		{Src: 0, Dst: 2, FromReachable: true, ToReachable: true, FromPaths: 2, ToPaths: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("diff = %+v, want %+v", got, want)
+	}
+	if !got[0].Flipped() || got[1].Flipped() {
+		t.Fatalf("Flipped verdicts wrong: %+v", got)
+	}
+
+	// Replaced-but-identical row: content comparison finds nothing.
+	same := old.CloneShallow()
+	same.Reachable[1] = append([]bool(nil), old.Reachable[1]...)
+	same.PathCount[1] = append([]int(nil), old.PathCount[1]...)
+	if d := DiffReports(old, same); len(d) != 0 {
+		t.Fatalf("identical replaced row diffed: %+v", d)
+	}
+
+	// Shape mismatches are undefined: nil out.
+	short := diffFixture()
+	short.Reachable = short.Reachable[:1]
+	if DiffReports(old, short) != nil || DiffReports(short, old) != nil {
+		t.Fatal("shape mismatch produced a diff")
+	}
+	if DiffReports(nil, old) != nil || DiffReports(old, nil) != nil {
+		t.Fatal("nil report produced a diff")
+	}
+
+	// Zero-width rows neither panic nor diff.
+	empty := &AllPairsReport{Reachable: [][]bool{{}}, PathCount: [][]int{{}}}
+	if d := DiffReports(empty, &AllPairsReport{Reachable: [][]bool{{}}, PathCount: [][]int{{}}}); d != nil {
+		t.Fatalf("empty rows diffed: %+v", d)
+	}
+}

@@ -1,0 +1,277 @@
+package symnet
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"symnet/internal/churn"
+	"symnet/internal/core"
+	"symnet/internal/models"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+	"symnet/internal/tables"
+	"symnet/internal/verify"
+)
+
+// Forwarding-table types for ServeConfig. See internal/tables.
+type (
+	// FIB is a router's forwarding table (longest-prefix-match routes).
+	FIB = tables.FIB
+	// Route is one FIB entry: Prefix/Len forwarded out Port.
+	Route = tables.Route
+	// MACTable is a switch's MAC learning table.
+	MACTable = tables.MACTable
+	// MACEntry is one MAC table entry: MAC forwarded out Port.
+	MACEntry = tables.MACEntry
+)
+
+// Verification report types. See internal/verify.
+type (
+	// AllPairsReport is the sources x targets reachability matrix.
+	AllPairsReport = verify.AllPairsReport
+	// CellDelta is one report cell that changed between two versions.
+	CellDelta = verify.CellDelta
+)
+
+// Churn serving types. See internal/churn for full documentation.
+type (
+	// Delta is one forwarding-rule update (FIB route or MAC entry
+	// insert/delete/modify). It doubles as the symnetd wire format.
+	Delta = churn.Delta
+	// DeltaStatus is the per-delta outcome of an Apply.
+	DeltaStatus = churn.DeltaStatus
+	// ApplyReport reports one Apply call's absorption: the (possibly
+	// coalesced) batch it rode in plus per-delta statuses.
+	ApplyReport = churn.SubmitResult
+	// BatchReport describes one absorbed batch: reconcile tier, dirty-set
+	// size, cells re-verified, reachability transitions, elapsed time.
+	BatchReport = churn.BatchResult
+	// PublishedReport is an immutable versioned report snapshot.
+	PublishedReport = churn.PublishedReport
+	// VersionEvent is one published version plus its cell transitions.
+	VersionEvent = churn.VersionEvent
+	// Transition is one reachability-cell flip between versions.
+	Transition = churn.Transition
+	// Subscription is a live feed of VersionEvents (see Serving.Watch).
+	Subscription = churn.Subscription
+	// ServingState is a serializable snapshot of resident tables + version.
+	ServingState = churn.State
+)
+
+// Delta operations.
+const (
+	OpInsert = churn.OpInsert
+	OpDelete = churn.OpDelete
+	OpModify = churn.OpModify
+)
+
+// ReadServingState deserializes a snapshot written by ServingState.WriteTo.
+func ReadServingState(r io.Reader) (*ServingState, error) { return churn.ReadState(r) }
+
+// DecodeDeltas reads a JSON-lines delta stream (the symgen/symnetd format).
+func DecodeDeltas(r io.Reader) ([]Delta, error) { return churn.DecodeDeltas(r) }
+
+// EncodeDeltas writes deltas as JSON lines.
+func EncodeDeltas(w io.Writer, ds []Delta) error { return churn.EncodeDeltas(w, ds) }
+
+// Session is a compiled network plus the run configuration shared by every
+// query against it: the options, the worker budget, and a cross-run
+// satisfiability memo. Build one with Compile, then issue queries with Run,
+// RunBatch and AllPairs, or start a churn-serving handle with Serve.
+//
+// Worker semantics (Options.Workers) are uniform across the session:
+//
+//	> 1  — parallel exploration/fan-out with that many workers
+//	  0,1 — sequential (the zero value never spawns goroutines)
+//	< 0  — all cores
+//
+// Results are byte-identical at every worker count.
+type Session struct {
+	net  *Network
+	opts Options
+}
+
+// Compile validates the network, warms every element's compiled programs
+// (so first-query latency excludes compilation), and pins the session's
+// run options. A nil Options.SatMemo is replaced with a fresh session-held
+// memo, so repeated queries share solver verdicts by default.
+func Compile(net *Network, opts Options) (*Session, error) {
+	if net == nil {
+		return nil, fmt.Errorf("symnet: Compile on nil network")
+	}
+	if opts.SatMemo == nil {
+		opts.SatMemo = NewSatMemo()
+	}
+	for _, e := range net.Elements() {
+		e.Programs() // warm the lazily-compiled per-port programs
+	}
+	return &Session{net: net, opts: opts}, nil
+}
+
+// Network returns the session's network. Mutating it while a Serving handle
+// is live is a data race; route changes through Serving.Apply instead.
+func (s *Session) Network() *Network { return s.net }
+
+// Options returns the session's pinned run options.
+func (s *Session) Options() Options { return s.opts }
+
+// Run injects a symbolic packet built by init at an input port and explores
+// every feasible path, honoring the session's worker semantics.
+func (s *Session) Run(inject PortRef, init sefl.Instr) (*Result, error) {
+	if w := s.opts.Workers; w > 1 || w < 0 {
+		return sched.Run(s.net, inject, init, s.opts, w)
+	}
+	return core.Run(s.net, inject, init, s.opts)
+}
+
+// RunBatch runs independent queries against the network, fanning jobs
+// across the session's worker pool (Workers <= 0 selects all cores, as in
+// the package-level RunBatch). Jobs with a nil Opts.SatMemo share the
+// session memo; results are identical with or without sharing.
+func (s *Session) RunBatch(jobs []BatchJob) []BatchResult {
+	shared := make([]BatchJob, len(jobs))
+	for i, j := range jobs {
+		if j.Opts.SatMemo == nil {
+			j.Opts.SatMemo = s.opts.SatMemo
+		}
+		shared[i] = j
+	}
+	return sched.RunBatch(s.net, shared, s.opts.Workers)
+}
+
+// AllPairs computes the sources x targets reachability matrix under the
+// session options (Workers <= 0 selects all cores).
+func (s *Session) AllPairs(sources []PortRef, packet sefl.Instr, targets []string) (*AllPairsReport, error) {
+	return verify.AllPairsReachability(s.net, sources, packet, targets, s.opts, s.opts.Workers)
+}
+
+// ServeConfig describes a resident churn-serving workload: the monitored
+// all-pairs query plus the authoritative forwarding tables of the elements
+// that will receive deltas. Serve (re)models each listed element from its
+// table — Egress style, the patchable tier — so the caller only builds the
+// topology (AddElement + Link) and hands over the tables.
+type ServeConfig struct {
+	// Sources and Targets define the monitored reachability matrix.
+	Sources []PortRef
+	Targets []string
+	// Packet builds the injected symbolic packet (e.g. sefl.NewTCPPacket()).
+	Packet sefl.Instr
+	// Routers and Switches map element names to their authoritative tables.
+	Routers  map[string]FIB
+	Switches map[string]MACTable
+	// QueueDepth bounds the intake queue (default 256); a full queue
+	// back-pressures Apply.
+	QueueDepth int
+	// MaxBatch caps how many deltas one absorption pass coalesces
+	// (default 128).
+	MaxBatch int
+}
+
+// Serving is a live churn-serving handle: a resident verification of the
+// configured all-pairs query that absorbs rule deltas incrementally and
+// publishes versioned report snapshots. Reads (Current, Watch,
+// TransitionsSince) are lock-free; all mutations funnel through Apply's
+// single-writer absorber, which coalesces concurrent submissions. Every
+// published report is byte-identical to a from-scratch verification of the
+// same rules (pinned by the differential tests in internal/churn).
+type Serving struct {
+	svc *churn.Service
+	res *churn.Resident
+}
+
+// Serve models the configured elements from their tables, runs the initial
+// all-pairs verification (published as version 1), and starts the absorber.
+// Close the handle when done.
+func (s *Session) Serve(cfg ServeConfig) (*Serving, error) {
+	for name, fib := range cfg.Routers {
+		e, ok := s.net.Element(name)
+		if !ok {
+			return nil, fmt.Errorf("symnet: serve: unknown router element %q", name)
+		}
+		if err := models.Router(e, fib, models.Egress); err != nil {
+			return nil, fmt.Errorf("symnet: serve: model router %q: %w", name, err)
+		}
+	}
+	for name, tbl := range cfg.Switches {
+		e, ok := s.net.Element(name)
+		if !ok {
+			return nil, fmt.Errorf("symnet: serve: unknown switch element %q", name)
+		}
+		if err := models.Switch(e, tbl, models.Egress); err != nil {
+			return nil, fmt.Errorf("symnet: serve: model switch %q: %w", name, err)
+		}
+	}
+	svc := churn.NewService(churn.Config{
+		Net:     s.net,
+		Sources: cfg.Sources,
+		Targets: cfg.Targets,
+		Packet:  cfg.Packet,
+		Opts:    s.opts,
+		Workers: s.opts.Workers,
+	})
+	for name, fib := range cfg.Routers {
+		svc.RegisterRouter(name, fib)
+	}
+	for name, tbl := range cfg.Switches {
+		svc.RegisterSwitch(name, tbl)
+	}
+	if err := svc.Init(); err != nil {
+		return nil, fmt.Errorf("symnet: serve: initial verification: %w", err)
+	}
+	res := churn.NewResident(svc, churn.ResidentConfig{
+		QueueDepth: cfg.QueueDepth,
+		MaxBatch:   cfg.MaxBatch,
+	})
+	if err := res.Start(); err != nil {
+		return nil, err
+	}
+	return &Serving{svc: svc, res: res}, nil
+}
+
+// Apply submits deltas for absorption and blocks until their pass commits
+// (or ctx is done). Deltas are staged in order; an inapplicable delta is
+// rejected in its DeltaStatus and the rest still applies. Concurrent Apply
+// calls coalesce into one absorption pass.
+func (v *Serving) Apply(ctx context.Context, ds ...Delta) (*ApplyReport, error) {
+	return v.res.Submit(ctx, ds)
+}
+
+// Current returns the latest published report snapshot, lock-free.
+func (v *Serving) Current() *PublishedReport { return v.res.Current() }
+
+// Version returns the latest published version number.
+func (v *Serving) Version() uint64 { return v.svc.Version() }
+
+// Watch subscribes to published versions. Events carry the reachability
+// transitions vs the previous version; a subscriber that falls more than
+// buffer events behind is dropped (its channel closes) and must re-sync
+// via Current or TransitionsSince.
+func (v *Serving) Watch(buffer int) *Subscription { return v.res.Watch(buffer) }
+
+// TransitionsSince replays retained events with Version > since, oldest
+// first. A false second return means since is beyond the replay ring and
+// the caller must re-read Current instead.
+func (v *Serving) TransitionsSince(since uint64) ([]VersionEvent, bool) {
+	return v.res.TransitionsSince(since)
+}
+
+// Export captures a consistent snapshot of the resident tables + version,
+// serialized with absorption (never a half-applied batch).
+func (v *Serving) Export(ctx context.Context) (*ServingState, error) {
+	return v.res.Export(ctx)
+}
+
+// Restore replaces the resident tables with the snapshot's and re-runs the
+// full verification, publishing the result as the next version (versions
+// stay monotone even when the snapshot is older).
+func (v *Serving) Restore(ctx context.Context, st *ServingState) (*PublishedReport, error) {
+	return v.res.Restore(ctx, st)
+}
+
+// Barrier waits until every Apply queued before it has been absorbed.
+func (v *Serving) Barrier(ctx context.Context) error { return v.res.Barrier(ctx) }
+
+// Close stops the absorber and closes watch subscriptions. Queued Apply
+// calls are failed.
+func (v *Serving) Close() { v.res.Close() }

@@ -1,0 +1,293 @@
+package symnet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"symnet/internal/sefl"
+)
+
+// The serving fixture: a switch fronting three host segments and an
+// upstream router with three networks behind it (the same shape as the
+// churn differential fixture, built through the facade only — Serve
+// installs the router/switch models from the tables).
+func sessionFIB() FIB {
+	return FIB{
+		{Prefix: 0x0A000000, Len: 8, Port: 0},  // 10.0.0.0/8
+		{Prefix: 0x0A010000, Len: 16, Port: 1}, // 10.1.0.0/16
+		{Prefix: 0x0A010200, Len: 24, Port: 2}, // 10.1.2.0/24
+		{Prefix: 0x14000000, Len: 8, Port: 1},  // 20.0.0.0/8
+		{Prefix: 0x1E000000, Len: 8, Port: 2},  // 30.0.0.0/8
+		{Prefix: 0x28000000, Len: 8, Port: 0},  // 40.0.0.0/8
+		{Prefix: 0x32000000, Len: 8, Port: 1},  // 50.0.0.0/8
+		{Prefix: 0, Len: 0, Port: 0},           // default
+	}
+}
+
+func sessionMACs() MACTable {
+	t := MACTable{{MAC: 0x02AA00000001, Port: 0}}
+	for p := 1; p <= 3; p++ {
+		for h := 0; h < 4; h++ {
+			t = append(t, MACEntry{MAC: uint64(0x020000000000) | uint64(p)<<8 | uint64(h), Port: p})
+		}
+	}
+	return t
+}
+
+func buildSessionNet(t *testing.T) *Network {
+	t.Helper()
+	net := NewNetwork()
+	net.AddElement("sw", "switch", 4, 4)
+	net.AddElement("rt", "router", 1, 3)
+	hosts := net.AddElement("hosts", "sink", 3, 0)
+	hosts.SetInCode(WildcardPort, sefl.NoOp{})
+	net.MustLink("sw", 0, "rt", 0)
+	for p := 1; p <= 3; p++ {
+		net.MustLink("sw", p, "hosts", p-1)
+	}
+	for p := 0; p < 3; p++ {
+		sink := net.AddElement(fmt.Sprintf("net%d", p), "sink", 1, 0)
+		sink.SetInCode(0, sefl.NoOp{})
+		net.MustLink("rt", p, sink.Name, 0)
+	}
+	return net
+}
+
+func sessionServe(t *testing.T, sess *Session) *Serving {
+	t.Helper()
+	srv, err := sess.Serve(ServeConfig{
+		Sources:  []PortRef{{Elem: "sw", Port: 1}, {Elem: "sw", Port: 2}},
+		Targets:  []string{"hosts", "net0", "net1", "net2"},
+		Packet:   sefl.NewTCPPacket(),
+		Routers:  map[string]FIB{"rt": sessionFIB()},
+		Switches: map[string]MACTable{"sw": sessionMACs()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func compareResults(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got.Stats != want.Stats {
+		t.Fatalf("%s: stats mismatch:\n got %+v\nwant %+v", label, got.Stats, want.Stats)
+	}
+	if len(got.Paths) != len(want.Paths) {
+		t.Fatalf("%s: path count %d != %d", label, len(got.Paths), len(want.Paths))
+	}
+	for i := range want.Paths {
+		g, w := got.Paths[i], want.Paths[i]
+		if g.ID != w.ID || g.Status != w.Status || g.FailMsg != w.FailMsg {
+			t.Fatalf("%s: path %d header mismatch: {%d %v %q} != {%d %v %q}",
+				label, i, g.ID, g.Status, g.FailMsg, w.ID, w.Status, w.FailMsg)
+		}
+		if !reflect.DeepEqual(g.Trace, w.Trace) {
+			t.Fatalf("%s: path %d trace mismatch", label, i)
+		}
+		if !reflect.DeepEqual(g.History(), w.History()) {
+			t.Fatalf("%s: path %d history mismatch", label, i)
+		}
+	}
+}
+
+func compareAllPairs(t *testing.T, label string, got, want *AllPairsReport) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Reachable, want.Reachable) {
+		t.Fatalf("%s: reachability mismatch:\n got %v\nwant %v", label, got.Reachable, want.Reachable)
+	}
+	if !reflect.DeepEqual(got.PathCount, want.PathCount) {
+		t.Fatalf("%s: path count mismatch:\n got %v\nwant %v", label, got.PathCount, want.PathCount)
+	}
+	for i := range want.Results {
+		compareResults(t, fmt.Sprintf("%s: source %d", label, i), got.Results[i], want.Results[i])
+	}
+}
+
+// TestSessionShimIdentity pins the deprecated shims against the session
+// API: for every worker setting, Session.Run and Session.RunBatch must be
+// byte-identical to the package-level Run/RunParallel/RunBatch.
+func TestSessionShimIdentity(t *testing.T) {
+	build := func() *Network {
+		net := NewNetwork()
+		fw := net.AddElement("fw", "firewall", 1, 2)
+		fw.SetInCode(WildcardPort, sefl.Seq(
+			sefl.If{
+				C:    sefl.Eq(sefl.Ref{LV: sefl.TcpDst}, sefl.C(80)),
+				Then: sefl.Forward{Port: 0},
+				Else: sefl.Forward{Port: 1},
+			},
+		))
+		web := net.AddElement("web", "sink", 1, 0)
+		web.SetInCode(0, sefl.NoOp{})
+		other := net.AddElement("other", "sink", 1, 0)
+		other.SetInCode(0, sefl.NoOp{})
+		net.MustLink("fw", 0, "web", 0)
+		net.MustLink("fw", 1, "other", 0)
+		return net
+	}
+	inject := PortRef{Elem: "fw", Port: 0}
+
+	for _, w := range []int{0, 1, 2, -1} {
+		opts := Options{Trace: true, Workers: w}
+		sess, err := Compile(build(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Run(inject, sefl.NewTCPPacket())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *Result
+		if w < 0 {
+			want, err = RunParallel(build(), inject, sefl.NewTCPPacket(), opts)
+		} else {
+			want, err = Run(build(), inject, sefl.NewTCPPacket(), opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, fmt.Sprintf("workers=%d", w), got, want)
+	}
+
+	// RunBatch shim vs Session.RunBatch, same jobs.
+	jobs := []BatchJob{
+		{Name: "web", Inject: inject, Packet: sefl.NewTCPPacket(), Opts: Options{Trace: true}},
+		{Name: "dup", Inject: inject, Packet: sefl.NewTCPPacket(), Opts: Options{Trace: true}},
+	}
+	sess, err := Compile(build(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sess.RunBatch(jobs)
+	want := RunBatch(build(), jobs, 2)
+	if len(got) != len(want) {
+		t.Fatalf("batch result count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Err != nil || want[i].Err != nil {
+			t.Fatalf("job %d errors: %v / %v", i, got[i].Err, want[i].Err)
+		}
+		compareResults(t, fmt.Sprintf("job %d", i), got[i].Result, want[i].Result)
+	}
+}
+
+// TestSessionServeChurn drives the full serving surface through the facade:
+// Serve models the elements and publishes version 1 equal to a direct
+// AllPairs; Apply absorbs deltas with per-delta statuses; Watch streams the
+// version; snapshot export/restore round-trips; and the post-churn resident
+// report is byte-identical to a from-scratch serving of the mutated tables.
+func TestSessionServeChurn(t *testing.T) {
+	sources := []PortRef{{Elem: "sw", Port: 1}, {Elem: "sw", Port: 2}}
+	targets := []string{"hosts", "net0", "net1", "net2"}
+	sess, err := Compile(buildSessionNet(t), Options{Trace: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := sessionServe(t, sess)
+	if v := srv.Version(); v != 1 {
+		t.Fatalf("version after Serve = %d, want 1", v)
+	}
+	direct, err := sess.AllPairs(sources, sefl.NewTCPPacket(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAllPairs(t, "Serve init vs AllPairs", srv.Current().Report, direct)
+
+	sub := srv.Watch(8)
+	ctx := context.Background()
+
+	// Mixed Apply: one applicable insert, one delete of a missing route.
+	rep, err := srv.Apply(ctx,
+		Delta{Elem: "rt", Op: OpInsert, Prefix: "99.0.0.0/8", Port: 1},
+		Delta{Elem: "rt", Op: OpDelete, Prefix: "1.2.3.0/24"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 1 || rep.Batch == nil || rep.Batch.Version != 2 {
+		t.Fatalf("mixed apply: %+v", rep)
+	}
+	if !rep.Statuses[0].Applied || rep.Statuses[1].Applied || rep.Statuses[1].Err == "" {
+		t.Fatalf("mixed apply statuses: %+v", rep.Statuses)
+	}
+	select {
+	case ev := <-sub.Events:
+		if ev.Version != 2 {
+			t.Fatalf("watch event version %d, want 2", ev.Version)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch event for version 2 never arrived")
+	}
+	if evs, ok := srv.TransitionsSince(1); !ok || len(evs) != 1 || evs[0].Version != 2 {
+		t.Fatalf("TransitionsSince(1) = %v, %v", evs, ok)
+	}
+	sub.Cancel()
+
+	// Snapshot round-trip through the serialized form.
+	st, err := srv.Export(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := ReadServingState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Report := srv.Current().Report
+	if _, err := srv.Apply(ctx, Delta{Elem: "rt", Op: OpDelete, Prefix: "10.1.2.0/24"}); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := srv.Restore(ctx, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Version != 4 {
+		t.Fatalf("version after restore = %d, want 4 (monotone past the delete)", pub.Version)
+	}
+	compareAllPairs(t, "restore vs exported version", pub.Report, v2Report)
+
+	// The resident report after churn is byte-identical to a from-scratch
+	// serving of the mutated tables (the facade-level differential pin).
+	sess2, err := Compile(buildSessionNet(t), Options{Trace: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := sess2.Serve(ServeConfig{
+		Sources: sources, Targets: targets, Packet: sefl.NewTCPPacket(),
+		Routers:  map[string]FIB{"rt": append(sessionFIB(), Route{Prefix: 0x63000000, Len: 8, Port: 1})},
+		Switches: map[string]MACTable{"sw": sessionMACs()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	compareAllPairs(t, "post-churn vs from-scratch", srv.Current().Report, srv2.Current().Report)
+}
+
+// TestSessionServeErrors pins the facade's error surface.
+func TestSessionServeErrors(t *testing.T) {
+	if _, err := Compile(nil, Options{}); err == nil {
+		t.Fatal("Compile(nil) succeeded")
+	}
+	sess, err := Compile(buildSessionNet(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Serve(ServeConfig{
+		Sources: []PortRef{{Elem: "sw", Port: 1}},
+		Targets: []string{"hosts"},
+		Packet:  sefl.NewTCPPacket(),
+		Routers: map[string]FIB{"nosuch": sessionFIB()},
+	}); err == nil {
+		t.Fatal("Serve with unknown router element succeeded")
+	}
+}
