@@ -30,6 +30,10 @@
 //
 //	benchdiff -ns-key ir_ns -ns-key-new sum_ns -min-speedup 1.2 best.json best.json
 //
+// A key that no row on its side carries is a pointed error listing the
+// timing columns the snapshot does have — never a zero-row pass that would
+// silently disarm a CI gate.
+//
 // Snapshots come in two shapes, both accepted everywhere: the legacy row
 // array, and the {"schema","rows","metrics"} envelope symbench emits with
 // -metrics. When both sides of a diff carry a metrics block the blocks are
@@ -214,6 +218,16 @@ func main() {
 	if err := checkMetricsSchemas(oldMetrics, newMetrics); err != nil {
 		fatal(err)
 	}
+	if err := checkNsKeyPresence(flag.Arg(0), oldRows, nsKey); err != nil {
+		fatal(err)
+	}
+	effNew := nsKeyNew
+	if effNew == "" {
+		effNew = nsKey
+	}
+	if err := checkNsKeyPresence(flag.Arg(1), newRows, effNew); err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("%-12s %-24s %14s %14s %9s\n", "experiment", "name", "old", "new", "speedup")
 	var matched, timed, improved, regressed, failed int
@@ -338,6 +352,34 @@ func runMergeMin(paths []string) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// checkNsKeyPresence rejects an -ns-key (or effective -ns-key-new) that no
+// row in the given snapshot carries: every row's timing would silently read
+// as 0, the diff would print zero timed rows, and a gate without
+// -min-speedup would pass vacuously — a renamed column must be a pointed
+// error, not a green check. The error lists the timing columns the snapshot
+// does carry, so the fix is one glance away.
+func checkNsKeyPresence(path string, rows map[key]row, k string) error {
+	if k == "" {
+		return nil
+	}
+	avail := map[string]int64{}
+	for _, r := range rows {
+		if _, ok := r.Extra[k]; ok {
+			return nil
+		}
+		for ek := range r.Extra {
+			if strings.HasSuffix(ek, "_ns") {
+				avail[ek] = 0
+			}
+		}
+	}
+	cols := unionKeys(avail, nil)
+	if len(cols) == 0 {
+		return fmt.Errorf("-ns-key %q: no row in %s carries that extra column (the snapshot has no *_ns columns at all)", k, path)
+	}
+	return fmt.Errorf("-ns-key %q: no row in %s carries that extra column (available: %s)", k, path, strings.Join(cols, ", "))
 }
 
 // checkMetricsSchemas rejects diffing metrics blocks of different schema

@@ -62,6 +62,36 @@ func TestParseSnapshotRejectsForeignObject(t *testing.T) {
 	}
 }
 
+func TestCheckNsKeyPresence(t *testing.T) {
+	rows := map[key]row{
+		{"pool", "reuse"}: {Experiment: "pool", Name: "reuse",
+			Extra: map[string]any{"cold_ns": 100.0, "pool_ns": 40.0, "procs": 2.0}},
+		{"scenario", "fw"}: {Experiment: "scenario", Name: "fw"},
+	}
+	if err := checkNsKeyPresence("a.json", rows, ""); err != nil {
+		t.Fatalf("empty key must pass: %v", err)
+	}
+	if err := checkNsKeyPresence("a.json", rows, "pool_ns"); err != nil {
+		t.Fatalf("present key must pass: %v", err)
+	}
+	err := checkNsKeyPresence("a.json", rows, "warm_ns")
+	if err == nil {
+		t.Fatal("missing key accepted — the gate would pass on zero rows")
+	}
+	for _, want := range []string{`"warm_ns"`, "a.json", "cold_ns", "pool_ns"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing-key error %q lacks %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "procs") {
+		t.Errorf("missing-key error %q lists non-timing column procs", err)
+	}
+	err = checkNsKeyPresence("b.json", map[key]row{{"scenario", "fw"}: {}}, "cold_ns")
+	if err == nil || !strings.Contains(err.Error(), "no *_ns columns") {
+		t.Fatalf("timing-free snapshot error %v should say it has no *_ns columns", err)
+	}
+}
+
 func TestCheckMetricsSchemas(t *testing.T) {
 	s1 := &obs.Snapshot{Schema: 1}
 	s2 := &obs.Snapshot{Schema: 2}

@@ -28,12 +28,14 @@
 package main
 
 import (
+	"bufio"
 	"encoding/gob"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strings"
@@ -135,7 +137,7 @@ func (r *reporter) flush() error {
 var validExperiments = []string{
 	"table1", "fig8", "table2", "table3", "table4", "table5",
 	"splittcp", "dept", "satcache", "allpairs", "allpairs-dist", "forkheavy", "itables",
-	"summaries", "churn", "all",
+	"summaries", "churn", "pool", "pool-scale", "all",
 }
 
 // parseRuns parses the comma-separated -run list, erroring on unknown
@@ -165,11 +167,12 @@ func parseRuns(spec string) (map[string]bool, error) {
 func main() {
 	dist.MaybeWorker() // spawned as a distributed worker: never returns
 
-	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|satcache|allpairs|allpairs-dist|forkheavy|itables|summaries|churn|all)")
+	run := flag.String("run", "all", "comma-separated experiments to run (table1|fig8|table2|table3|table4|table5|splittcp|dept|satcache|allpairs|allpairs-dist|forkheavy|itables|summaries|churn|pool|pool-scale|all; pool and pool-scale fork worker processes and only run when named explicitly)")
 	quick := flag.Bool("quick", false, "smaller workloads for a fast pass")
 	heavy := flag.Bool("heavy", false, "larger workloads for allpairs/allpairs-dist (amortizes distributed setup; used by the multicore CI gate)")
 	workers := flag.Int("workers", 0, "worker pool size for parallel experiments (0 = all cores)")
 	procs := flag.Int("procs", 0, "worker subprocesses for allpairs-dist (0 = in-process)")
+	distWorkers := flag.String("dist-workers", "", "comma-separated host:port list of resident TCP workers (symworker -listen) for allpairs-dist and pool-scale; overrides -procs")
 	useSummaries := flag.Bool("summaries", false, "run the allpairs/allpairs-dist batches with per-element summaries (core.Options.Summaries); results are byte-identical either way, which CI pins via -stable diffs")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of paper-shaped tables")
 	stable := flag.Bool("stable", false, "strip timing from JSON output (byte-identical across runs with equal results)")
@@ -246,7 +249,7 @@ func main() {
 		allpairs(rep, *quick, *heavy, *workers, *useSummaries, o)
 	}
 	if want("allpairs-dist") {
-		allpairsDist(rep, *quick, *heavy, *procs, *workers, *useSummaries, o)
+		allpairsDist(rep, *quick, *heavy, *procs, *workers, splitAddrs(*distWorkers), *useSummaries, o)
 	}
 	if want("forkheavy") {
 		forkheavy(rep, *quick)
@@ -259,6 +262,14 @@ func main() {
 	}
 	if want("churn") {
 		churnBench(rep, *quick, *heavy, *workers, o)
+	}
+	// The fleet benchmarks fork worker processes per batch, so they only run
+	// when named explicitly — "all" stays cheap and deterministic.
+	if sel["pool"] {
+		poolBench(rep, *quick)
+	}
+	if sel["pool-scale"] {
+		poolScale(rep, *quick, splitAddrs(*distWorkers))
 	}
 	if *metrics {
 		rep.metrics = reg.Snapshot()
@@ -578,15 +589,35 @@ func allpairs(rep *reporter, quick, heavy bool, workers int, summaries bool, o *
 	rep.printf("\n")
 }
 
+// splitAddrs parses the comma-separated -dist-workers list.
+func splitAddrs(spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // allpairsDist runs all-pairs reachability through the distributed runner
-// (internal/dist): jobs shard across procs worker subprocesses, each running
-// a workersPerProc pool, with the network and compiled IR shipped over
-// stdio. Rows carry the full reachability matrix and a fingerprint of every
-// path summary, so two runs that computed the same results emit identical
-// rows — with -stable, identical bytes — regardless of procs. procs = 0
-// answers in-process through the same code path.
-func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int, summaries bool, o *obs.Obs) {
-	rep.printf("== All-pairs reachability, distributed (procs=%d, workers/proc=%d) ==\n", procs, workersPerProc)
+// (internal/dist): jobs shard across worker processes — procs fork/exec'd
+// subprocesses over stdio, or the distAddrs TCP fleet when given — each
+// running a workersPerProc pool, with the network and compiled IR shipped
+// once per batch. Rows carry the full reachability matrix and a fingerprint
+// of every path summary, so two runs that computed the same results emit
+// identical rows — with -stable, identical bytes — regardless of the fleet
+// shape. procs = 0 with no fleet answers in-process through the same code
+// path.
+func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int, distAddrs []string, summaries bool, o *obs.Obs) {
+	if len(distAddrs) > 0 {
+		rep.printf("== All-pairs reachability, distributed (tcp fleet=%d, workers/proc=%d) ==\n", len(distAddrs), workersPerProc)
+	} else {
+		rep.printf("== All-pairs reachability, distributed (procs=%d, workers/proc=%d) ==\n", procs, workersPerProc)
+	}
 	rep.printf("%-22s %-8s %-8s %-10s %-18s %s\n", "Dataset", "Sources", "Pairs", "Reachable", "SummaryFP", "Time")
 
 	deptCfg := datasets.DefaultDepartment()
@@ -599,7 +630,7 @@ func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int, s
 	d := datasets.NewDepartment(deptCfg)
 	deptSrcs, deptTargets := d.AllPairs()
 	allpairsDistRow(rep, "department", d.Net, deptSrcs, sefl.NewTCPPacket(), deptTargets,
-		core.Options{MaxHops: 64, Summaries: summaries}, procs, workersPerProc, o)
+		core.Options{MaxHops: 64, Summaries: summaries}, procs, workersPerProc, distAddrs, o)
 
 	if !heavy {
 		// The backbone row is omitted in heavy mode (the multicore
@@ -614,15 +645,17 @@ func allpairsDist(rep *reporter, quick, heavy bool, procs, workersPerProc int, s
 		bb := datasets.StanfordBackbone(zones, perZone)
 		bbSrcs, bbTargets := bb.AllPairs()
 		allpairsDistRow(rep, "stanford backbone", bb.Net, bbSrcs, sefl.NewIPPacket(), bbTargets,
-			core.Options{Summaries: summaries}, procs, workersPerProc, o)
+			core.Options{Summaries: summaries}, procs, workersPerProc, distAddrs, o)
 	}
 	rep.printf("\n")
 }
 
-func allpairsDistRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int, o *obs.Obs) {
+func allpairsDistRow(rep *reporter, name string, net *core.Network, srcs []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int, distAddrs []string, o *obs.Obs) {
 	opts.Obs = o
 	t0 := time.Now()
-	r, err := verify.AllPairsReachabilityDist(net, srcs, packet, targets, opts, procs, workersPerProc)
+	r, err := verify.AllPairsReachabilityDistConfig(net, srcs, packet, targets, opts, dist.Config{
+		Procs: procs, Workers: distAddrs, WorkersPerProc: workersPerProc, ShareSat: true,
+	})
 	if err != nil {
 		fail(err)
 	}
@@ -661,6 +694,161 @@ func allpairsDistRow(rep *reporter, name string, net *core.Network, srcs []core.
 			"dist_ns": elapsed.Nanoseconds(),
 		},
 	})
+}
+
+// poolJobs builds the department all-pairs batch the fleet benchmarks
+// re-run.
+func poolJobs(quick bool) (*core.Network, []dist.Job) {
+	cfg := datasets.DefaultDepartment()
+	if quick {
+		cfg = datasets.DepartmentConfig{NumAccessSwitches: 4, HostsPerSwitch: 40, Routes: 60, Seed: 5}
+	}
+	d := datasets.NewDepartment(cfg)
+	srcs, _ := d.AllPairs()
+	jobs := make([]dist.Job, len(srcs))
+	for i, src := range srcs {
+		jobs[i] = dist.Job{Name: src.String(), Inject: src, Packet: sefl.NewTCPPacket(), Opts: core.Options{MaxHops: 64}}
+	}
+	return d.Net, jobs
+}
+
+// timeBatches runs the batch n times through run and returns the mean
+// wall-clock per batch, failing on any per-job error.
+func timeBatches(n int, run func() []dist.JobResult) time.Duration {
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		for _, jr := range run() {
+			if jr.Err != nil {
+				fail(fmt.Errorf("pool bench job %s: %w", jr.Name, jr.Err))
+			}
+		}
+	}
+	return time.Since(t0) / time.Duration(n)
+}
+
+// poolBench measures what the persistent fleet buys over per-batch fork/exec
+// — the cold path spawns, handshakes and ships a full setup every batch,
+// the pool does it once and reuses — plus the steal scheduler's effect on an
+// unevenly-sized shard mix. cold_ns and pool_ns share a row so benchdiff
+// -ns-key cold_ns -ns-key-new pool_ns gates the reuse speedup in CI.
+func poolBench(rep *reporter, quick bool) {
+	net, jobs := poolJobs(quick)
+	procs, batches := 2, 4
+	rep.printf("== Worker pool reuse vs cold fork/exec (procs=%d, %d jobs, %d batches) ==\n", procs, len(jobs), batches)
+	rep.printf("%-12s %-14s %-14s %s\n", "Case", "Cold/batch", "Pool/batch", "Speedup")
+
+	cold := timeBatches(batches, func() []dist.JobResult {
+		return dist.RunBatchConfig(net, jobs, dist.Config{Procs: procs, WorkersPerProc: 1, ShareSat: true})
+	})
+	pool, err := dist.NewPool(dist.Config{Procs: procs, WorkersPerProc: 1, ShareSat: true})
+	if err != nil {
+		fail(err)
+	}
+	pool.RunBatch(net, jobs) // warm: spawn + full setup land here
+	warm := timeBatches(batches, func() []dist.JobResult { return pool.RunBatch(net, jobs) })
+	pool.Close()
+	rep.printf("%-12s %-14v %-14v %.2fx\n", "reuse", cold.Round(time.Millisecond), warm.Round(time.Millisecond), float64(cold)/float64(warm))
+	rep.add(jsonRow{
+		Experiment: "pool",
+		Name:       "reuse",
+		Extra: map[string]any{
+			"cold_ns": cold.Nanoseconds(), "pool_ns": warm.Nanoseconds(),
+			"procs": procs, "jobs": len(jobs), "batches": batches,
+		},
+	})
+
+	onOff := map[bool]time.Duration{}
+	for _, noSteal := range []bool{true, false} {
+		p, err := dist.NewPool(dist.Config{Procs: procs, WorkersPerProc: 1, ShareSat: true, NoSteal: noSteal})
+		if err != nil {
+			fail(err)
+		}
+		p.RunBatch(net, jobs)
+		onOff[noSteal] = timeBatches(batches, func() []dist.JobResult { return p.RunBatch(net, jobs) })
+		p.Close()
+	}
+	rep.printf("%-12s %-14v %-14v %.2fx\n", "steal",
+		onOff[true].Round(time.Millisecond), onOff[false].Round(time.Millisecond),
+		float64(onOff[true])/float64(onOff[false]))
+	rep.add(jsonRow{
+		Experiment: "pool",
+		Name:       "steal",
+		Extra: map[string]any{
+			"steal_off_ns": onOff[true].Nanoseconds(), "steal_on_ns": onOff[false].Nanoseconds(),
+			"procs": procs, "jobs": len(jobs), "batches": batches,
+		},
+	})
+	rep.printf("\n")
+}
+
+// spawnListenWorkers forks n copies of this binary as TCP fleet members
+// (SYMNET_DIST_WORKER=listen=:0), reading each bound address off its stdout.
+// The returned stop kills them all.
+func spawnListenWorkers(n int) (addrs []string, stop func()) {
+	var cmds []*exec.Cmd
+	stop = func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "SYMNET_DIST_WORKER=listen=127.0.0.1:0")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fail(err)
+		}
+		cmds = append(cmds, cmd)
+		line, err := bufio.NewReader(out).ReadString('\n')
+		if err != nil {
+			stop()
+			fail(fmt.Errorf("reading worker %d address: %w", i, err))
+		}
+		addrs = append(addrs, strings.TrimSpace(line))
+	}
+	return addrs, stop
+}
+
+// poolScale runs the same batch against TCP fleets of 1, 2, 4 and 8 workers
+// — the -dist-workers list when given (prefix subsets), else self-spawned
+// worker processes on loopback — charting how the persistent-fleet runtime
+// scales. The nightly snapshot diffs these rows informationally.
+func poolScale(rep *reporter, quick bool, distAddrs []string) {
+	net, jobs := poolJobs(quick)
+	addrs := distAddrs
+	if len(addrs) == 0 {
+		var stop func()
+		addrs, stop = spawnListenWorkers(8)
+		defer stop()
+	}
+	rep.printf("== TCP fleet scaling (%d jobs) ==\n", len(jobs))
+	rep.printf("%-10s %-10s %s\n", "Fleet", "Workers", "Time/batch")
+	for _, n := range []int{1, 2, 4, 8} {
+		if n > len(addrs) {
+			break
+		}
+		p, err := dist.NewPool(dist.Config{Workers: addrs[:n], WorkersPerProc: 1, ShareSat: true})
+		if err != nil {
+			fail(err)
+		}
+		p.RunBatch(net, jobs) // warm: handshake + full setup
+		per := timeBatches(2, func() []dist.JobResult { return p.RunBatch(net, jobs) })
+		p.Close()
+		name := fmt.Sprintf("tcp-%dw", n)
+		rep.printf("%-10s %-10d %v\n", name, n, per.Round(time.Millisecond))
+		rep.add(jsonRow{
+			Experiment: "pool-scale",
+			Name:       name,
+			NsPerOp:    per.Nanoseconds(),
+			Extra:      map[string]any{"fleet": n, "jobs": len(jobs)},
+		})
+	}
+	rep.printf("\n")
 }
 
 // forkheavy measures the engine's per-instruction and per-fork overhead on

@@ -49,12 +49,14 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"symnet/internal/churn"
 	"symnet/internal/core"
 	"symnet/internal/datasets"
+	"symnet/internal/dist"
 	"symnet/internal/obs"
 	"symnet/internal/sefl"
 )
@@ -63,7 +65,7 @@ import (
 // injected packet is destination-constrained (one monitored zone / the
 // department's first IP hop) so deltas stay localized — the regime the
 // incremental service is built for.
-func buildService(network string, quick, heavy bool, workers int, reg *obs.Registry) (*churn.Service, string, error) {
+func buildService(network string, quick, heavy bool, workers int, runner churn.BatchRunner, reg *obs.Registry) (*churn.Service, string, error) {
 	opts := core.Options{}
 	switch network {
 	case "backbone":
@@ -82,7 +84,7 @@ func buildService(network string, quick, heavy bool, workers int, reg *obs.Regis
 		)
 		svc := churn.NewService(churn.Config{
 			Net: b.Net, Sources: sources, Targets: targets,
-			Packet: packet, Opts: opts, Workers: workers, Reg: reg,
+			Packet: packet, Opts: opts, Workers: workers, Runner: runner, Reg: reg,
 		})
 		for name, fib := range b.FIBs {
 			svc.RegisterRouter(name, fib)
@@ -105,7 +107,7 @@ func buildService(network string, quick, heavy bool, workers int, reg *obs.Regis
 		)
 		svc := churn.NewService(churn.Config{
 			Net: d.Net, Sources: sources, Targets: targets,
-			Packet: packet, Opts: opts, Workers: workers, Reg: reg,
+			Packet: packet, Opts: opts, Workers: workers, Runner: runner, Reg: reg,
 		})
 		for name, tbl := range d.MACTables {
 			svc.RegisterSwitch(name, tbl)
@@ -486,10 +488,13 @@ func redirectV1(target string) http.Handler {
 }
 
 func main() {
+	dist.MaybeWorker() // spawned as a distributed worker: never returns
 	network := flag.String("network", "department", "resident topology: department|backbone")
 	quick := flag.Bool("quick", false, "small topology (CI smoke)")
 	heavy := flag.Bool("heavy", false, "paper-scale-plus topology")
 	workers := flag.Int("workers", 0, "re-verification worker pool (0: GOMAXPROCS)")
+	distWorkers := flag.String("dist-workers", "", "comma-separated host:port list of resident TCP workers (symworker -listen); verification passes shard across the fleet")
+	distProcs := flag.Int("dist-procs", 0, "shard verification passes across this many persistent local worker subprocesses (ignored when -dist-workers is set)")
 	listen := flag.String("listen", "127.0.0.1:7080", "HTTP listen address")
 	debugAddr := flag.String("debug-addr", "", "serve expvar metrics and pprof on this address")
 	stateFile := flag.String("state", "", "snapshot file: restored at startup if present, written on shutdown")
@@ -506,7 +511,31 @@ func main() {
 		log.Printf("symnetd: metrics at http://%s/debug/vars", addr)
 	}
 
-	svc, desc, err := buildService(*network, *quick, *heavy, *workers, reg)
+	var pool *dist.Pool
+	var runner churn.BatchRunner
+	if *distWorkers != "" || *distProcs > 0 {
+		var addrs []string
+		if *distWorkers != "" {
+			addrs = strings.Split(*distWorkers, ",")
+		}
+		var perr error
+		pool, perr = dist.NewPool(dist.Config{
+			Procs: *distProcs, Workers: addrs, WorkersPerProc: *workers,
+			ShareSat: true, Obs: obs.New(reg, nil),
+		})
+		if perr != nil {
+			log.Fatalf("symnetd: %v", perr)
+		}
+		defer pool.Close()
+		runner = pool
+		if len(addrs) > 0 {
+			log.Printf("symnetd: verification fleet: %d TCP workers (%s)", len(addrs), *distWorkers)
+		} else {
+			log.Printf("symnetd: verification fleet: %d local worker processes", *distProcs)
+		}
+	}
+
+	svc, desc, err := buildService(*network, *quick, *heavy, *workers, runner, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symnetd:", err)
 		os.Exit(2)

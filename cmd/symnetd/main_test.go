@@ -21,7 +21,7 @@ import (
 func newTestServer(t *testing.T, network string) (*server, *obs.Registry) {
 	t.Helper()
 	reg := obs.NewRegistry()
-	svc, _, err := buildService(network, true, false, 2, reg)
+	svc, _, err := buildService(network, true, false, 2, nil, reg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func deptServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	deptOnce.Do(func() {
 		reg := obs.NewRegistry()
-		svc, _, err := buildService("department", true, false, 2, reg)
+		svc, _, err := buildService("department", true, false, 2, nil, reg)
 		if err != nil {
 			deptErr = err
 			return

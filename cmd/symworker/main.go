@@ -1,18 +1,26 @@
-// Command symworker is the standalone distributed-verification worker: it
-// speaks the internal/dist frame protocol on stdin/stdout (a stream of gob
-// frames; gob is self-delimiting, there are no explicit length prefixes),
-// receiving a serialized network plus compiled IR and a shard
-// of verification jobs, and streaming back per-job result summaries and
-// shared satisfiability verdicts. Logs go to stderr; stdout is reserved for
-// frames.
+// Command symworker is the standalone distributed-verification worker. It
+// speaks the internal/dist frame protocol (a stream of gob frames; gob is
+// self-delimiting, there are no explicit length prefixes) over one of two
+// transports:
 //
-// Coordinators normally re-execute themselves as workers (any binary calling
-// dist.MaybeWorker early in main can serve), so symworker is only needed
-// when the coordinator binary is not installed on the machine running the
-// shard — point dist.Config.WorkerCmd at it:
+//   - stdio (default): one session on stdin/stdout, for coordinators that
+//     fork/exec workers locally. Logs go to stderr; stdout is reserved for
+//     frames.
+//   - TCP (-listen host:port): a resident fleet member. The worker binds the
+//     address, prints the bound address on stdout (useful with :0), and
+//     serves one session per accepted connection until killed. Coordinators
+//     name it in dist.Config.Workers; sessions whose connection drops park
+//     their installed state so a reconnecting coordinator resumes with a
+//     delta instead of a full re-ship.
+//
+// Coordinators normally re-execute themselves as local workers (any binary
+// calling dist.MaybeWorker early in main can serve), so symworker is only
+// needed when the shard runs where the coordinator binary is not installed —
+// point dist.Config.WorkerCmd at it, or run `symworker -listen` on the
+// remote machine:
 //
 //	dist.RunBatchConfig(net, jobs, dist.Config{
-//		Procs: 8, WorkerCmd: []string{"/usr/local/bin/symworker"},
+//		Workers: []string{"10.0.0.2:9090", "10.0.0.3:9090"},
 //	})
 //
 // With -debug-addr the worker serves /debug/pprof and /debug/vars for live
@@ -23,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
 	"symnet/internal/dist"
@@ -36,6 +45,7 @@ import (
 )
 
 func main() {
+	listen := flag.String("listen", "", "serve the frame protocol over TCP on this address (host:port; :0 picks a port, printed on stdout) instead of stdio")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address for the worker's lifetime")
 	flag.Parse()
 	if *debugAddr != "" {
@@ -44,8 +54,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "symworker:", err)
 			os.Exit(1)
 		}
-		// WorkerMain swaps the live registry in once the setup frame arrives.
+		// The worker swaps the live registry in once a batch enables metrics.
 		fmt.Fprintln(os.Stderr, "symworker: debug server on http://"+bound+"/debug/vars")
+	}
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "symworker:", err)
+			os.Exit(1)
+		}
+		fmt.Println(ln.Addr())
+		if err := dist.ServeListener(ln); err != nil {
+			fmt.Fprintln(os.Stderr, "symworker:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := dist.WorkerMain(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "symworker:", err)

@@ -288,6 +288,7 @@ func (s *Service) commitFIB(e *core.Element, elem string, es *elemStage, res *Ba
 			return err
 		}
 		s.rebuiltElems.Inc()
+		s.pendingInvalidate = true
 		res.ElemsRebuilt++
 		res.Action = worse(res.Action, ActionRebuilt)
 		for i := range s.visitedElem[elem] {
@@ -306,6 +307,7 @@ func (s *Service) commitFIB(e *core.Element, elem string, es *elemStage, res *Ba
 			res.SatEvicted += evicted
 			res.Action = worse(res.Action, action)
 			res.countPort(action)
+			s.noteRefresh(core.PortRef{Elem: elem, Port: p, Out: true})
 			for i := range s.visited[core.PortRef{Elem: elem, Port: p, Out: true}] {
 				dirty[i] = true
 			}
@@ -327,6 +329,7 @@ func (s *Service) commitMAC(e *core.Element, elem string, es *elemStage, res *Ba
 			return err
 		}
 		s.rebuiltElems.Inc()
+		s.pendingInvalidate = true
 		res.ElemsRebuilt++
 		res.Action = worse(res.Action, ActionRebuilt)
 		for i := range s.visitedElem[elem] {
@@ -345,6 +348,7 @@ func (s *Service) commitMAC(e *core.Element, elem string, es *elemStage, res *Ba
 			res.SatEvicted += evicted
 			res.Action = worse(res.Action, action)
 			res.countPort(action)
+			s.noteRefresh(core.PortRef{Elem: elem, Port: p, Out: true})
 			for i := range s.visited[core.PortRef{Elem: elem, Port: p, Out: true}] {
 				dirty[i] = true
 			}

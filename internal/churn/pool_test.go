@@ -1,0 +1,141 @@
+package churn
+
+// Pool-mode differential: a service whose re-verification runs through a
+// dist.Pool (TCP fleet) must publish exactly the observables of the
+// in-process service on the same delta stream — same reachability matrix,
+// path counts, absorption tiers and dirty sets — with the fleet's installed
+// IR kept current purely through Refresh deltas and Invalidate barriers.
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+
+	"symnet/internal/core"
+	"symnet/internal/dist"
+	"symnet/internal/obs"
+	"symnet/internal/sefl"
+)
+
+func TestServiceDifferentialPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens TCP sessions")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go dist.ServeListener(ln)
+
+	reg := obs.NewRegistry()
+	pool, err := dist.NewPool(dist.Config{
+		Workers: []string{ln.Addr().String()}, WorkersPerProc: 2, ShareSat: true,
+		Obs: obs.New(reg, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	sources := []core.PortRef{{Elem: "sw", Port: 1}, {Elem: "sw", Port: 2}}
+	targets := []string{"hosts", "net0", "net1", "net2"}
+	packet := sefl.NewTCPPacket()
+	opts := core.Options{Trace: true}
+
+	mk := func(runner BatchRunner) *Service {
+		svc := NewService(Config{
+			Net:     buildDiffNet(t, diffFIB(), diffMACs()),
+			Sources: sources,
+			Targets: targets,
+			Packet:  packet,
+			Opts:    opts,
+			Workers: 2,
+			Runner:  runner,
+		})
+		svc.RegisterRouter("rt", diffFIB())
+		svc.RegisterSwitch("sw", diffMACs())
+		if err := svc.Init(); err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	pooled, local := mk(pool), mk(nil)
+
+	check := func(step string) {
+		t.Helper()
+		if !reflect.DeepEqual(pooled.Report().Reachable, local.Report().Reachable) {
+			t.Fatalf("%s: reachability matrix diverged:\n pool %v\nlocal %v", step, pooled.Report().Reachable, local.Report().Reachable)
+		}
+		if !reflect.DeepEqual(pooled.Report().PathCount, local.Report().PathCount) {
+			t.Fatalf("%s: path count matrix diverged:\n pool %v\nlocal %v", step, pooled.Report().PathCount, local.Report().PathCount)
+		}
+	}
+	check("init")
+	if reg.Counter("dist.setup.full").Value() != 1 {
+		t.Fatalf("init: dist.setup.full = %d, want 1", reg.Counter("dist.setup.full").Value())
+	}
+
+	fds, err := GenFIBDeltas("rt", diffFIB(), "10.128.0.0/9", 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mds, err := GenMACDeltas("sw", diffMACs(), 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deltas []Delta
+	for i := range fds {
+		deltas = append(deltas, fds[i], mds[i])
+	}
+	for di, d := range deltas {
+		pr, err := pooled.Apply(d)
+		if err != nil {
+			t.Fatalf("delta %d (%s) pool: %v", di, d, err)
+		}
+		lr, err := local.Apply(d)
+		if err != nil {
+			t.Fatalf("delta %d (%s) local: %v", di, d, err)
+		}
+		if pr.Action != lr.Action || pr.DirtySources != lr.DirtySources {
+			t.Fatalf("delta %d (%s): divergent absorption: pool %+v vs local %+v", di, d, pr, lr)
+		}
+		check(fmt.Sprintf("delta %d (%s)", di, d))
+	}
+	// Every post-init re-verification must have ridden a delta or reuse setup;
+	// a second full setup would mean the Refresh plumbing silently degraded to
+	// re-shipping the network.
+	if reg.Counter("dist.setup.full").Value() != 1 {
+		t.Fatalf("delta stream re-shipped a full setup (full = %d)", reg.Counter("dist.setup.full").Value())
+	}
+	if reg.Counter("dist.setup.delta").Value() == 0 {
+		t.Fatal("delta stream never exercised the delta setup path")
+	}
+
+	// Empty port 2 of the router: the fork list shrinks, the element model is
+	// rebuilt, and the pool must take the Invalidate barrier (full re-ship).
+	fib, _ := pooled.CurrentFIB("rt")
+	var rebuilt bool
+	for _, r := range fib {
+		if r.Port != 2 {
+			continue
+		}
+		d := Delta{Elem: "rt", Op: OpDelete, Prefix: fmt.Sprintf("%s/%d", sefl.NumberToIP(r.Prefix), r.Len)}
+		pr, err := pooled.Apply(d)
+		if err != nil {
+			t.Fatalf("rebuild delta %s pool: %v", d, err)
+		}
+		if _, err := local.Apply(d); err != nil {
+			t.Fatalf("rebuild delta %s local: %v", d, err)
+		}
+		rebuilt = rebuilt || pr.Action == ActionRebuilt
+		check(fmt.Sprintf("rebuild delta %s", d))
+	}
+	if !rebuilt {
+		t.Fatal("port-emptying deletes never hit the rebuild tier")
+	}
+	if reg.Counter("dist.setup.full").Value() < 2 {
+		t.Fatal("rebuild did not force a full re-ship to the fleet")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"symnet/internal/core"
+	"symnet/internal/dist"
 	"symnet/internal/expr"
 	"symnet/internal/obs"
 	"symnet/internal/prog"
@@ -16,6 +17,22 @@ import (
 	"symnet/internal/tables"
 	"symnet/internal/verify"
 )
+
+// BatchRunner abstracts the verification engine a service re-verifies dirty
+// sources through. dist.Pool implements it: a persistent worker fleet that
+// keeps the compiled network installed across batches, absorbing guard churn
+// as program deltas (Refresh) or a full re-ship (Invalidate) instead of
+// re-encoding everything per pass. The in-process scheduler is the nil-Runner
+// default.
+type BatchRunner interface {
+	RunBatch(net *core.Network, jobs []dist.Job) []dist.JobResult
+	// Refresh marks the named port programs changed since the last batch, so
+	// the next RunBatch ships workers just those programs.
+	Refresh(refs ...core.PortRef)
+	// Invalidate marks everything changed (model rebuilds, restores); the
+	// next RunBatch ships workers a full setup.
+	Invalidate()
+}
 
 // Config describes the resident verification workload: the network, the
 // all-pairs query (sources, packet, targets), run options, and batch
@@ -27,7 +44,18 @@ type Config struct {
 	Packet  sefl.Instr
 	Opts    core.Options
 	// Workers bounds the re-verification batch pool (<= 0: GOMAXPROCS).
+	// Ignored when Runner is set (the runner owns its parallelism).
 	Workers int
+	// Runner, when set, carries every verification pass — the initial
+	// all-pairs run and each re-verification — through a distributed batch
+	// runner (typically a dist.Pool spanning worker processes or machines)
+	// instead of the in-process scheduler. The service keeps the fleet's
+	// installed IR current: each absorbed batch Refreshes the patched or
+	// recompiled ports and Invalidates on model rebuilds and restores.
+	// Published observables (reachability, path counts, transitions) are
+	// byte-identical either way; report Results entries are nil in runner
+	// mode, since live paths stay in the workers (summaries cross the wire).
+	Runner BatchRunner
 	// Reg receives the churn.* instruments and the shared SatCache's
 	// counters; nil allocates a private registry (see Service.Registry).
 	Reg *obs.Registry
@@ -89,6 +117,14 @@ type Service struct {
 	// model rebuild.
 	visited     map[core.PortRef]map[int]bool
 	visitedElem map[string]map[int]bool
+
+	// pendingRefresh collects the output ports whose guards the current
+	// commit patched or recompiled; pendingInvalidate is set by the rebuild
+	// tier. Both flush to the Runner (Refresh/Invalidate) before the commit's
+	// re-verification pass, keeping the fleet's installed IR in lockstep with
+	// the resident model. Unused when Runner is nil.
+	pendingRefresh    []core.PortRef
+	pendingInvalidate bool
 
 	deltaNs         *obs.Histogram
 	batchNs         *obs.Histogram
@@ -175,18 +211,63 @@ func (s *Service) CurrentMACTable(elem string) (tables.MACTable, bool) {
 	return append(tables.MACTable(nil), t...), ok
 }
 
-// Init runs the full all-pairs verification, builds the dependency index,
-// and publishes report version 1.
+// Init runs the full all-pairs verification (through the Runner when one is
+// configured), builds the dependency index, and publishes report version 1.
 func (s *Service) Init() error {
-	rep, err := verify.AllPairsReachability(s.cfg.Net, s.cfg.Sources, s.cfg.Packet, s.cfg.Targets, s.cfg.Opts, s.cfg.Workers)
+	rep, err := s.runFull()
 	if err != nil {
 		return err
 	}
 	s.report = rep
 	s.reg.Gauge("churn.cells.total").Set(int64(s.TotalCells()))
-	s.reindex(rep)
 	s.publish(rep, 0)
 	return nil
+}
+
+// runFull computes the full all-pairs report through the configured engine
+// and rebuilds the dependency index. In runner mode the report is assembled
+// from worker summaries (Results entries stay nil; reachability, path counts
+// and the index come from the summarized histories, which the dist property
+// tests pin byte-identical to in-process runs).
+func (s *Service) runFull() (*verify.AllPairsReport, error) {
+	if s.cfg.Runner == nil {
+		rep, err := verify.AllPairsReachability(s.cfg.Net, s.cfg.Sources, s.cfg.Packet, s.cfg.Targets, s.cfg.Opts, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		s.reindex(rep)
+		return rep, nil
+	}
+	jobs := make([]dist.Job, len(s.cfg.Sources))
+	for i, src := range s.cfg.Sources {
+		jobs[i] = dist.Job{Name: src.String(), Inject: src, Packet: s.cfg.Packet, Opts: s.cfg.Opts}
+	}
+	results := s.cfg.Runner.RunBatch(s.cfg.Net, jobs)
+	rep := &verify.AllPairsReport{
+		Sources:   s.cfg.Sources,
+		Targets:   s.cfg.Targets,
+		Reachable: make([][]bool, len(s.cfg.Sources)),
+		PathCount: make([][]int, len(s.cfg.Sources)),
+		Results:   make([]*core.Result, len(s.cfg.Sources)),
+	}
+	s.visited = make(map[core.PortRef]map[int]bool)
+	s.visitedElem = make(map[string]map[int]bool)
+	for i, jr := range results {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("churn: verify source %s: %w", jr.Name, jr.Err)
+		}
+		row := make([]bool, len(s.cfg.Targets))
+		cnt := make([]int, len(s.cfg.Targets))
+		for t, target := range s.cfg.Targets {
+			n := jr.Summary.DeliveredAt(target, -1)
+			row[t] = n > 0
+			cnt[t] = n
+		}
+		rep.Reachable[i] = row
+		rep.PathCount[i] = cnt
+		s.indexSummary(i, jr.Summary)
+	}
+	return rep, nil
 }
 
 // reindex rebuilds the dependency index from scratch for a full report.
@@ -280,12 +361,40 @@ func (s *Service) evictPortTables(e *core.Element, port int) int {
 	return n
 }
 
+// noteRefresh records a reconciled output port for the pre-reverify Runner
+// flush (no-op without a Runner).
+func (s *Service) noteRefresh(ref core.PortRef) {
+	if s.cfg.Runner != nil {
+		s.pendingRefresh = append(s.pendingRefresh, ref)
+	}
+}
+
+// flushRunner ships the commit's accumulated guard churn to the Runner —
+// Invalidate when a rebuild regenerated whole models, Refresh with the
+// reconciled ports otherwise — so the next batch patches the fleet's
+// installed IR instead of re-shipping the network. It runs even when the
+// dirty set is empty: a guard no current path attempts is still stale on the
+// workers and must not survive into a later batch.
+func (s *Service) flushRunner() {
+	if s.cfg.Runner == nil {
+		return
+	}
+	if s.pendingInvalidate {
+		s.cfg.Runner.Invalidate()
+	} else if len(s.pendingRefresh) > 0 {
+		s.cfg.Runner.Refresh(s.pendingRefresh...)
+	}
+	s.pendingInvalidate = false
+	s.pendingRefresh = nil
+}
+
 // reverify re-runs the dirty sources, splices their rows into a
 // copy-on-write clone of the resident report, and installs the clone as the
 // writer's working report (publication happens in Commit). Unchanged rows
 // stay shared with the previously published snapshot, which concurrent
 // readers keep traversing untouched.
 func (s *Service) reverify(dirty map[int]bool, res *BatchResult) error {
+	s.flushRunner()
 	res.DirtySources = len(dirty)
 	s.cellsDirty.Add(int64(len(dirty) * len(s.cfg.Targets)))
 	if len(dirty) == 0 {
@@ -301,14 +410,25 @@ func (s *Service) reverify(dirty map[int]bool, res *BatchResult) error {
 		src := s.cfg.Sources[i]
 		jobs[k] = sched.Job{Name: src.String(), Inject: src, Packet: s.cfg.Packet, Opts: s.cfg.Opts}
 	}
-	results := sched.RunBatch(s.cfg.Net, jobs, s.cfg.Workers)
 	next := s.report.CloneShallow()
-	for k, i := range idx {
-		jr := results[k]
-		if jr.Err != nil {
-			return fmt.Errorf("churn: re-verify source %s: %w", jr.Name, jr.Err)
+	if s.cfg.Runner != nil {
+		results := s.cfg.Runner.RunBatch(s.cfg.Net, jobs)
+		for k, i := range idx {
+			jr := results[k]
+			if jr.Err != nil {
+				return fmt.Errorf("churn: re-verify source %s: %w", jr.Name, jr.Err)
+			}
+			s.spliceSummary(next, i, jr.Summary)
 		}
-		s.spliceSource(next, i, jr.Result)
+	} else {
+		results := sched.RunBatch(s.cfg.Net, jobs, s.cfg.Workers)
+		for k, i := range idx {
+			jr := results[k]
+			if jr.Err != nil {
+				return fmt.Errorf("churn: re-verify source %s: %w", jr.Name, jr.Err)
+			}
+			s.spliceSource(next, i, jr.Result)
+		}
 	}
 	s.report = next
 	res.CellsReverified = len(idx) * len(s.cfg.Targets)
@@ -329,13 +449,37 @@ func (s *Service) spliceSource(rep *verify.AllPairsReport, i int, res *core.Resu
 	}
 	rep.Reachable[i] = row
 	rep.PathCount[i] = cnt
+	s.dropFromIndex(i)
+	s.indexSource(i, res)
+}
+
+// spliceSummary is spliceSource for runner mode: the source's row and index
+// entries come from the worker summary, and the live-result slot goes nil
+// (the paths stayed in the worker).
+func (s *Service) spliceSummary(rep *verify.AllPairsReport, i int, sum *dist.Summary) {
+	rep.Results[i] = nil
+	row := make([]bool, len(s.cfg.Targets))
+	cnt := make([]int, len(s.cfg.Targets))
+	for t, target := range s.cfg.Targets {
+		n := sum.DeliveredAt(target, -1)
+		row[t] = n > 0
+		cnt[t] = n
+	}
+	rep.Reachable[i] = row
+	rep.PathCount[i] = cnt
+	s.dropFromIndex(i)
+	s.indexSummary(i, sum)
+}
+
+// dropFromIndex removes source i from every dependency set ahead of its
+// re-index.
+func (s *Service) dropFromIndex(i int) {
 	for _, set := range s.visited {
 		delete(set, i)
 	}
 	for _, set := range s.visitedElem {
 		delete(set, i)
 	}
-	s.indexSource(i, res)
 }
 
 // indexSource records which output ports and elements source i's paths
@@ -344,22 +488,36 @@ func (s *Service) spliceSource(rep *verify.AllPairsReport, i int, res *core.Resu
 // port whose guard killed them — exactly the dependency that matters.
 func (s *Service) indexSource(i int, res *core.Result) {
 	for _, p := range res.Paths {
-		for _, pr := range p.History() {
-			if pr.Out {
-				set := s.visited[pr]
-				if set == nil {
-					set = make(map[int]bool)
-					s.visited[pr] = set
-				}
-				set[i] = true
+		s.indexHistory(i, p.History())
+	}
+}
+
+// indexSummary indexes source i from a worker summary's port histories —
+// the same histories indexSource reads from live paths, carried over the
+// wire.
+func (s *Service) indexSummary(i int, sum *dist.Summary) {
+	for k := range sum.Paths {
+		s.indexHistory(i, sum.Paths[k].Ports)
+	}
+}
+
+// indexHistory folds one path history into the dependency index.
+func (s *Service) indexHistory(i int, hist []core.PortRef) {
+	for _, pr := range hist {
+		if pr.Out {
+			set := s.visited[pr]
+			if set == nil {
+				set = make(map[int]bool)
+				s.visited[pr] = set
 			}
-			es := s.visitedElem[pr.Elem]
-			if es == nil {
-				es = make(map[int]bool)
-				s.visitedElem[pr.Elem] = es
-			}
-			es[i] = true
+			set[i] = true
 		}
+		es := s.visitedElem[pr.Elem]
+		if es == nil {
+			es = make(map[int]bool)
+			s.visitedElem[pr.Elem] = es
+		}
+		es[i] = true
 	}
 }
 

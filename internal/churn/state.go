@@ -8,7 +8,6 @@ import (
 
 	"symnet/internal/models"
 	"symnet/internal/tables"
-	"symnet/internal/verify"
 )
 
 // StateSchema versions the snapshot wire format.
@@ -116,12 +115,17 @@ func (s *Service) RestoreState(st *State) (*PublishedReport, error) {
 		}
 		s.switches[name] = append(tables.MACTable(nil), tbl...)
 	}
-	rep, err := verify.AllPairsReachability(s.cfg.Net, s.cfg.Sources, s.cfg.Packet, s.cfg.Targets, s.cfg.Opts, s.cfg.Workers)
+	if s.cfg.Runner != nil {
+		// The regenerated models orphan whatever IR the fleet holds.
+		s.cfg.Runner.Invalidate()
+		s.pendingInvalidate = false
+		s.pendingRefresh = nil
+	}
+	rep, err := s.runFull()
 	if err != nil {
 		return nil, err
 	}
 	s.report = rep
-	s.reindex(rep)
 	// Lift the version past the snapshot's so a restore never rewinds the
 	// counter watchers and long-pollers rely on.
 	ver := st.Version + 1

@@ -176,6 +176,47 @@ func EncodePrograms(n *Network) ([]WireProgramEntry, error) {
 	return out, nil
 }
 
+// EncodeProgramsFor compiles (as needed) and serializes only the programs of
+// the named element ports, in the order given. It is the delta complement of
+// EncodePrograms: after an incremental rule change touches a handful of
+// ports, a resident coordinator re-ships just those entries instead of
+// re-walking the whole network's IR. Refs use PortRef's fields the way the
+// program cache keys them (the resolved code-map port plus direction). An
+// unknown element is an error; a ref with no code attached is skipped, as in
+// EncodePrograms.
+func EncodeProgramsFor(n *Network, refs []PortRef) ([]WireProgramEntry, error) {
+	out := make([]WireProgramEntry, 0, len(refs))
+	for _, ref := range refs {
+		e, ok := n.Element(ref.Elem)
+		if !ok {
+			return nil, fmt.Errorf("core: encode program for unknown element %q", ref.Elem)
+		}
+		p, ok := e.progFor(ref.Port, ref.Out)
+		if !ok {
+			continue
+		}
+		wp, err := prog.EncodeProgram(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, WireProgramEntry{Elem: ref.Elem, Port: ref.Port, Out: ref.Out, Prog: wp})
+	}
+	return out, nil
+}
+
+// DropSummaries removes any cached summarization verdicts for the named
+// element ports, forcing lazy re-summarization. A worker applying a program
+// delta calls it for the delta'd ports: the resident summaries pre-executed
+// the replaced IR and must not survive it. Unknown elements and ports
+// without a verdict are ignored.
+func DropSummaries(n *Network, refs []PortRef) {
+	for _, ref := range refs {
+		if e, ok := n.Element(ref.Elem); ok {
+			e.sums.Delete(progKey{out: ref.Out, port: ref.Port})
+		}
+	}
+}
+
 // WireSummaryEntry is one summarization verdict keyed like the element's
 // summary cache: a summary (Sum non-nil), or the unsummarizable reason. Both
 // verdicts cross the wire — a worker that had to re-discover fallbacks would

@@ -1,30 +1,12 @@
 package dist
 
 import (
-	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"strings"
 	"sync"
-	"time"
-
-	"symnet/internal/core"
-	"symnet/internal/obs"
 )
-
-// workerProc is the coordinator's handle on one worker subprocess.
-type workerProc struct {
-	id     int
-	cmd    *exec.Cmd
-	conn   *conn
-	stdin  io.WriteCloser // close to signal end-of-batch
-	stderr *tailBuffer    // last stderr bytes, for crash diagnostics
-	// lo, hi is the worker's contiguous shard of the global job slice; recv
-	// marks which of its jobs have reported.
-	lo, hi int
-	recv   []bool
-}
 
 // tailBuffer keeps the last cap bytes written through it — enough stderr to
 // diagnose a crashed worker (panic value, fatal log line) without buffering
@@ -51,226 +33,44 @@ func (t *tailBuffer) Write(p []byte) (int, error) {
 // tail returns the captured bytes as a trimmed single-line string (newlines
 // become " | "), empty when the worker wrote nothing.
 func (t *tailBuffer) tail() string {
+	if t == nil {
+		return ""
+	}
 	t.mu.Lock()
 	s := strings.TrimSpace(string(t.buf))
 	t.mu.Unlock()
 	return strings.ReplaceAll(s, "\n", " | ")
 }
 
-// runDistributed shards jobs across cfg.Procs worker subprocesses and
-// collects results in job order. Per-worker failures (crash, protocol
-// error) poison only that worker's unreported jobs; a non-nil return means
-// a batch-wide setup failure.
-func runDistributed(net *core.Network, jobs []Job, cfg Config, out []JobResult) error {
-	procs := cfg.Procs
-	if procs > len(jobs) {
-		procs = len(jobs)
-	}
-	setup, err := buildSetup(net, jobs, cfg)
-	if err != nil {
-		return err
-	}
-	setupRaw, err := encodeSetup(setup)
-	if err != nil {
-		return fmt.Errorf("dist: encode setup: %w", err)
-	}
-	workers := make([]*workerProc, 0, procs)
-	defer func() {
-		// Error-path cleanup (the success path has already Waited and nil'd
-		// the fields): nobody is draining these workers' stdout, so a worker
-		// mid-shard would block on a full pipe and never exit — kill before
-		// Wait or the Wait itself would hang.
-		for _, w := range workers {
-			if w.stdin != nil {
-				w.stdin.Close()
-			}
-			if w.cmd != nil && w.cmd.Process != nil {
-				w.cmd.Process.Kill()
-				w.cmd.Wait()
-			}
-		}
-	}()
-
-	o := cfg.Obs
-	var reg *obs.Registry
-	if o != nil {
-		reg = o.Reg
-	}
-	spawned := reg.Counter("dist.worker.spawned")
-	exited := reg.Counter("dist.worker.exited")
-	crashed := reg.Counter("dist.worker.crashed")
-	workerT0 := make([]time.Time, procs)
-
-	finDispatch := o.Span("dispatch", "", -1)
-	for k := 0; k < procs; k++ {
-		lo, hi := shardBounds(len(jobs), k, procs)
-		w, err := spawnWorker(k, cfg)
-		if err != nil {
-			return fmt.Errorf("dist: spawn worker %d: %w", k, err)
-		}
-		w.conn.instrument(reg)
-		spawned.Inc()
-		if o.Enabled() {
-			workerT0[k] = time.Now()
-		}
-		w.lo, w.hi = lo, hi
-		w.recv = make([]bool, hi-lo)
-		workers = append(workers, w)
-
-		shard, err := buildShard(jobs, lo, hi)
-		if err != nil {
-			return err
-		}
-		if err := w.conn.send(&frame{Kind: frameSetup, SetupRaw: setupRaw}); err != nil {
-			return fmt.Errorf("dist: worker %d setup: %w", k, err)
-		}
-		if err := w.conn.send(&frame{Kind: frameJobs, Jobs: &jobsFrame{Workers: cfg.WorkersPerProc, Shard: k, Jobs: shard}}); err != nil {
-			return fmt.Errorf("dist: worker %d jobs: %w", k, err)
-		}
-	}
-	finDispatch()
-
-	// Collect: one reader per worker. Verdict frames merge into the batch
-	// table and rebroadcast to the other workers (best-effort: a worker that
-	// already exited just misses the news).
-	var (
-		seenMu sync.Mutex
-		seen   = satSeen{}
-		wg     sync.WaitGroup
-	)
-	for _, w := range workers {
-		wg.Add(1)
-		go func(w *workerProc) {
-			defer wg.Done()
-			for {
-				f, err := w.conn.recv()
-				if err != nil {
-					break
-				}
-				switch f.Kind {
-				case frameResult:
-					r := f.Result
-					if r == nil || r.Index < w.lo || r.Index >= w.hi || w.recv[r.Index-w.lo] {
-						continue
-					}
-					w.recv[r.Index-w.lo] = true
-					jr := JobResult{Name: r.Name, Summary: r.Summary}
-					if r.Err != "" {
-						jr.Err = fmt.Errorf("%s", r.Err)
-					}
-					out[r.Index] = jr
-				case frameMetrics:
-					// Worker snapshots merge order-independently; a schema
-					// mismatch (mixed binary versions) is dropped rather than
-					// absorbed as renamed-key noise.
-					if reg != nil && f.Metrics != nil && f.Metrics.Schema == obs.SchemaVersion {
-						reg.Absorb(f.Metrics)
-					}
-				case frameVerdicts:
-					if !cfg.ShareSat || len(f.Verdicts) == 0 {
-						continue
-					}
-					seenMu.Lock()
-					fresh := seen.filterNew(f.Verdicts)
-					seenMu.Unlock()
-					if len(fresh) == 0 {
-						continue
-					}
-					for _, other := range workers {
-						if other == w {
-							continue
-						}
-						// Send errors are expected once a worker has finished
-						// its shard and exited; sharing is best-effort.
-						other.conn.send(&frame{Kind: frameVerdicts, Verdicts: fresh})
-					}
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	// Account for workers that died mid-shard. The worker-lifetime span and
-	// exit counters are emitted here, where the exit status is known.
-	for _, w := range workers {
-		w.stdin.Close()
-		w.stdin = nil
-		werr := w.cmd.Wait()
-		w.cmd = nil
-		if o.Enabled() {
-			dur := time.Since(workerT0[w.id])
-			status := "exited"
-			if werr != nil {
-				status = fmt.Sprintf("crashed: %v", werr)
-			}
-			if o.Trc != nil {
-				o.Trc.Emit(obs.Span{
-					Phase: "worker", Name: status, Worker: -1, Shard: w.id,
-					Start: workerT0[w.id].UnixNano(), Dur: dur.Nanoseconds(),
-				})
-			}
-			reg.Histogram("phase.worker_ns").Observe(dur.Nanoseconds())
-		}
-		if werr != nil {
-			crashed.Inc()
-		} else {
-			exited.Inc()
-		}
-		for i, got := range w.recv {
-			if got {
-				continue
-			}
-			idx := w.lo + i
-			detail := "exited before reporting"
-			if werr != nil {
-				detail = fmt.Sprintf("died: %v", werr)
-			}
-			if tail := w.stderr.tail(); tail != "" {
-				// A crashed worker's last stderr lines usually name the cause
-				// (panic value, fatal log); carry them into the shard error so
-				// the failure is diagnosable from the coordinator alone.
-				detail += "; stderr: " + tail
-			}
-			out[idx] = JobResult{Name: jobs[idx].Name, Err: fmt.Errorf("dist: worker %d %s (job %q lost)", w.id, detail, jobs[idx].Name)}
-		}
-	}
-	return nil
-}
-
-// spawnWorker fork/execs one worker subprocess with its stdio wired to a
-// frame connection and stderr passed through.
-func spawnWorker(id int, cfg Config) (*workerProc, error) {
+// spawnWorkerProc fork/execs one worker subprocess with its stdio wired for
+// the frame protocol and stderr passed through (tail retained for crash
+// diagnostics).
+func spawnWorkerProc(cfg Config) (cmd *exec.Cmd, stdin io.WriteCloser, stdout io.ReadCloser, tail *tailBuffer, err error) {
 	argv := cfg.WorkerCmd
 	if len(argv) == 0 {
 		exe, err := os.Executable()
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, nil, err
 		}
 		argv = []string{exe}
 	}
-	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd = exec.Command(argv[0], argv[1:]...)
 	cmd.Env = append(os.Environ(), workerEnvMarker+"=1")
 	cmd.Env = append(cmd.Env, cfg.WorkerEnv...)
 	// Stderr passes through live and the tail is retained, so a crashed
-	// worker's last words can be folded into its shard's error.
-	tail := newTailBuffer(2048)
+	// worker's last words can be folded into its jobs' errors.
+	tail = newTailBuffer(2048)
 	cmd.Stderr = io.MultiWriter(os.Stderr, tail)
-	stdin, err := cmd.StdinPipe()
+	stdin, err = cmd.StdinPipe()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
-	stdout, err := cmd.StdoutPipe()
+	stdout, err = cmd.StdoutPipe()
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, err
+		return nil, nil, nil, nil, err
 	}
-	return &workerProc{
-		id:     id,
-		cmd:    cmd,
-		conn:   newConn(stdout, stdin),
-		stdin:  stdin,
-		stderr: tail,
-	}, nil
+	return cmd, stdin, stdout, tail, nil
 }

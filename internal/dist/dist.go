@@ -124,6 +124,20 @@ type Config struct {
 	WorkerCmd []string
 	// WorkerEnv appends extra environment entries to spawned workers.
 	WorkerEnv []string
+	// Workers lists resident worker addresses (host:port of `symworker
+	// -listen` processes). When non-empty the fleet is one TCP session per
+	// address and Procs is ignored; WorkerCmd/WorkerEnv do not apply (the
+	// remote process was started by whoever runs that machine).
+	Workers []string
+	// Retries is each job's crash re-dispatch budget: a job lost to a dying
+	// worker is re-sent to a survivor up to Retries times before failing
+	// with a per-job error. 0 selects the default (2); negative disables
+	// recovery — the first crash loses the job, as before the fleet runner.
+	Retries int
+	// NoSteal disables work stealing and the held-back tail, restoring
+	// static contiguous shards. Results are byte-identical either way; the
+	// switch exists for measurement and for pinning schedule-independence.
+	NoSteal bool
 	// Obs attaches coordinator-side observability. With a registry present,
 	// workers are asked to collect metrics too and their end-of-shard
 	// snapshots are absorbed into it, so the coordinator's registry reports
@@ -141,7 +155,11 @@ func RunBatch(net *core.Network, jobs []Job, procs, workersPerProc int) []JobRes
 	return RunBatchConfig(net, jobs, Config{Procs: procs, WorkersPerProc: workersPerProc, ShareSat: true})
 }
 
-// RunBatchConfig is RunBatch with explicit configuration.
+// RunBatchConfig is RunBatch with explicit configuration: it stands up an
+// ephemeral Pool for the one batch and dismisses it. Callers with more than
+// one batch (the churn service, benchmarks) should hold a Pool instead — the
+// fleet then outlives batches and repeated setup shipping collapses to
+// reuse/delta.
 //
 // In distributed mode, per-job Options.Stats collectors and Options.SatMemo
 // caches cannot cross the process boundary and are ignored; per-job solver
@@ -151,20 +169,24 @@ func RunBatchConfig(net *core.Network, jobs []Job, cfg Config) []JobResult {
 	if len(jobs) == 0 {
 		return out
 	}
-	if cfg.Procs <= 0 {
+	if cfg.Procs <= 0 && len(cfg.Workers) == 0 {
 		runLocal(net, jobs, cfg.WorkersPerProc, cfg.Obs, out)
 		return out
 	}
-	if err := runDistributed(net, jobs, cfg, out); err != nil {
-		// Setup-level failures (unserializable network, spawn failure before
-		// any shard ran) poison every job that has no more specific error.
-		for i := range out {
-			if out[i].Summary == nil && out[i].Err == nil {
-				out[i] = JobResult{Name: jobs[i].Name, Err: err}
-			}
-		}
+	if cfg.Procs > len(jobs) && len(cfg.Workers) == 0 {
+		// Never fork more processes than jobs for a one-shot batch (resident
+		// TCP workers cost nothing extra, so the fleet is used as given).
+		cfg.Procs = len(jobs)
 	}
-	return out
+	p, err := NewPool(cfg)
+	if err != nil {
+		for i := range out {
+			out[i] = JobResult{Name: jobs[i].Name, Err: err}
+		}
+		return out
+	}
+	defer p.Close()
+	return p.RunBatch(net, jobs)
 }
 
 // runLocal is the in-process reference path: sched.RunBatch, summarized.
@@ -187,9 +209,9 @@ func shardBounds(jobs, k, n int) (lo, hi int) {
 	return k * jobs / n, (k + 1) * jobs / n
 }
 
-// buildSetup serializes the network and its compiled programs once per
-// batch, plus the summarization verdicts when any job will consume them.
-func buildSetup(net *core.Network, jobs []Job, cfg Config) (*setupFrame, error) {
+// buildSetup serializes the network and its compiled programs once per full
+// setup, plus the summarization verdicts when some job will consume them.
+func buildSetup(net *core.Network, needSummaries bool) (*setupFrame, error) {
 	wnet, err := core.EncodeNetwork(net)
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
@@ -198,16 +220,10 @@ func buildSetup(net *core.Network, jobs []Job, cfg Config) (*setupFrame, error) 
 	if err != nil {
 		return nil, fmt.Errorf("dist: %w", err)
 	}
-	s := &setupFrame{
-		Net: wnet, Programs: progs, ShareSat: cfg.ShareSat,
-		Metrics: cfg.Obs != nil && cfg.Obs.Reg != nil,
-	}
-	for _, j := range jobs {
-		if j.Opts.Summaries {
-			if s.Summaries, err = core.EncodeSummaries(net); err != nil {
-				return nil, fmt.Errorf("dist: %w", err)
-			}
-			break
+	s := &setupFrame{Net: wnet, Programs: progs}
+	if needSummaries {
+		if s.Summaries, err = core.EncodeSummaries(net); err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
 		}
 	}
 	return s, nil

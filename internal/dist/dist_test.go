@@ -274,7 +274,10 @@ func TestDistributedPanicIsolation(t *testing.T) {
 
 // TestWorkerCrashDoesNotPoisonOtherShards kills one worker process mid-shard
 // (via the fault-injection env hook) and checks that only that worker's
-// unreported jobs error while the other shard completes.
+// unreported jobs error while the other shard completes. Retries < 0 plus
+// NoSteal pins the pre-fleet semantics — static contiguous shards, a crash
+// loses exactly the dead worker's unreported jobs, no re-dispatch — which
+// remain reachable behind the config switches.
 func TestWorkerCrashDoesNotPoisonOtherShards(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns worker subprocesses")
@@ -290,7 +293,7 @@ func TestWorkerCrashDoesNotPoisonOtherShards(t *testing.T) {
 	}
 	// Shard 0 of 2 holds the first half; crash its worker on the first job.
 	out := dist.RunBatchConfig(d.Net, jobs, dist.Config{
-		Procs: 2, WorkersPerProc: 1, ShareSat: true,
+		Procs: 2, WorkersPerProc: 1, ShareSat: true, Retries: -1, NoSteal: true,
 		WorkerEnv: []string{"SYMNET_DIST_TEST_EXIT_ON=" + jobs[0].Name},
 	})
 	half := len(jobs) / 2

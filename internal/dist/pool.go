@@ -1,0 +1,998 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"symnet/internal/core"
+	"symnet/internal/obs"
+)
+
+// Pool is a persistent fleet of workers reused across batches. Workers are
+// fork/exec'd subprocesses (Config.Procs) or resident `symworker -listen`
+// processes reached over TCP (Config.Workers); either way each holds the
+// installed network between RunBatch calls, so repeated batches — the churn
+// re-verification loop above all — pay the setup encode once and then ship
+// only deltas (Refresh) or nothing (unchanged network).
+//
+// Within a batch, dispatch is dynamic: every worker starts with a contiguous
+// half-share, the coordinator holds the rest back as a tail and tops workers
+// up one job per result, and when the tail runs dry an idle worker steals the
+// most-recently-dispatched half of the slowest worker's queue (the victim is
+// asked to hand the jobs back; jobs it already started simply finish there,
+// and the first result per job wins). A worker that dies mid-batch has its
+// exclusively-held jobs re-dispatched to survivors up to Config.Retries times
+// each, then they fail with a pointed per-job error; TCP workers get one
+// redial per batch first, and a reconnecting pool ships a setup delta instead
+// of the full re-encode. None of this affects results: each job is
+// deterministic in isolation, so RunBatch output is byte-identical across
+// every transport, pool size, steal schedule and crash pattern — the property
+// tests in this package pin that.
+//
+// A Pool is not safe for concurrent use; serialize RunBatch/Refresh/Close
+// calls (Session.Serve does, via the churn service's single apply goroutine).
+type Pool struct {
+	cfg   Config
+	o     *obs.Obs
+	reg   *obs.Registry
+	runID string
+	// local marks a pool with no workers at all (Procs <= 0 and no
+	// addresses): RunBatch runs in-process and setup tracking is inert.
+	local bool
+	seq   uint64
+
+	// gen is the setup generation of the coordinator's network; genLog
+	// records, per generation bump, which ports changed (or that everything
+	// did), so a worker holding an older generation can be caught up with a
+	// delta instead of a full setup.
+	gen    uint64
+	genLog []genDelta
+
+	workers []*poolWorker
+	events  chan wEvent
+	closed  bool
+}
+
+// genLogCap bounds the delta log; a worker further behind than the log
+// reaches simply gets a full setup (always correct, never wrong — the log is
+// an optimization, not a ledger).
+const genLogCap = 64
+
+// genDelta records what changed to produce generation gen.
+type genDelta struct {
+	gen  uint64
+	refs []core.PortRef
+	full bool
+}
+
+// poolWorker is the coordinator's handle on one fleet member.
+type poolWorker struct {
+	id   int
+	addr string // non-empty: TCP; empty: subprocess
+
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stderr *tailBuffer
+	nc     net.Conn
+
+	conn *conn
+	t0   time.Time
+
+	// gen/hasSummaries mirror what the worker holds installed (0: nothing);
+	// they decide full/delta/reuse setup per batch.
+	gen          uint64
+	hasSummaries bool
+
+	alive      bool
+	dialed     bool // at least one dial attempted (first dial gets the retry window)
+	readerDone bool
+	redialed   bool // one redial attempt per batch
+	batchDone  bool // done frame seen for the current batch
+
+	// outstanding is the dispatch-ordered list of job indices this worker
+	// has been sent and not yet resolved (result, cancel-ack, or death).
+	outstanding []int
+}
+
+// wEvent is one item on the pool's central event channel: a frame from a
+// worker, or its reader's terminal error.
+type wEvent struct {
+	w   *poolWorker
+	f   *frame
+	err error
+}
+
+// NewPool builds the fleet: dials cfg.Workers addresses when given (one pool
+// worker per address; cfg.Procs is ignored), else fork/execs cfg.Procs
+// subprocesses. With neither, the pool is local — RunBatch runs in-process
+// with sched semantics, which keeps callers transport-agnostic. Each remote
+// worker completes the session handshake before NewPool returns; TCP
+// addresses that refuse the dial join the pool dead (batches shard over the
+// survivors and retry the redial), and construction fails only when no
+// member at all is reachable.
+func NewPool(cfg Config) (*Pool, error) {
+	p := &Pool{
+		cfg: cfg, o: cfg.Obs, gen: 1,
+		runID: fmt.Sprintf("symnet-%d-%d", os.Getpid(), time.Now().UnixNano()),
+	}
+	if p.o != nil {
+		p.reg = p.o.Reg
+	}
+	n := cfg.Procs
+	if len(cfg.Workers) > 0 {
+		n = len(cfg.Workers)
+	}
+	if n <= 0 {
+		p.local = true
+		return p, nil
+	}
+	p.events = make(chan wEvent, 4*n+16)
+	spawned := p.reg.Counter("dist.worker.spawned")
+	var firstDial error
+	for k := 0; k < n; k++ {
+		var w *poolWorker
+		var err error
+		if len(cfg.Workers) > 0 {
+			w = &poolWorker{id: k, addr: cfg.Workers[k]}
+			if err = p.connectTCP(w); err != nil {
+				// A fleet member that is down at construction joins the
+				// pool dead: batches shard over the survivors, and every
+				// batch start retries the redial in case it comes back.
+				// Construction fails only when nobody answers.
+				if firstDial == nil {
+					firstDial = err
+				}
+				w.readerDone = true
+				p.workers = append(p.workers, w)
+				continue
+			}
+		} else {
+			// Local fork/exec failing is a configuration error (bad
+			// WorkerCmd, fd exhaustion), not a fleet-availability one:
+			// fail construction outright.
+			if w, err = p.spawnProc(k); err != nil {
+				p.closeAbandoned()
+				return nil, err
+			}
+		}
+		spawned.Inc()
+		w.alive = true
+		p.workers = append(p.workers, w)
+		p.startReader(w)
+	}
+	if p.liveCount() == 0 {
+		p.closeAbandoned()
+		return nil, fmt.Errorf("dist: no fleet member reachable: %w", firstDial)
+	}
+	return p, nil
+}
+
+// Size reports the number of fleet members (0 for a local pool).
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Refresh records that the programs behind the given ports changed (the
+// churn service calls it after reconciling a rule delta): the pool bumps its
+// setup generation and the next batch ships workers just those ports'
+// re-compiled IR. No refs is a no-op.
+func (p *Pool) Refresh(refs ...core.PortRef) {
+	if p.local || len(refs) == 0 {
+		return
+	}
+	p.gen++
+	p.genLog = append(p.genLog, genDelta{gen: p.gen, refs: append([]core.PortRef(nil), refs...)})
+	if len(p.genLog) > genLogCap {
+		p.genLog = p.genLog[len(p.genLog)-genLogCap:]
+	}
+}
+
+// Invalidate records a change too broad to describe port-by-port (element
+// rebuilt, state restored): the next batch re-ships the full setup to every
+// worker.
+func (p *Pool) Invalidate() {
+	if p.local {
+		return
+	}
+	p.gen++
+	p.genLog = append(p.genLog, genDelta{gen: p.gen, full: true})
+	if len(p.genLog) > genLogCap {
+		p.genLog = p.genLog[len(p.genLog)-genLogCap:]
+	}
+}
+
+// refsSince returns the union of ports changed after generation g, in first-
+// change order, or ok=false when a delta cannot be assembled (a full
+// invalidation intervened, or the log no longer reaches back to g).
+func (p *Pool) refsSince(g uint64) ([]core.PortRef, bool) {
+	if g == p.gen {
+		return nil, true
+	}
+	if g > p.gen {
+		return nil, false
+	}
+	var out []core.PortRef
+	seen := make(map[core.PortRef]bool)
+	next := g + 1
+	for _, e := range p.genLog {
+		if e.gen <= g {
+			continue
+		}
+		if e.gen != next || e.full {
+			return nil, false
+		}
+		next++
+		for _, r := range e.refs {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	if next != p.gen+1 {
+		return nil, false
+	}
+	return out, true
+}
+
+// RunBatch runs every job across the fleet, returning results in job order —
+// byte-identical (as summaries) to sched.RunBatch regardless of transport,
+// fleet size, steal schedule or crashes. A batch-wide setup failure poisons
+// every job; per-worker failures poison only jobs that exhausted their retry
+// budget.
+func (p *Pool) RunBatch(network *core.Network, jobs []Job) []JobResult {
+	out := make([]JobResult, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	if p.local {
+		runLocal(network, jobs, p.cfg.WorkersPerProc, p.o, out)
+		return out
+	}
+	if err := p.runBatch(network, jobs, out); err != nil {
+		for i := range out {
+			if out[i].Summary == nil && out[i].Err == nil {
+				out[i] = JobResult{Name: jobs[i].Name, Err: err}
+			}
+		}
+	}
+	return out
+}
+
+// batchRun is the coordinator's per-batch dispatch state.
+type batchRun struct {
+	net  *core.Network
+	jobs []Job
+	wire []wireJob
+	out  []JobResult
+
+	done      []bool
+	doneCount int
+	// holders tracks which workers currently hold each unresolved job; a job
+	// is re-dispatched on a crash only when the dead worker held it alone.
+	holders []map[int]bool
+	crashes []int
+	tail    []int
+
+	seen    satSeen
+	retries int
+	metrics bool
+
+	needSummaries bool
+	needAST       bool
+
+	// Lazily built, shared across workers within the batch.
+	setupRaw []byte
+	sums     []core.WireSummaryEntry
+	sumsOK   bool
+}
+
+func (br *batchRun) setupBlob() ([]byte, error) {
+	if br.setupRaw == nil {
+		s, err := buildSetup(br.net, br.needSummaries)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := encodeSetup(s)
+		if err != nil {
+			return nil, fmt.Errorf("dist: encode setup: %w", err)
+		}
+		br.setupRaw = raw
+	}
+	return br.setupRaw, nil
+}
+
+func (br *batchRun) summaries() ([]core.WireSummaryEntry, error) {
+	if !br.sumsOK {
+		sums, err := core.EncodeSummaries(br.net)
+		if err != nil {
+			return nil, fmt.Errorf("dist: %w", err)
+		}
+		br.sums, br.sumsOK = sums, true
+	}
+	return br.sums, nil
+}
+
+func (p *Pool) runBatch(network *core.Network, jobs []Job, out []JobResult) error {
+	if p.closed {
+		return fmt.Errorf("dist: RunBatch on closed pool")
+	}
+	p.seq++
+	p.reg.Counter("dist.pool.batches").Inc()
+	for _, w := range p.workers {
+		w.redialed, w.batchDone = false, false
+	}
+	p.drainPending()
+	// Dead TCP members get one revival attempt per batch (the resident
+	// process may have restarted, or the drop was transient).
+	for _, w := range p.workers {
+		if !w.alive && w.addr != "" {
+			if err := p.revive(w); err == nil {
+				p.reg.Counter("dist.worker.reconnects").Inc()
+			}
+		}
+	}
+	live := p.liveWorkers()
+	if len(live) == 0 {
+		return fmt.Errorf("dist: no live workers")
+	}
+
+	n := len(jobs)
+	br := &batchRun{
+		net: network, jobs: jobs, out: out,
+		done:    make([]bool, n),
+		holders: make([]map[int]bool, n),
+		crashes: make([]int, n),
+		seen:    satSeen{},
+		retries: retryBudget(p.cfg.Retries),
+		metrics: p.reg != nil,
+	}
+	for i := range br.holders {
+		br.holders[i] = make(map[int]bool, 1)
+	}
+	for _, j := range jobs {
+		if j.Opts.Summaries {
+			br.needSummaries = true
+		}
+		if j.Opts.ASTInterp {
+			br.needAST = true
+		}
+	}
+	wire, err := buildShard(jobs, 0, n)
+	if err != nil {
+		return err
+	}
+	br.wire = wire
+
+	finDispatch := p.o.Span("dispatch", "", -1)
+	for _, w := range live {
+		if err := p.sendBatch(w, br); err != nil {
+			finDispatch()
+			return err
+		}
+	}
+	// Initial shares: half of an even split each, at least one job; the rest
+	// is the tail the top-up/steal loop draws from. NoSteal reproduces the
+	// static contiguous shards of the one-shot protocol.
+	if p.cfg.NoSteal {
+		for k, w := range live {
+			lo, hi := shardBounds(n, k, len(live))
+			p.dispatch(w, br, seqRange(lo, hi))
+		}
+	} else {
+		chunk := n / (2 * len(live))
+		if chunk < 1 {
+			chunk = 1
+		}
+		next := 0
+		for _, w := range live {
+			if next >= n {
+				break
+			}
+			hi := next + chunk
+			if hi > n {
+				hi = n
+			}
+			p.dispatch(w, br, seqRange(next, hi))
+			next = hi
+		}
+		br.tail = seqRange(next, n)
+	}
+	finDispatch()
+	p.feed(br)
+
+	for br.doneCount < n {
+		ev := <-p.events
+		if ev.err != nil {
+			p.handleDown(ev.w, br, ev.err)
+			continue
+		}
+		switch ev.f.Kind {
+		case frameResult:
+			p.handleResult(ev.w, br, ev.f.Result)
+		case frameCancel:
+			if ev.f.Cancel == nil {
+				continue
+			}
+			// The victim acknowledges exactly the jobs it handed back; they
+			// are no longer its — the thief (already dispatched) owns them.
+			for _, idx := range ev.f.Cancel.Indexes {
+				removeOutstanding(ev.w, idx)
+				if idx >= 0 && idx < n {
+					delete(br.holders[idx], ev.w.id)
+				}
+			}
+		case frameVerdicts:
+			if !p.cfg.ShareSat || len(ev.f.Verdicts) == 0 {
+				continue
+			}
+			fresh := br.seen.filterNew(ev.f.Verdicts)
+			if len(fresh) == 0 {
+				continue
+			}
+			for _, other := range p.workers {
+				if other == ev.w || !other.alive {
+					continue
+				}
+				// Best-effort: a worker lost mid-broadcast just misses news.
+				other.conn.send(&frame{Kind: frameVerdicts, Verdicts: fresh})
+			}
+		}
+	}
+
+	// Every job is accounted for; release the workers from the batch and
+	// collect their done frames (which carry the metrics snapshots).
+	for _, w := range p.workers {
+		if !w.alive {
+			continue
+		}
+		if err := w.conn.send(&frame{Kind: frameEnd}); err != nil {
+			w.closeTransport()
+		}
+	}
+	waiting := 0
+	for _, w := range p.workers {
+		if w.alive {
+			waiting++
+		}
+	}
+	for waiting > 0 {
+		ev := <-p.events
+		if ev.err != nil {
+			if ev.w.alive {
+				p.reap(ev.w, ev.err, false)
+				if !ev.w.batchDone {
+					ev.w.batchDone = true
+					waiting--
+				}
+			}
+			continue
+		}
+		if ev.f.Kind == frameDone {
+			d := ev.f.Done
+			if d != nil && d.Metrics != nil && p.reg != nil && d.Metrics.Schema == obs.SchemaVersion {
+				p.reg.Absorb(d.Metrics)
+			}
+			if !ev.w.batchDone {
+				ev.w.batchDone = true
+				waiting--
+			}
+		}
+		// Anything else here is a late duplicate (result of a stolen job the
+		// victim had already started, trailing verdicts) — drop.
+	}
+	return nil
+}
+
+// retryBudget maps Config.Retries onto a re-dispatch count: 0 selects the
+// default, negative disables recovery entirely (a crash loses the job at
+// once — the pre-fleet semantics, still pinned by a test).
+func retryBudget(retries int) int {
+	switch {
+	case retries == 0:
+		return 2
+	case retries < 0:
+		return 0
+	}
+	return retries
+}
+
+func seqRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// sendBatch opens the batch on one worker with the cheapest sufficient setup
+// mode: reuse (nothing changed since the generation the worker holds), delta
+// (only the changed ports' programs), or the full blob. Encode failures are
+// batch-fatal; send failures surface through the worker's reader.
+func (p *Pool) sendBatch(w *poolWorker, br *batchRun) error {
+	bf := &batchFrame{
+		Seq: p.seq, Gen: p.gen,
+		Workers: p.cfg.WorkersPerProc, Shard: w.id,
+		ShareSat: p.cfg.ShareSat, Metrics: br.metrics,
+	}
+	mode := "full"
+	// ASTInterp jobs execute the port ASTs, which only the full setup
+	// carries — deltas ship compiled programs only.
+	if w.gen != 0 && !br.needAST {
+		if refs, ok := p.refsSince(w.gen); ok {
+			needSums := br.needSummaries && !w.hasSummaries
+			if len(refs) == 0 && !needSums {
+				mode = "reuse"
+			} else {
+				progs, err := core.EncodeProgramsFor(br.net, refs)
+				if err != nil {
+					return fmt.Errorf("dist: %w", err)
+				}
+				bf.Delta = &deltaFrame{Programs: progs}
+				if needSums {
+					if bf.Delta.Summaries, err = br.summaries(); err != nil {
+						return err
+					}
+				}
+				mode = "delta"
+			}
+		}
+	}
+	if mode == "full" {
+		raw, err := br.setupBlob()
+		if err != nil {
+			return err
+		}
+		bf.SetupRaw = raw
+	}
+	p.reg.Counter("dist.setup." + mode).Inc()
+	if err := w.conn.send(&frame{Kind: frameBatch, Batch: bf}); err != nil {
+		w.closeTransport()
+		return nil
+	}
+	w.gen = p.gen
+	switch {
+	case mode == "full":
+		w.hasSummaries = br.needSummaries
+	case bf.Delta != nil && len(bf.Delta.Summaries) > 0:
+		w.hasSummaries = true
+	}
+	return nil
+}
+
+// dispatch ships the given jobs to a worker and records it as a holder.
+func (p *Pool) dispatch(w *poolWorker, br *batchRun, idxs []int) {
+	if len(idxs) == 0 {
+		return
+	}
+	wj := make([]wireJob, len(idxs))
+	for i, idx := range idxs {
+		wj[i] = br.wire[idx]
+		br.holders[idx][w.id] = true
+		w.outstanding = append(w.outstanding, idx)
+	}
+	if err := w.conn.send(&frame{Kind: frameJobs, Jobs: &jobsFrame{Jobs: wj}}); err != nil {
+		// Force the reader's terminal event; the crash path re-dispatches.
+		w.closeTransport()
+	}
+}
+
+// feed gives every idle live worker something to do: the next tail job, or a
+// steal from the most-loaded worker.
+func (p *Pool) feed(br *batchRun) {
+	for _, w := range p.workers {
+		if !w.alive || len(w.outstanding) > 0 {
+			continue
+		}
+		for len(br.tail) > 0 && len(w.outstanding) == 0 {
+			idx := br.tail[0]
+			br.tail = br.tail[1:]
+			if br.done[idx] {
+				continue
+			}
+			p.dispatch(w, br, []int{idx})
+		}
+		if len(w.outstanding) == 0 && !p.cfg.NoSteal && br.doneCount < len(br.jobs) {
+			p.trySteal(w, br)
+		}
+	}
+}
+
+// trySteal moves the most-recently-dispatched half of the slowest worker's
+// exclusively-held queue to an idle one. The victim is told to hand the jobs
+// back (it acks what it actually revoked); jobs it already started finish
+// there too, and the first result per job wins — duplicated work, identical
+// bytes.
+func (p *Pool) trySteal(thief *poolWorker, br *batchRun) {
+	threshold := p.cfg.WorkersPerProc
+	if threshold < 1 {
+		threshold = 1
+	}
+	var victim *poolWorker
+	for _, w := range p.workers {
+		if !w.alive || w == thief || len(w.outstanding) <= threshold {
+			continue
+		}
+		if victim == nil || len(w.outstanding) > len(victim.outstanding) {
+			victim = w
+		}
+	}
+	if victim == nil {
+		return
+	}
+	var cands []int
+	for _, idx := range victim.outstanding {
+		if !br.done[idx] && len(br.holders[idx]) == 1 {
+			cands = append(cands, idx)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	k := len(cands) / 2
+	if k < 1 {
+		k = 1
+	}
+	stolen := append([]int(nil), cands[len(cands)-k:]...)
+	if err := victim.conn.send(&frame{Kind: frameCancel, Cancel: &cancelFrame{Indexes: stolen}}); err != nil {
+		victim.closeTransport()
+		return
+	}
+	p.reg.Counter("dist.jobs.stolen").Add(int64(len(stolen)))
+	p.dispatch(thief, br, stolen)
+}
+
+func (p *Pool) handleResult(w *poolWorker, br *batchRun, r *resultFrame) {
+	if r == nil || r.Index < 0 || r.Index >= len(br.out) {
+		return
+	}
+	removeOutstanding(w, r.Index)
+	delete(br.holders[r.Index], w.id)
+	if br.done[r.Index] {
+		return // duplicate of a stolen job the victim had already started
+	}
+	br.done[r.Index] = true
+	br.doneCount++
+	jr := JobResult{Name: r.Name, Summary: r.Summary}
+	if r.Err != "" {
+		jr.Err = fmt.Errorf("%s", r.Err)
+	}
+	br.out[r.Index] = jr
+	p.feed(br)
+}
+
+// handleDown processes a worker's terminal reader event mid-batch: reap it,
+// optionally redial (TCP, once per batch), and re-dispatch or fail its
+// exclusively-held jobs.
+func (p *Pool) handleDown(w *poolWorker, br *batchRun, readErr error) {
+	if !w.alive {
+		return
+	}
+	detail := p.reap(w, readErr, false)
+	if w.addr != "" && !w.redialed {
+		w.redialed = true
+		if err := p.revive(w); err == nil {
+			p.reg.Counter("dist.worker.reconnects").Inc()
+			redo := w.outstanding
+			w.outstanding = nil
+			for _, idx := range redo {
+				delete(br.holders[idx], w.id)
+			}
+			if err := p.sendBatch(w, br); err == nil && w.alive {
+				var again []int
+				for _, idx := range redo {
+					if !br.done[idx] && len(br.holders[idx]) == 0 {
+						again = append(again, idx)
+					}
+				}
+				p.dispatch(w, br, again)
+				return
+			}
+		}
+	}
+	outs := w.outstanding
+	w.outstanding = nil
+	for _, idx := range outs {
+		delete(br.holders[idx], w.id)
+		if br.done[idx] || len(br.holders[idx]) > 0 {
+			continue
+		}
+		br.crashes[idx]++
+		tgt := p.leastLoaded()
+		if br.crashes[idx] > br.retries || tgt == nil {
+			br.out[idx] = JobResult{Name: br.jobs[idx].Name, Err: fmt.Errorf("dist: worker %d %s (job %q lost)", w.id, detail, br.jobs[idx].Name)}
+			br.done[idx] = true
+			br.doneCount++
+			continue
+		}
+		p.reg.Counter("dist.jobs.redispatched").Inc()
+		p.dispatch(tgt, br, []int{idx})
+	}
+	if p.liveCount() == 0 {
+		// Nobody left to run anything: the tail and every co-held job die
+		// with this worker.
+		for idx := range br.done {
+			if br.done[idx] {
+				continue
+			}
+			br.out[idx] = JobResult{Name: br.jobs[idx].Name, Err: fmt.Errorf("dist: worker %d %s (job %q lost)", w.id, detail, br.jobs[idx].Name)}
+			br.done[idx] = true
+			br.doneCount++
+		}
+		return
+	}
+	p.feed(br)
+}
+
+// reap marks a worker down, closes its transport, reclaims the subprocess,
+// and emits the lifetime telemetry. It returns the crash-detail string used
+// in lost-job errors. expected distinguishes a post-bye exit from a crash.
+func (p *Pool) reap(w *poolWorker, readErr error, expected bool) string {
+	w.alive = false
+	w.readerDone = true
+	var detail string
+	crashed := false
+	if w.cmd != nil {
+		if w.stdin != nil {
+			w.stdin.Close()
+		}
+		werr := w.cmd.Wait()
+		w.cmd, w.stdin = nil, nil
+		detail = "exited before reporting"
+		if werr != nil {
+			detail = fmt.Sprintf("died: %v", werr)
+			crashed = true
+		}
+	} else {
+		if w.nc != nil {
+			w.nc.Close()
+			w.nc = nil
+		}
+		detail = fmt.Sprintf("connection lost: %v", readErr)
+		crashed = !expected
+	}
+	if tail := w.stderr.tail(); tail != "" {
+		// A crashed worker's last stderr lines usually name the cause (panic
+		// value, fatal log); carry them into the job errors so the failure is
+		// diagnosable from the coordinator alone.
+		detail += "; stderr: " + tail
+	}
+	if crashed {
+		p.reg.Counter("dist.worker.crashed").Inc()
+	} else {
+		p.reg.Counter("dist.worker.exited").Inc()
+	}
+	if p.o.Enabled() {
+		dur := time.Since(w.t0)
+		status := "exited"
+		if crashed {
+			status = fmt.Sprintf("crashed: %v", readErr)
+		}
+		if p.o.Trc != nil {
+			p.o.Trc.Emit(obs.Span{
+				Phase: "worker", Name: status, Worker: -1, Shard: w.id,
+				Start: w.t0.UnixNano(), Dur: dur.Nanoseconds(),
+			})
+		}
+		p.reg.Histogram("phase.worker_ns").Observe(dur.Nanoseconds())
+	}
+	return detail
+}
+
+// removeOutstanding drops one job index from a worker's dispatch-ordered
+// outstanding list (first occurrence; a job is dispatched to a worker at
+// most once per batch).
+func removeOutstanding(w *poolWorker, idx int) {
+	for i, v := range w.outstanding {
+		if v == idx {
+			w.outstanding = append(w.outstanding[:i], w.outstanding[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *Pool) leastLoaded() *poolWorker {
+	var best *poolWorker
+	for _, w := range p.workers {
+		if !w.alive {
+			continue
+		}
+		if best == nil || len(w.outstanding) < len(best.outstanding) {
+			best = w
+		}
+	}
+	return best
+}
+
+func (p *Pool) liveCount() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) liveWorkers() []*poolWorker {
+	out := make([]*poolWorker, 0, len(p.workers))
+	for _, w := range p.workers {
+		if w.alive {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// drainPending consumes events that arrived between batches (a worker dying
+// while the pool was idle) without blocking.
+func (p *Pool) drainPending() {
+	for {
+		select {
+		case ev := <-p.events:
+			if ev.err != nil && ev.w.alive {
+				p.reap(ev.w, ev.err, false)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *Pool) startReader(w *poolWorker) {
+	c := w.conn
+	go func() {
+		for {
+			f, err := c.recv()
+			if err != nil {
+				p.events <- wEvent{w: w, err: err}
+				return
+			}
+			p.events <- wEvent{w: w, f: f}
+		}
+	}()
+}
+
+// spawnProc fork/execs one fleet member and completes the handshake.
+func (p *Pool) spawnProc(id int) (*poolWorker, error) {
+	cmd, stdin, stdout, tail, err := spawnWorkerProc(p.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spawn worker %d: %w", id, err)
+	}
+	w := &poolWorker{id: id, cmd: cmd, stdin: stdin, stderr: tail, conn: newConn(stdout, stdin), t0: time.Now()}
+	w.conn.instrument(p.reg)
+	if err := p.handshake(w); err != nil {
+		stdin.Close()
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, err
+	}
+	return w, nil
+}
+
+// connectTCP dials one fleet member's address and completes the handshake,
+// (re)initializing the worker handle in place. The first-ever dial retries
+// inside a window (the fleet may still be binding); every later attempt gets
+// one shot, so a member that stays down costs each batch one refused connect
+// rather than a full retry window.
+func (p *Pool) connectTCP(w *poolWorker) error {
+	window := time.Duration(0)
+	if !w.dialed {
+		window = dialRetryWindow
+	}
+	w.dialed = true
+	nc, err := dialWorker(w.addr, window)
+	if err != nil {
+		return err
+	}
+	w.nc = nc
+	w.conn = newConn(nc, nc)
+	w.conn.instrument(p.reg)
+	w.t0 = time.Now()
+	nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	if err := p.handshake(w); err != nil {
+		nc.Close()
+		w.nc = nil
+		return err
+	}
+	nc.SetReadDeadline(time.Time{})
+	return nil
+}
+
+// handshake runs hello/helloAck on a fresh connection, seeding w.gen with
+// whatever setup the worker still retains for this pool's run.
+func (p *Pool) handshake(w *poolWorker) error {
+	if err := w.conn.send(&frame{Kind: frameHello, Hello: &helloFrame{Proto: protoVersion, RunID: p.runID}}); err != nil {
+		return fmt.Errorf("dist: worker %d hello: %w", w.id, err)
+	}
+	f, err := w.conn.recv()
+	if err != nil {
+		return fmt.Errorf("dist: worker %d handshake: %w", w.id, err)
+	}
+	if f.Kind != frameHelloAck || f.HelloAck == nil {
+		return fmt.Errorf("dist: worker %d handshake: unexpected frame %d, want hello ack", w.id, f.Kind)
+	}
+	if f.HelloAck.Proto != protoVersion {
+		return fmt.Errorf("dist: worker %d speaks protocol version %d, want %d", w.id, f.HelloAck.Proto, protoVersion)
+	}
+	prevGen := w.gen
+	w.gen = f.HelloAck.Gen
+	if w.gen == 0 || w.gen != prevGen {
+		w.hasSummaries = false
+	}
+	return nil
+}
+
+// revive redials a dead TCP member and restarts its reader.
+func (p *Pool) revive(w *poolWorker) error {
+	if err := p.connectTCP(w); err != nil {
+		return err
+	}
+	w.alive = true
+	w.readerDone = false
+	p.startReader(w)
+	return nil
+}
+
+// closeTransport forces the worker's reader to its terminal event (used when
+// a send fails: the connection is broken, but only the reader's error drives
+// the crash path, keeping failure handling single-track).
+func (w *poolWorker) closeTransport() {
+	if w.nc != nil {
+		w.nc.Close()
+	}
+	if w.stdin != nil {
+		w.stdin.Close()
+	}
+	if w.cmd != nil && w.cmd.Process != nil {
+		w.cmd.Process.Kill()
+	}
+}
+
+// Close dismisses the fleet: live workers get a bye (subprocesses exit,
+// resident TCP workers drop the session and serve others), readers drain,
+// processes are reclaimed. Safe to call twice.
+func (p *Pool) Close() error {
+	if p.closed || p.local {
+		p.closed = true
+		return nil
+	}
+	p.closed = true
+	for _, w := range p.workers {
+		if !w.alive {
+			continue
+		}
+		if err := w.conn.send(&frame{Kind: frameBye}); err != nil {
+			w.closeTransport()
+		}
+	}
+	for {
+		pending := false
+		for _, w := range p.workers {
+			if !w.readerDone {
+				pending = true
+			}
+		}
+		if !pending {
+			break
+		}
+		ev := <-p.events
+		if ev.err != nil && ev.w.alive {
+			p.reap(ev.w, ev.err, true)
+		}
+	}
+	return nil
+}
+
+// closeAbandoned kills whatever NewPool had spawned before failing.
+func (p *Pool) closeAbandoned() {
+	p.closed = true
+	for _, w := range p.workers {
+		w.closeTransport()
+		if w.cmd != nil {
+			w.cmd.Wait()
+		}
+	}
+}

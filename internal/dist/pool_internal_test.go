@@ -1,0 +1,168 @@
+package dist
+
+// Pool lifecycle tests that reach into coordinator internals: setup-mode
+// accounting across batches (full once, then reuse), delta shipping after
+// Refresh, full re-ship after Invalidate, and the reconnect path — a TCP
+// connection dropped under the pool redials, the worker reports its parked
+// generation, and the next batch reuses instead of re-encoding.
+
+import (
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"symnet/internal/core"
+	"symnet/internal/obs"
+	"symnet/internal/sched"
+	"symnet/internal/sefl"
+)
+
+// resultsJSON canonicalizes pool results for comparison.
+func resultsJSON(t *testing.T, out []JobResult) string {
+	t.Helper()
+	type row struct {
+		Name    string
+		Err     string
+		Summary *Summary
+	}
+	rows := make([]row, len(out))
+	for i, r := range out {
+		rows[i] = row{Name: r.Name, Summary: r.Summary}
+		if r.Err != nil {
+			rows[i].Err = r.Err.Error()
+		}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// inProcessJSON is the engine-of-record reference for the same jobs.
+func inProcessJSON(t *testing.T, network *core.Network, jobs []Job) string {
+	t.Helper()
+	out := make([]JobResult, len(jobs))
+	for i, jr := range sched.RunBatch(network, jobs, 1) {
+		out[i] = fromSched(jr)
+	}
+	return resultsJSON(t, out)
+}
+
+func TestPoolSetupModesAndReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("opens TCP sessions")
+	}
+	network, jobs := testFleetNet()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ServeListener(ln)
+
+	reg := obs.NewRegistry()
+	o := obs.New(reg, nil)
+	p, err := NewPool(Config{Workers: []string{ln.Addr().String()}, WorkersPerProc: 1, ShareSat: true, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	count := func(name string) int64 { return reg.Counter(name).Value() }
+	want := inProcessJSON(t, network, jobs)
+
+	if got := resultsJSON(t, p.RunBatch(network, jobs)); got != want {
+		t.Fatalf("batch 1 differs from in-process reference:\n got %s\nwant %s", got, want)
+	}
+	if count("dist.setup.full") != 1 {
+		t.Fatalf("batch 1: dist.setup.full = %d, want 1", count("dist.setup.full"))
+	}
+	if got := resultsJSON(t, p.RunBatch(network, jobs)); got != want {
+		t.Fatalf("batch 2 differs from in-process reference")
+	}
+	if count("dist.setup.reuse") != 1 {
+		t.Fatalf("batch 2: dist.setup.reuse = %d, want 1 (resident worker must not be re-shipped)", count("dist.setup.reuse"))
+	}
+
+	// Drop the connection out from under the pool; the worker parks its
+	// installed state, the pool redials on the next batch and the handshake
+	// recovers the generation — still no re-encode.
+	p.workers[0].nc.Close()
+	time.Sleep(300 * time.Millisecond)
+	if got := resultsJSON(t, p.RunBatch(network, jobs)); got != want {
+		t.Fatalf("post-reconnect batch differs from in-process reference")
+	}
+	if count("dist.worker.reconnects") != 1 {
+		t.Fatalf("dist.worker.reconnects = %d, want 1", count("dist.worker.reconnects"))
+	}
+	if count("dist.setup.reuse") != 2 {
+		t.Fatalf("post-reconnect: dist.setup.reuse = %d, want 2 (parked state must survive the drop)", count("dist.setup.reuse"))
+	}
+
+	// Mutate one port and Refresh: the next batch ships a delta, and the
+	// results match a fresh in-process run of the mutated network.
+	sw, ok := network.Element("SW")
+	if !ok {
+		t.Fatal("no SW element")
+	}
+	sw.SetOutCode(0, sefl.Constrain{C: sefl.Eq(sefl.Ref{LV: sefl.EtherDst}, sefl.CW(0xcc, 48))})
+	p.Refresh(core.PortRef{Elem: "SW", Port: 0, Out: true})
+	mutated := inProcessJSON(t, network, jobs)
+	if mutated == want {
+		t.Fatal("test mutation did not change results; the delta path would be unobservable")
+	}
+	if got := resultsJSON(t, p.RunBatch(network, jobs)); got != mutated {
+		t.Fatalf("post-Refresh batch differs from in-process reference on the mutated network:\n got %s\nwant %s", got, mutated)
+	}
+	if count("dist.setup.delta") != 1 {
+		t.Fatalf("post-Refresh: dist.setup.delta = %d, want 1", count("dist.setup.delta"))
+	}
+
+	// Invalidate forces the full blob again.
+	p.Invalidate()
+	if got := resultsJSON(t, p.RunBatch(network, jobs)); got != mutated {
+		t.Fatalf("post-Invalidate batch differs from in-process reference")
+	}
+	if count("dist.setup.full") != 2 {
+		t.Fatalf("post-Invalidate: dist.setup.full = %d, want 2", count("dist.setup.full"))
+	}
+	if count("dist.pool.batches") != 5 {
+		t.Fatalf("dist.pool.batches = %d, want 5", count("dist.pool.batches"))
+	}
+}
+
+// TestRefsSince pins the generation-log algebra the delta decisions rest on.
+func TestRefsSince(t *testing.T) {
+	p := &Pool{gen: 1}
+	r1 := core.PortRef{Elem: "a", Port: 0, Out: true}
+	r2 := core.PortRef{Elem: "b", Port: 1, Out: true}
+
+	if refs, ok := p.refsSince(1); !ok || len(refs) != 0 {
+		t.Fatalf("same gen: refs=%v ok=%v, want empty/true", refs, ok)
+	}
+	p.Refresh(r1)
+	p.Refresh(r2, r1)
+	if refs, ok := p.refsSince(1); !ok || len(refs) != 2 {
+		t.Fatalf("after two refreshes: refs=%v ok=%v, want [a b]/true", refs, ok)
+	}
+	if refs, ok := p.refsSince(2); !ok || len(refs) != 2 || refs[0] != r2 {
+		t.Fatalf("from gen 2: refs=%v ok=%v", refs, ok)
+	}
+	p.Invalidate()
+	if _, ok := p.refsSince(1); ok {
+		t.Fatal("delta across an Invalidate must be refused")
+	}
+	if refs, ok := p.refsSince(p.gen); !ok || len(refs) != 0 {
+		t.Fatalf("current gen after invalidate: refs=%v ok=%v", refs, ok)
+	}
+	// A worker behind a trimmed log gets a full setup.
+	for i := 0; i < genLogCap+5; i++ {
+		p.Refresh(r1)
+	}
+	if _, ok := p.refsSince(2); ok {
+		t.Fatal("delta beyond the trimmed log must be refused")
+	}
+}

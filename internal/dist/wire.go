@@ -1,12 +1,23 @@
 package dist
 
 // The coordinator/worker wire protocol: a bidirectional stream of gob-framed
-// messages over the worker subprocess's stdin/stdout (gob is self-delimiting,
-// so the stream needs no explicit length prefixes). Stdout is reserved for
-// frames — workers log to stderr, which the coordinator passes through.
+// messages (gob is self-delimiting, so the stream needs no explicit length
+// prefixes) over either the worker subprocess's stdin/stdout or a TCP
+// connection to a resident `symworker -listen` process. On stdio, stdout is
+// reserved for frames — workers log to stderr, which the coordinator passes
+// through.
 //
-//	coordinator → worker:  setup, jobs, verdicts*          (stdin)
-//	worker → coordinator:  (result | verdicts)*            (stdout)
+// A session is a handshake followed by any number of batches:
+//
+//	coordinator → worker:  hello
+//	worker → coordinator:  helloAck                  (what it still holds)
+//	per batch:
+//	  coordinator → worker:  batch                   (setup full|delta|reuse)
+//	  coordinator → worker:  (jobs | cancel | verdicts)*
+//	  worker → coordinator:  (result | cancel | verdicts)*
+//	  coordinator → worker:  end                     (all results accounted)
+//	  worker → coordinator:  done                    (+ metrics snapshot)
+//	coordinator → worker:  bye
 //
 // Every type that crosses the wire is a concrete struct of exported fields
 // (the sefl/prog/core wire codecs strip interfaces and closures first), so
@@ -28,35 +39,125 @@ import (
 type frameKind uint8
 
 const (
-	// frameSetup ships the network, the compiled programs, and batch-wide
-	// configuration. First frame on a worker's stdin, sent exactly once.
+	// frameSetup is retired (the v1 one-shot setup); its slot is kept so the
+	// numbering of the kinds below — which error messages cite — is stable.
 	frameSetup frameKind = iota + 1
-	// frameJobs ships the worker's contiguous job shard. Second frame.
+	// frameJobs ships jobs to a worker: the initial chunk of a batch, then
+	// one-at-a-time top-ups as results come back.
 	frameJobs
 	// frameResult delivers one finished job (worker → coordinator).
 	frameResult
 	// frameVerdicts exchanges newly learned satisfiability verdicts in both
 	// directions (only when the batch shares its Sat cache).
 	frameVerdicts
-	// frameMetrics ships the worker's final metrics snapshot (worker →
-	// coordinator, once per shard, only when the batch was set up with
-	// metrics on). Snapshot merging is order-independent, so the coordinator
-	// absorbs shards as they arrive.
+	// frameMetrics is retired (worker snapshots ride frameDone); slot kept.
 	frameMetrics
+	// frameHello opens a session (coordinator → worker): names the
+	// coordinator's run so a reconnecting worker can report retained state.
+	frameHello
+	// frameHelloAck answers the hello (worker → coordinator) with the setup
+	// generation the worker still holds for that run (0: nothing).
+	frameHelloAck
+	// frameBatch starts one batch: setup (full blob, delta entries, or reuse
+	// of retained state) plus per-batch configuration.
+	frameBatch
+	// frameCancel revokes queued jobs. Coordinator → worker it asks the
+	// worker to hand back not-yet-started jobs (work stealing); worker →
+	// coordinator it acknowledges exactly the ids handed back, so the
+	// coordinator knows which jobs the worker no longer owns.
+	frameCancel
+	// frameEnd tells the worker the batch is over (every job is accounted
+	// for); the worker drains its queue and answers with frameDone.
+	frameEnd
+	// frameDone ends the worker's participation in a batch (worker →
+	// coordinator), carrying its metrics snapshot when metrics are on.
+	frameDone
+	// frameBye ends the session cleanly; the worker discards retained state.
+	frameBye
 )
 
+// protoVersion guards against mixed coordinator/worker builds across the
+// TCP boundary (stdio workers are always the same binary).
+const protoVersion = 2
+
 // frame is the single message envelope; Kind selects the payload field.
+// frameEnd and frameBye are kind-only.
 type frame struct {
-	Kind frameKind
-	// SetupRaw is the gob-encoded setupFrame as an opaque byte blob: the
-	// setup payload (network + full compiled IR) dominates batch setup cost
-	// on table-heavy networks, so the coordinator encodes it once per batch
-	// and per-worker shipment is a memcpy instead of a re-walk of the IR.
-	SetupRaw []byte
+	Kind     frameKind
 	Jobs     *jobsFrame
 	Result   *resultFrame
 	Verdicts []solver.SatRecord
 	Metrics  *obs.Snapshot
+	Hello    *helloFrame
+	HelloAck *helloAckFrame
+	Batch    *batchFrame
+	Cancel   *cancelFrame
+	Done     *doneFrame
+}
+
+// helloFrame opens a session.
+type helloFrame struct {
+	// Proto is the sender's protocol version; a mismatch fails the
+	// handshake on the worker side with a pointed error.
+	Proto int
+	// RunID identifies the coordinator run (a Pool lifetime). A worker that
+	// retains state from a broken connection keys it by RunID, so the same
+	// pool reconnecting gets delta setup instead of a full re-encode.
+	RunID string
+}
+
+// helloAckFrame answers a hello.
+type helloAckFrame struct {
+	Proto int
+	// Gen is the setup generation the worker retains for the hello's RunID;
+	// 0 means nothing retained (fresh worker, or state for another run) and
+	// the first batch must carry a full setup.
+	Gen uint64
+}
+
+// batchFrame starts one batch. Exactly one of SetupRaw (full setup blob),
+// Delta (changed entries over retained state), or neither (reuse retained
+// state unchanged) describes the worker's setup for this batch.
+type batchFrame struct {
+	// Seq numbers batches within the session; frameDone echoes it.
+	Seq uint64
+	// Gen is the setup generation this batch runs at; the worker records it
+	// and reports it in later handshakes.
+	Gen      uint64
+	SetupRaw []byte
+	Delta    *deltaFrame
+	// Workers sizes the worker's in-process queue; Shard labels its metrics
+	// and trace spans with the worker's pool index.
+	Workers int
+	Shard   int
+	// ShareSat and Metrics configure the batch (moved here from the v1
+	// setup frame so reuse/delta batches can set them without one).
+	ShareSat bool
+	Metrics  bool
+}
+
+// deltaFrame re-ships only what changed since the generation the worker
+// holds: the re-compiled programs of the touched ports (the worker drops its
+// cached summaries for exactly those ports and re-summarizes lazily), plus
+// the full summary set when this batch needs summaries the worker was never
+// shipped. Port ASTs do not ride deltas — workers execute installed compiled
+// programs, so delta batches are correct for every mode except ASTInterp,
+// which resident pools do not serve.
+type deltaFrame struct {
+	Programs  []core.WireProgramEntry
+	Summaries []core.WireSummaryEntry
+}
+
+// cancelFrame revokes (or acknowledges revocation of) queued jobs by their
+// batch indices.
+type cancelFrame struct {
+	Indexes []int
+}
+
+// doneFrame ends a worker's batch.
+type doneFrame struct {
+	Seq     uint64
+	Metrics *obs.Snapshot
 }
 
 // encodeSetup serializes a setup payload once; decodeSetup is its inverse.
@@ -78,7 +179,9 @@ func decodeSetup(raw []byte) (*setupFrame, error) {
 
 // setupFrame carries everything a worker needs before any job: the network
 // spec (elements, port code ASTs, links) and the coordinator's compiled IR
-// for every element-port program, so workers skip recompilation.
+// for every element-port program, so workers skip recompilation. Per-batch
+// configuration (ShareSat, Metrics, queue width) lives on batchFrame — a
+// setup outlives batches in a resident pool.
 type setupFrame struct {
 	Net      *core.WireNetwork
 	Programs []core.WireProgramEntry
@@ -86,24 +189,11 @@ type setupFrame struct {
 	// only when some job runs with Options.Summaries), so workers skip
 	// re-summarization the same way Programs lets them skip recompilation.
 	Summaries []core.WireSummaryEntry
-	// ShareSat enables the coordinator-mediated satisfiability cache:
-	// workers stream newly computed verdicts back and receive the other
-	// workers' verdicts, so the batch-wide memoization of sched.RunBatch
-	// survives the process split.
-	ShareSat bool
-	// Metrics asks each worker to run with a local metrics registry and ship
-	// its snapshot back (frameMetrics) when the shard completes. Purely
-	// observational — results are byte-identical either way.
-	Metrics bool
 }
 
-// jobsFrame is the worker's shard. Workers is the in-process pool size each
-// worker fans its shard across; Shard is this worker's index in the batch
-// (labels the worker's metrics and trace spans).
+// jobsFrame ships jobs: a batch's initial contiguous chunk, or a top-up.
 type jobsFrame struct {
-	Workers int
-	Shard   int
-	Jobs    []wireJob
+	Jobs []wireJob
 }
 
 // wireJob is one verification job. Index is the job's position in the

@@ -3,7 +3,9 @@ package dist
 import (
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strings"
 	"time"
 
 	"symnet/internal/core"
@@ -18,10 +20,18 @@ import (
 // MaybeWorker into a dist worker speaking the frame protocol on stdio.
 const workerEnvMarker = "SYMNET_DIST_WORKER"
 
-// testExitEnv is a fault-injection hook for the worker-crash tests: a worker
-// whose environment names a job here exits hard (simulating a crash) instead
-// of reporting that job.
+// testExitEnv is a fault-injection hook for the worker-crash tests and the
+// CI fault-injection gate: a worker whose environment names a job here ("*"
+// matches any job) exits hard (simulating a crash) instead of reporting that
+// job.
 const testExitEnv = "SYMNET_DIST_TEST_EXIT_ON"
+
+// testExitOnceEnv limits the injected crash to one worker fleet-wide: it
+// names a marker file created with O_EXCL, and only the worker that wins the
+// creation race crashes. Without it every worker that receives the named job
+// crashes — including the survivors the coordinator re-dispatches to, which
+// is the "poison job" scenario rather than the "machine died" one.
+const testExitOnceEnv = "SYMNET_DIST_TEST_EXIT_ONCE"
 
 // MaybeWorker turns the current process into a dist worker when it was
 // spawned by a coordinator (detected via the environment marker), never
@@ -29,9 +39,25 @@ const testExitEnv = "SYMNET_DIST_TEST_EXIT_ON"
 // call it first thing in main, which makes every such binary its own worker
 // — no separate worker binary needs to be installed next to it. Outside a
 // worker environment it is a no-op.
+//
+// A marker of the form "listen=addr" serves the TCP transport instead of
+// stdio: the process binds addr, prints the bound address on stdout ("addr"
+// may end in :0; the parent reads the line to learn the port), and serves
+// sessions until killed. The crash/reconnect tests and the CI two-machine
+// smoke job run fleet members this way without building cmd/symworker.
 func MaybeWorker() {
-	if os.Getenv(workerEnvMarker) == "" {
+	v := os.Getenv(workerEnvMarker)
+	if v == "" {
 		return
+	}
+	if addr, ok := strings.CutPrefix(v, "listen="); ok {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			fmt.Println(ln.Addr())
+			err = ServeListener(ln)
+		}
+		fmt.Fprintln(os.Stderr, "symnet-dist-worker:", err)
+		os.Exit(1)
 	}
 	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "symnet-dist-worker:", err)
@@ -40,113 +66,185 @@ func MaybeWorker() {
 	os.Exit(0)
 }
 
-// WorkerMain runs the worker side of the frame protocol: receive the setup
-// (network + compiled IR) and the job shard, execute the shard on an
-// in-process pool, stream each result back as it finishes, and exchange Sat
-// verdicts with the coordinator when the batch shares its cache.
-// cmd/symworker calls it directly.
+// WorkerMain runs the worker side of the frame protocol on a byte stream:
+// answer the session handshake, then serve batches — install (or patch, or
+// reuse) the setup, execute jobs from a dynamic queue as the coordinator
+// streams and revokes them, send each result as it finishes, and exchange
+// Sat verdicts when the batch shares its cache. It returns when the
+// coordinator says bye or the stream ends. cmd/symworker calls it directly
+// for stdio; ServeListener wraps it per TCP connection with reconnect state.
 func WorkerMain(in io.Reader, out io.Writer) error {
-	c := newConn(in, out)
+	return serveSession(newConn(in, out), nil, nil)
+}
 
+// workerState is what a session retains across batches: the installed
+// network at a setup generation, and whether summaries were ever shipped
+// for it.
+type workerState struct {
+	net          *core.Network
+	gen          uint64
+	hasSummaries bool
+}
+
+// serveSession speaks one session: handshake, then batches until bye/EOF.
+// nc (nil on stdio) scopes the handshake read deadline; cache (nil on
+// stdio) parks state across dropped TCP connections, keyed by the
+// coordinator's run ID.
+func serveSession(c *conn, nc net.Conn, cache *residentCache) error {
+	if nc != nil {
+		nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	}
 	f, err := c.recv()
 	if err != nil {
-		return fmt.Errorf("reading setup: %w", err)
+		return fmt.Errorf("reading hello: %w", err)
 	}
-	if f.Kind != frameSetup || len(f.SetupRaw) == 0 {
-		return fmt.Errorf("protocol: first frame is %d, want setup", f.Kind)
+	if f.Kind != frameHello || f.Hello == nil {
+		return fmt.Errorf("protocol: first frame is %d, want hello", f.Kind)
 	}
-	setup, err := decodeSetup(f.SetupRaw)
-	if err != nil {
-		return fmt.Errorf("decoding setup: %w", err)
+	if f.Hello.Proto != protoVersion {
+		return fmt.Errorf("protocol: coordinator speaks version %d, want %d", f.Hello.Proto, protoVersion)
 	}
-	net, err := core.DecodeNetwork(setup.Net)
-	if err != nil {
-		return err
+	if nc != nil {
+		nc.SetReadDeadline(time.Time{})
 	}
-	if err := core.InstallPrograms(net, setup.Programs); err != nil {
-		return err
+	runID := f.Hello.RunID
+	st := cache.take(runID)
+	if st == nil {
+		st = &workerState{}
 	}
-	// Summaries rebind to the just-installed programs, so this must follow
-	// InstallPrograms.
-	if err := core.InstallSummaries(net, setup.Summaries); err != nil {
-		return err
+	if err := c.send(&frame{Kind: frameHelloAck, HelloAck: &helloAckFrame{Proto: protoVersion, Gen: st.gen}}); err != nil {
+		return fmt.Errorf("sending hello ack: %w", err)
 	}
 
-	f, err = c.recv()
-	if err != nil {
-		return fmt.Errorf("reading jobs: %w", err)
-	}
-	if f.Kind != frameJobs || f.Jobs == nil {
-		return fmt.Errorf("protocol: second frame is %d, want jobs", f.Kind)
-	}
-	shard := f.Jobs
-
-	jobs := make([]sched.Job, len(shard.Jobs))
-	indices := make([]int, len(shard.Jobs))
-	for i, wj := range shard.Jobs {
-		pkt, err := sefl.DecodeInstr(wj.Packet)
-		if err != nil {
-			return fmt.Errorf("job %q: %w", wj.Name, err)
+	// Anything but a clean bye parks the session state (TCP only): the same
+	// coordinator redialing after a connection drop resumes at st.gen and
+	// ships a delta instead of the full setup.
+	clean := false
+	defer func() {
+		if !clean && cache != nil {
+			cache.park(runID, st)
 		}
-		jobs[i] = sched.Job{Name: wj.Name, Inject: wj.Inject, Packet: pkt, Opts: wj.Opts.options()}
-		indices[i] = wj.Index
+	}()
+
+	for {
+		f, err := c.recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("reading frame: %w", err)
+		}
+		switch f.Kind {
+		case frameBye:
+			clean = true
+			return nil
+		case frameBatch:
+			if err := runWorkerBatch(c, st, f.Batch); err != nil {
+				return err
+			}
+		case frameVerdicts:
+			// A broadcast that raced the previous batch's end; stale, drop.
+		default:
+			return fmt.Errorf("protocol: unexpected frame %d, want batch", f.Kind)
+		}
+	}
+}
+
+// runWorkerBatch serves one batch: apply the setup mode, run the dynamic
+// job queue against incoming jobs/cancel/verdict frames until the
+// coordinator's end frame, then drain and report done.
+func runWorkerBatch(c *conn, st *workerState, bf *batchFrame) error {
+	if bf == nil {
+		return fmt.Errorf("protocol: batch frame without payload")
+	}
+	switch {
+	case len(bf.SetupRaw) > 0:
+		setup, err := decodeSetup(bf.SetupRaw)
+		if err != nil {
+			return fmt.Errorf("decoding setup: %w", err)
+		}
+		net, err := core.DecodeNetwork(setup.Net)
+		if err != nil {
+			return err
+		}
+		if err := core.InstallPrograms(net, setup.Programs); err != nil {
+			return err
+		}
+		// Summaries rebind to the just-installed programs, so this must
+		// follow InstallPrograms.
+		if err := core.InstallSummaries(net, setup.Summaries); err != nil {
+			return err
+		}
+		st.net, st.gen, st.hasSummaries = net, bf.Gen, len(setup.Summaries) > 0
+	case bf.Delta != nil:
+		if st.net == nil {
+			return fmt.Errorf("protocol: delta setup with no retained network")
+		}
+		if err := core.InstallPrograms(st.net, bf.Delta.Programs); err != nil {
+			return err
+		}
+		// Resident summaries pre-executed the replaced programs; drop them
+		// for exactly the delta'd ports (lazy re-summarization is correct),
+		// then install any shipped set against the fresh programs.
+		refs := make([]core.PortRef, len(bf.Delta.Programs))
+		for i, pe := range bf.Delta.Programs {
+			refs[i] = core.PortRef{Elem: pe.Elem, Port: pe.Port, Out: pe.Out}
+		}
+		core.DropSummaries(st.net, refs)
+		if len(bf.Delta.Summaries) > 0 {
+			if err := core.InstallSummaries(st.net, bf.Delta.Summaries); err != nil {
+				return err
+			}
+			st.hasSummaries = true
+		}
+		st.gen = bf.Gen
+	default:
+		if st.net == nil {
+			return fmt.Errorf("protocol: reuse setup with no retained network")
+		}
+		if st.gen != bf.Gen {
+			return fmt.Errorf("protocol: reuse setup at generation %d, worker holds %d", bf.Gen, st.gen)
+		}
 	}
 
-	// With metrics on, the worker collects into its own registry — labeled
-	// with its shard index — and ships the snapshot back when the shard
-	// completes. The coordinator absorbs shards in arrival order; totals are
-	// order-independent by construction.
+	// With metrics on, the worker collects into a per-batch registry —
+	// labeled with its pool index — and ships the snapshot inside the done
+	// frame. Per-batch registries keep repeated absorption sound: a resident
+	// registry would re-ship (and double-count) earlier batches' totals.
 	var o *obs.Obs
 	var reg *obs.Registry
-	if setup.Metrics {
+	if bf.Metrics {
 		reg = obs.NewRegistry()
 		o = obs.New(reg, nil)
-		o.Shard = shard.Shard
+		o.Shard = bf.Shard
 		prog.RegisterMetrics(reg)
 		// If this process serves -debug-addr (symworker), point the expvar
-		// endpoint at the shard's live registry.
+		// endpoint at the live registry.
 		obs.SetDebugRegistry(reg)
-		// Frame-byte counting starts here; the setup and jobs frames already
-		// read are the coordinator's to count.
 		c.instrument(reg)
 	}
 
-	// The shared-cache mode backs the shard's SatCache with an exchange
-	// store; inbound verdict frames (the other workers' work, relayed by
-	// the coordinator) are merged by a background reader for the rest of
-	// the worker's life.
+	// The shared-cache mode backs the batch's SatCache with an exchange
+	// store; inbound verdict frames are merged by the frame loop below. The
+	// cache is per batch, mirroring sched.RunBatch's per-call cache.
 	var store *exchangeStore
 	var memo *solver.SatCache
-	if setup.ShareSat {
+	if bf.ShareSat {
 		store = newExchangeStore()
 		memo = solver.NewSatCacheWith(store)
 	} else if reg != nil {
-		// Without verdict sharing the shard still wants one batch-wide cache
-		// it can report on (RunBatchStream would otherwise make an anonymous
-		// one).
+		// Without verdict sharing the batch still wants one cache it can
+		// report on (the queue would otherwise make an anonymous one).
 		memo = solver.NewSatCache()
 	}
 	memo.RegisterMetrics(reg)
-	if store != nil {
-		go func() {
-			for {
-				f, err := c.recv()
-				if err != nil {
-					return
-				}
-				if f.Kind == frameVerdicts {
-					store.injectRemote(f.Verdicts)
-				}
-			}
-		}()
-	}
 
 	crashOn := os.Getenv(testExitEnv)
-	shardT0 := time.Now()
-	sched.RunBatchStream(net, jobs, shard.Workers, memo, o, func(i int, jr sched.JobResult) {
-		if crashOn != "" && jr.Name == crashOn {
-			// Real crashes usually leave last words on stderr; emit some so the
-			// crash tests can pin the coordinator's stderr-tail capture.
+	t0 := time.Now()
+	q := sched.NewQueue(st.net, bf.Workers, memo, o, func(id int, jr sched.JobResult) {
+		if crashOn != "" && (crashOn == "*" || jr.Name == crashOn) && claimInjectedCrash() {
+			// Real crashes usually leave last words on stderr; emit some so
+			// the crash tests can pin the coordinator's stderr-tail capture.
 			fmt.Fprintf(os.Stderr, "symnet-dist-worker: injected crash on job %q\n", jr.Name)
 			os.Exit(3)
 		}
@@ -155,36 +253,104 @@ func WorkerMain(in io.Reader, out io.Writer) error {
 				c.send(&frame{Kind: frameVerdicts, Verdicts: recs})
 			}
 		}
-		rf := &resultFrame{Index: indices[i], Name: jr.Name}
+		rf := &resultFrame{Index: id, Name: jr.Name}
 		if jr.Err != nil {
 			rf.Err = jr.Err.Error()
 		}
 		if jr.Result != nil {
 			rf.Summary = Summarize(jr.Result)
 		}
-		if err := c.send(&frame{Kind: frameResult, Result: rf}); err != nil {
-			// The result pipe only breaks when the coordinator is gone
-			// (killed, crashed, Ctrl-C'd). There is nowhere to deliver the
-			// rest of the shard, so exit now instead of burning CPU on jobs
-			// whose results nobody will read — RunBatchStream has no
-			// cancellation, and this is a dedicated worker process.
-			fmt.Fprintln(os.Stderr, "symnet-dist-worker: coordinator gone:", err)
-			os.Exit(1)
-		}
+		// A send failure means the coordinator (or the connection) is gone;
+		// the frame loop's next read surfaces it — jobs already queued are
+		// revoked there, and the coordinator re-dispatches everything this
+		// worker never reported.
+		c.send(&frame{Kind: frameResult, Result: rf})
 	})
-	if store != nil {
-		if recs := store.drain(); len(recs) > 0 {
-			c.send(&frame{Kind: frameVerdicts, Verdicts: recs})
+
+	// abort tears the queue down on a mid-batch failure: pending jobs are
+	// handed back (nobody will read their results) and running ones — which
+	// cannot be interrupted — are drained.
+	var added []int
+	abort := func() {
+		q.Revoke(added)
+		q.Close()
+		q.Wait()
+	}
+
+	for {
+		f, err := c.recv()
+		if err != nil {
+			abort()
+			return fmt.Errorf("reading frame: %w", err)
+		}
+		switch f.Kind {
+		case frameJobs:
+			if f.Jobs == nil {
+				abort()
+				return fmt.Errorf("protocol: jobs frame without payload")
+			}
+			for _, wj := range f.Jobs.Jobs {
+				pkt, err := sefl.DecodeInstr(wj.Packet)
+				if err != nil {
+					abort()
+					return fmt.Errorf("job %q: %w", wj.Name, err)
+				}
+				added = append(added, wj.Index)
+				q.Add(wj.Index, sched.Job{Name: wj.Name, Inject: wj.Inject, Packet: pkt, Opts: wj.Opts.options()})
+			}
+		case frameCancel:
+			if f.Cancel == nil {
+				continue
+			}
+			if revoked := q.Revoke(f.Cancel.Indexes); len(revoked) > 0 {
+				// Acknowledge exactly what was handed back: jobs already
+				// started will still report, and the coordinator keeps them
+				// attributed to this worker until then.
+				c.send(&frame{Kind: frameCancel, Cancel: &cancelFrame{Indexes: revoked}})
+			}
+		case frameVerdicts:
+			if store != nil {
+				store.injectRemote(f.Verdicts)
+			}
+		case frameEnd:
+			q.Close()
+			q.Wait()
+			if store != nil {
+				if recs := store.drain(); len(recs) > 0 {
+					c.send(&frame{Kind: frameVerdicts, Verdicts: recs})
+				}
+			}
+			df := &doneFrame{Seq: bf.Seq}
+			if reg != nil {
+				// Batch wall time rides the snapshot under a per-worker name,
+				// so the coordinator's merged view keeps each worker's wall
+				// clock (gauges merge by max, and the names are distinct).
+				reg.Gauge(fmt.Sprintf("dist.shard%d.wall_ns", bf.Shard)).Set(time.Since(t0).Nanoseconds())
+				df.Metrics = reg.Snapshot()
+			}
+			if err := c.send(&frame{Kind: frameDone, Done: df}); err != nil {
+				return fmt.Errorf("sending done: %w", err)
+			}
+			return nil
+		default:
+			abort()
+			return fmt.Errorf("protocol: unexpected frame %d in batch", f.Kind)
 		}
 	}
-	if reg != nil {
-		// Shard wall time rides the snapshot under a per-shard name, so the
-		// coordinator's merged view keeps each shard's wall clock (gauges
-		// merge by max, and the names are distinct anyway).
-		reg.Gauge(fmt.Sprintf("dist.shard%d.wall_ns", shard.Shard)).Set(time.Since(shardT0).Nanoseconds())
-		if err := c.send(&frame{Kind: frameMetrics, Metrics: reg.Snapshot()}); err != nil {
-			return fmt.Errorf("sending metrics: %w", err)
-		}
+}
+
+// claimInjectedCrash reports whether this worker should act on the injected
+// crash: always without the once-marker, else only for the single worker
+// that wins the marker file's O_EXCL creation race.
+func claimInjectedCrash() bool {
+	path := os.Getenv(testExitOnceEnv)
+	if path == "" {
+		return true
 	}
-	return nil
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
 }

@@ -35,16 +35,27 @@ func (r *AllPairsDistReport) Pairs() int { return len(r.Sources) * len(r.Targets
 // last-hop positions are part of the deterministic summaries the property
 // tests in internal/dist pin down.
 func AllPairsReachabilityDist(net *core.Network, sources []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, procs, workersPerProc int) (*AllPairsDistReport, error) {
+	return AllPairsReachabilityDistConfig(net, sources, packet, targets, opts, dist.Config{
+		Procs: procs, WorkersPerProc: workersPerProc, ShareSat: true,
+	})
+}
+
+// AllPairsReachabilityDistConfig is AllPairsReachabilityDist with an explicit
+// fleet configuration — TCP worker addresses, steal/retry policy, the full
+// dist.Config surface. cfg.Obs defaults to opts.Obs. The matrix stays
+// byte-identical to AllPairsReachability's for every fleet shape.
+func AllPairsReachabilityDistConfig(net *core.Network, sources []core.PortRef, packet sefl.Instr, targets []string, opts core.Options, cfg dist.Config) (*AllPairsDistReport, error) {
 	o := opts.Obs
+	if cfg.Obs == nil {
+		cfg.Obs = o
+	}
 	defer o.Span("solve", "allpairs-dist", -1)()
 	pm := newPairMetrics(o)
 	jobs := make([]dist.Job, len(sources))
 	for i, src := range sources {
 		jobs[i] = dist.Job{Name: src.String(), Inject: src, Packet: packet, Opts: opts}
 	}
-	results := dist.RunBatchConfig(net, jobs, dist.Config{
-		Procs: procs, WorkersPerProc: workersPerProc, ShareSat: true, Obs: o,
-	})
+	results := dist.RunBatchConfig(net, jobs, cfg)
 	rep := &AllPairsDistReport{
 		Sources:   sources,
 		Targets:   targets,

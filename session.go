@@ -7,6 +7,7 @@ import (
 
 	"symnet/internal/churn"
 	"symnet/internal/core"
+	"symnet/internal/dist"
 	"symnet/internal/models"
 	"symnet/internal/sched"
 	"symnet/internal/sefl"
@@ -166,6 +167,17 @@ type ServeConfig struct {
 	// MaxBatch caps how many deltas one absorption pass coalesces
 	// (default 128).
 	MaxBatch int
+	// DistProcs > 0 shards every verification pass (the initial all-pairs run
+	// and each churn re-verification) across that many persistent local
+	// worker subprocesses instead of the in-process scheduler. The pool
+	// outlives batches: workers keep the compiled network installed, and rule
+	// churn reaches them as per-port program deltas. Published observables
+	// are byte-identical to in-process serving.
+	DistProcs int
+	// DistWorkers lists resident TCP worker addresses (host:port of
+	// `symworker -listen` processes, possibly on other machines). When
+	// non-empty it selects the fleet and DistProcs is ignored.
+	DistWorkers []string
 }
 
 // Serving is a live churn-serving handle: a resident verification of the
@@ -176,8 +188,9 @@ type ServeConfig struct {
 // published report is byte-identical to a from-scratch verification of the
 // same rules (pinned by the differential tests in internal/churn).
 type Serving struct {
-	svc *churn.Service
-	res *churn.Resident
+	svc  *churn.Service
+	res  *churn.Resident
+	pool *dist.Pool
 }
 
 // Serve models the configured elements from their tables, runs the initial
@@ -202,6 +215,22 @@ func (s *Session) Serve(cfg ServeConfig) (*Serving, error) {
 			return nil, fmt.Errorf("symnet: serve: model switch %q: %w", name, err)
 		}
 	}
+	var pool *dist.Pool
+	var runner churn.BatchRunner
+	if cfg.DistProcs > 0 || len(cfg.DistWorkers) > 0 {
+		var err error
+		pool, err = dist.NewPool(dist.Config{
+			Procs:          cfg.DistProcs,
+			Workers:        cfg.DistWorkers,
+			WorkersPerProc: s.opts.Workers,
+			ShareSat:       true,
+			Obs:            s.opts.Obs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("symnet: serve: %w", err)
+		}
+		runner = pool
+	}
 	svc := churn.NewService(churn.Config{
 		Net:     s.net,
 		Sources: cfg.Sources,
@@ -209,6 +238,7 @@ func (s *Session) Serve(cfg ServeConfig) (*Serving, error) {
 		Packet:  cfg.Packet,
 		Opts:    s.opts,
 		Workers: s.opts.Workers,
+		Runner:  runner,
 	})
 	for name, fib := range cfg.Routers {
 		svc.RegisterRouter(name, fib)
@@ -217,6 +247,9 @@ func (s *Session) Serve(cfg ServeConfig) (*Serving, error) {
 		svc.RegisterSwitch(name, tbl)
 	}
 	if err := svc.Init(); err != nil {
+		if pool != nil {
+			pool.Close()
+		}
 		return nil, fmt.Errorf("symnet: serve: initial verification: %w", err)
 	}
 	res := churn.NewResident(svc, churn.ResidentConfig{
@@ -224,9 +257,12 @@ func (s *Session) Serve(cfg ServeConfig) (*Serving, error) {
 		MaxBatch:   cfg.MaxBatch,
 	})
 	if err := res.Start(); err != nil {
+		if pool != nil {
+			pool.Close()
+		}
 		return nil, err
 	}
-	return &Serving{svc: svc, res: res}, nil
+	return &Serving{svc: svc, res: res, pool: pool}, nil
 }
 
 // Apply submits deltas for absorption and blocks until their pass commits
@@ -272,6 +308,12 @@ func (v *Serving) Restore(ctx context.Context, st *ServingState) (*PublishedRepo
 // Barrier waits until every Apply queued before it has been absorbed.
 func (v *Serving) Barrier(ctx context.Context) error { return v.res.Barrier(ctx) }
 
-// Close stops the absorber and closes watch subscriptions. Queued Apply
-// calls are failed.
-func (v *Serving) Close() { v.res.Close() }
+// Close stops the absorber, closes watch subscriptions, and dismisses the
+// distributed worker pool when one is configured. Queued Apply calls are
+// failed.
+func (v *Serving) Close() {
+	v.res.Close()
+	if v.pool != nil {
+		v.pool.Close()
+	}
+}
